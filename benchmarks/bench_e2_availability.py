@@ -1,0 +1,78 @@
+"""E2: answer availability versus the number of data sources (paper Section 1).
+
+The paper: "The availability of answers in the system declines as the number
+of databases rises."  With per-source availability p, a blocking system
+answers with probability ~ p**N, while DISCO's partial-evaluation semantics
+returns a (possibly partial) answer every time.  The benchmark measures both
+the observed completeness rates and the cost of producing a partial answer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import build_person_federation
+from repro.baselines import BlockingSemantics, complete_answer_probability
+
+QUERY = "select x.name from x in person where x.salary > 250"
+FAILURE_PROBABILITY = 0.1
+ATTEMPTS = 20
+SOURCE_COUNTS = [1, 2, 4, 8, 16]
+
+
+@pytest.mark.parametrize("sources", SOURCE_COUNTS)
+def test_e2_blocking_vs_partial_completeness(benchmark, sources):
+    """Observed completeness under blocking semantics vs DISCO, per source count."""
+    mediator = build_person_federation(
+        sources=sources, failure_probability=FAILURE_PROBABILITY, rows_per_source=20
+    )
+    blocking = BlockingSemantics(mediator, raise_on_unavailable=False)
+
+    def run():
+        blocking_answers = 0
+        disco_answers = 0
+        disco_partials = 0
+        for _ in range(ATTEMPTS):
+            if blocking.answered(QUERY):
+                blocking_answers += 1
+            result = mediator.query(QUERY)
+            if result.is_partial:
+                disco_partials += 1
+            else:
+                disco_answers += 1
+        return blocking_answers, disco_answers, disco_partials
+
+    blocking_answers, disco_answers, disco_partials = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    analytic = complete_answer_probability(1 - FAILURE_PROBABILITY, sources)
+    benchmark.extra_info.update(
+        {
+            "sources": sources,
+            "analytic_blocking_probability": round(analytic, 3),
+            "blocking_answers": f"{blocking_answers}/{2 * ATTEMPTS}",
+            "disco_complete": disco_answers,
+            "disco_partial": disco_partials,
+        }
+    )
+    # DISCO always answers; blocking answers at most as often as DISCO is complete.
+    assert disco_answers + disco_partials == ATTEMPTS
+
+
+@pytest.mark.parametrize("sources", [4, 16])
+def test_e2_partial_answer_overhead(benchmark, sources):
+    """Latency of building a partial answer when one source is down."""
+    mediator = build_person_federation(sources=sources, rows_per_source=20)
+    registry_servers = [
+        mediator.registry.wrapper_object(f"w{i}").server for i in range(sources)
+    ]
+    registry_servers[0].take_down()
+
+    def run():
+        return mediator.query(QUERY)
+
+    result = benchmark(run)
+    assert result.is_partial
+    assert result.unavailable_sources == ("person0",)
+    benchmark.extra_info["sources"] = sources
+    benchmark.extra_info["partial_query_length"] = len(result.partial_query)

@@ -1,0 +1,103 @@
+"""E3: DBA effort to integrate the k-th data source (paper Sections 1.2 and 2).
+
+DISCO claim: adding a data source of an existing type is *one* extent
+declaration and changes no query.  The unified-global-schema baseline
+(Pegasus/UniSQL-style) must reconcile the new source against the schema built
+so far, so its per-source effort grows with the number of sources already
+integrated.  The benchmark measures both statements-touched counts and the
+wall-clock time of registering sources with a live mediator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import build_person_federation
+from repro import RelationalWrapper
+from repro.baselines import UnifiedSchemaIntegrator
+from repro.sources.relational_engine import RelationalEngine
+from repro.sources.server import SimulatedServer
+from repro.sources.workload import generate_person_rows
+
+TOTAL_SOURCES = 30
+
+
+def test_e3_statements_touched_disco_vs_unified_schema(benchmark):
+    """Statements touched per newly integrated source, DISCO vs unified schema."""
+
+    def run():
+        mediator = build_person_federation(sources=1, rows_per_source=5)
+        disco_costs = []
+        before = mediator.registry.statement_count()
+        for index in range(1, TOTAL_SOURCES):
+            engine = RelationalEngine(f"extra{index}")
+            engine.create_table(f"person{index}x", rows=generate_person_rows(5, seed=index))
+            server = SimulatedServer(f"host{index}x", engine)
+            mediator.register_wrapper(f"wx{index}", RelationalWrapper(f"wx{index}", server))
+            mediator.create_repository(f"rx{index}", host=server.name)
+            mediator.add_extent(f"person{index}x", "Person", f"wx{index}", f"rx{index}")
+            after = mediator.registry.statement_count()
+            disco_costs.append(after - before)
+            before = after
+
+        unified = UnifiedSchemaIntegrator()
+        unified_costs = [
+            unified.integrate_source(f"s{index}", "Person", ("id", "name", "salary")).statements_touched
+            for index in range(1, TOTAL_SOURCES)
+        ]
+        return disco_costs, unified_costs
+
+    disco_costs, unified_costs = benchmark.pedantic(run, rounds=1, iterations=1)
+    # DISCO cost per same-type source is constant (wrapper + repository + extent).
+    assert len(set(disco_costs)) == 1
+    # The unified-schema baseline grows with the number of integrated sources.
+    assert unified_costs[-1] > unified_costs[0]
+    assert unified_costs[-1] > disco_costs[-1]
+    benchmark.extra_info.update(
+        {
+            "disco_statements_per_source": disco_costs[0],
+            "unified_statements_first": unified_costs[0],
+            "unified_statements_last": unified_costs[-1],
+        }
+    )
+
+
+@pytest.mark.parametrize("existing_sources", [1, 8, 16])
+def test_e3_time_to_add_a_source(benchmark, existing_sources):
+    """Wall-clock time of one extent declaration against a live mediator."""
+    mediator = build_person_federation(sources=existing_sources, rows_per_source=5)
+    engine = RelationalEngine("newdb")
+    engine.create_table("person_new", rows=generate_person_rows(5, seed=99))
+    server = SimulatedServer("new-host", engine)
+    mediator.register_wrapper("w_new", RelationalWrapper("w_new", server))
+    mediator.create_repository("r_new", host="new-host")
+
+    def run():
+        # Declare the extent, then retract it so every round starts from the
+        # same schema; the declaration dominates the measurement.
+        mediator.add_extent(
+            "person_new", "Person", "w_new", "r_new", source_collection="person_new"
+        )
+        mediator.drop_extent("person_new")
+
+    benchmark(run)
+    benchmark.extra_info["existing_sources"] = existing_sources
+
+
+def test_e3_queries_survive_source_addition(benchmark):
+    """The same query text keeps working (and sees more data) as sources join."""
+    mediator = build_person_federation(sources=2, rows_per_source=10)
+    query = "select x.name from x in person"
+
+    def run():
+        return mediator.query(query)
+
+    before = len(mediator.query(query).rows())
+    engine = RelationalEngine("extra")
+    engine.create_table("person_extra", rows=generate_person_rows(10, seed=123, id_offset=900))
+    server = SimulatedServer("extra-host", engine)
+    mediator.register_wrapper("w_extra", RelationalWrapper("w_extra", server))
+    mediator.create_repository("r_extra", host="extra-host")
+    mediator.add_extent("person_extra", "Person", "w_extra", "r_extra")
+    result = benchmark(run)
+    assert len(result.rows()) == before + 10

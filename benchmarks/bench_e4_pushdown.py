@@ -1,0 +1,119 @@
+"""E4: capability-based push-down through ``submit`` (paper Section 3.2).
+
+Compares the same selective query against wrappers of increasing capability:
+{get}, {get, project}, {get, project, select} and the full operator set.  The
+more the wrapper understands, the less data crosses the wrapper boundary and
+the less work the mediator does.  Also benchmarks the same-source join
+push-down of the paper's employee/manager example.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import build_person_federation
+from repro import Mediator, RelationalWrapper
+from repro.algebra.capabilities import CapabilitySet
+from repro.sources.relational_engine import RelationalEngine
+from repro.sources.server import SimulatedServer
+from repro.sources.workload import generate_person_rows
+
+SELECTIVE_QUERY = "select x.name from x in person where x.salary > 480"
+
+CAPABILITY_SETS = {
+    "get-only": CapabilitySet.get_only(),
+    "get+project": CapabilitySet.of("get", "project"),
+    "get+project+select": CapabilitySet.of("get", "project", "select"),
+    "full": CapabilitySet.full(),
+}
+
+
+@pytest.mark.parametrize("label", list(CAPABILITY_SETS))
+def test_e4_pushdown_by_wrapper_capability(benchmark, label):
+    """Query latency and rows shipped, by wrapper capability set."""
+    mediator = build_person_federation(
+        sources=4,
+        rows_per_source=400,
+        capabilities=CAPABILITY_SETS[label],
+        base_latency=0.0,
+    )
+
+    def run():
+        return mediator.query(SELECTIVE_QUERY)
+
+    result = benchmark(run)
+    assert not result.is_partial
+    rows_shipped = sum(report.rows for report in result.reports)
+    benchmark.extra_info.update(
+        {
+            "capabilities": label,
+            "rows_shipped_to_mediator": rows_shipped,
+            "answer_rows": len(result.rows()),
+        }
+    )
+    if label == "full":
+        # With select pushed down, only matching rows cross the boundary.
+        assert rows_shipped == len(result.rows())
+    if label == "get-only":
+        assert rows_shipped == 4 * 400
+
+
+def test_e4_rows_shipped_shrink_with_capability():
+    """Sanity check of the headline shape without the benchmark timer."""
+    shipped = {}
+    for label, capabilities in CAPABILITY_SETS.items():
+        mediator = build_person_federation(
+            sources=2, rows_per_source=200, capabilities=capabilities
+        )
+        result = mediator.query(SELECTIVE_QUERY)
+        shipped[label] = sum(report.rows for report in result.reports)
+    assert shipped["full"] <= shipped["get+project+select"] <= shipped["get-only"]
+    assert shipped["full"] < shipped["get-only"]
+
+
+def _two_table_mediator(capabilities: CapabilitySet) -> Mediator:
+    engine = RelationalEngine("hr")
+    engine.create_table("employee0", rows=generate_person_rows(300, seed=1))
+    engine.create_table(
+        "manager0",
+        rows=[{"id": row["id"], "dept": f"d{row['id'] % 10}"} for row in generate_person_rows(300, seed=1)],
+    )
+    server = SimulatedServer("hr-host", engine)
+    mediator = Mediator(name="hr")
+    mediator.register_wrapper("w0", RelationalWrapper("w0", server, capabilities=capabilities))
+    mediator.create_repository("r0", host="hr-host")
+    mediator.define_interface(
+        "Employee", [("id", "Long"), ("name", "String"), ("salary", "Short")],
+        extent_name="employee",
+    )
+    mediator.define_interface("Manager", [("id", "Long"), ("dept", "String")], extent_name="manager")
+    mediator.add_extent("employee0", "Employee", "w0", "r0")
+    mediator.add_extent("manager0", "Manager", "w0", "r0")
+    return mediator
+
+
+@pytest.mark.parametrize("join_capability", ["with-join", "without-join"])
+def test_e4_join_pushdown_same_source(benchmark, join_capability):
+    """The paper's employee/manager join, pushed to the source when allowed."""
+    capabilities = (
+        CapabilitySet.full()
+        if join_capability == "with-join"
+        else CapabilitySet.of("get", "project", "select")
+    )
+    mediator = _two_table_mediator(capabilities)
+    query = (
+        "select struct(name: e.name, dept: m.dept) from e in employee0 and m in manager0 "
+        "where e.id = m.id and e.salary > 450"
+    )
+
+    def run():
+        return mediator.query(query)
+
+    result = benchmark(run)
+    assert not result.is_partial
+    benchmark.extra_info.update(
+        {
+            "capability": join_capability,
+            "rows_shipped_to_mediator": sum(report.rows for report in result.reports),
+        }
+    )

@@ -1,0 +1,101 @@
+"""E5: learning source costs from recorded exec calls (paper Section 3.3).
+
+The mediator records the arguments, elapsed time and result size of every
+``exec`` call.  Estimates come from exactly matching calls, then from close
+matches (same expression shape, different constants), then from the 0/1
+default.  The benchmark measures (a) how the cardinality-estimate error drops
+as calls accumulate, (b) the estimation policies against each other, and (c)
+the plan-quality effect: after the history has seen a big and a small source,
+the optimizer builds hash joins with the small side where it belongs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import build_person_federation
+from repro.algebra.expressions import Comparison, Const, Path, Var
+from repro.algebra.logical import Get, Select
+from repro.optimizer.history import ExecCallHistory
+
+QUERY_TEMPLATE = "select x.name from x in person where x.salary > {threshold}"
+THRESHOLDS = [50, 100, 150, 200, 250, 300, 350, 400, 450]
+
+
+def _estimate_error(history: ExecCallHistory, extent: str, expression, actual: int) -> float:
+    estimate = history.estimate(extent, expression)
+    return abs(estimate.rows - actual) / max(actual, 1)
+
+
+def test_e5_estimate_error_drops_with_recorded_calls(benchmark):
+    """Median relative cardinality error, before vs after warming the history."""
+    mediator = build_person_federation(sources=2, rows_per_source=300)
+
+    def run():
+        mediator.history.clear()
+        errors = []
+        for round_index, threshold in enumerate(THRESHOLDS):
+            query = QUERY_TEMPLATE.format(threshold=threshold)
+            expression = Select(
+                "x",
+                Comparison(">", Path(Var("x"), "salary"), Const(threshold)),
+                Get("person0"),
+            )
+            result = mediator.query(query)
+            actual = result.reports[0].rows
+            errors.append(
+                (round_index, _estimate_error(mediator.history, "person0", expression, actual))
+            )
+        return errors
+
+    errors = benchmark.pedantic(run, rounds=1, iterations=1)
+    cold_error = errors[0][1]
+    warm_error = sum(error for _, error in errors[-3:]) / 3
+    benchmark.extra_info.update(
+        {"cold_error": round(cold_error, 3), "warm_error": round(warm_error, 3)}
+    )
+    # With no history the default data cost of 1 badly underestimates; after a
+    # few close-matching calls the estimate tracks the true cardinality.
+    assert warm_error < cold_error
+
+
+@pytest.mark.parametrize("policy", ["exact", "close", "default"])
+def test_e5_estimation_policies(benchmark, policy):
+    """Estimation accuracy of the three policies on a parameterised query."""
+    history = ExecCallHistory()
+    recorded = Select("x", Comparison(">", Path(Var("x"), "salary"), Const(100)), Get("person0"))
+    for _ in range(8):
+        history.record("person0", recorded, elapsed=0.01, rows=240)
+    if policy == "exact":
+        probe = recorded
+    elif policy == "close":
+        probe = Select("x", Comparison(">", Path(Var("x"), "salary"), Const(425)), Get("person0"))
+    else:
+        probe = Select("x", Comparison("<", Path(Var("x"), "salary"), Const(425)), Get("person0"))
+
+    def run():
+        return history.estimate("person0", probe)
+
+    estimate = benchmark(run)
+    assert estimate.kind == policy
+    benchmark.extra_info.update({"policy": policy, "estimated_rows": estimate.rows})
+
+
+def test_e5_history_improves_plan_cost_fidelity(benchmark):
+    """Estimated plan cost converges towards observed cost once history exists."""
+    mediator = build_person_federation(sources=4, rows_per_source=300)
+    query = QUERY_TEMPLATE.format(threshold=50)
+
+    def run():
+        mediator.history.clear()
+        cold = mediator.explain(query).optimized.cost.total()
+        for _ in range(3):
+            mediator.query(query)
+        warm = mediator.planner.plan(query, use_cache=False).optimized.cost.total()
+        return cold, warm
+
+    cold, warm = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update({"cold_estimate": cold, "warm_estimate": warm})
+    # The warm estimate accounts for the real row counts, so it is larger than
+    # the optimistic 0/1 default estimate.
+    assert warm > cold

@@ -1,0 +1,83 @@
+"""E6: partial answers round-trip to the full answer (paper Section 4).
+
+Verifies and times the paper's key property: re-submitting a partial answer
+once the unavailable sources are back returns exactly the answer the original
+query would have produced, and the overhead of partial evaluation (building
+the answer-as-a-query) stays small.  Also sweeps the designated timeout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import PERSON_QUERY, build_person_federation
+from repro.sources.network import NetworkProfile
+
+
+def _servers(mediator, count):
+    return [mediator.registry.wrapper_object(f"w{i}").server for i in range(count)]
+
+
+@pytest.mark.parametrize("sources", [2, 4, 8])
+def test_e6_partial_then_resubmit_equals_direct_answer(benchmark, sources):
+    """Partial answer + recovery + re-submission gives the original answer."""
+    mediator = build_person_federation(sources=sources, rows_per_source=40)
+    servers = _servers(mediator, sources)
+    expected = mediator.query(PERSON_QUERY).data
+
+    def run():
+        servers[0].take_down()
+        partial = mediator.query(PERSON_QUERY)
+        servers[0].bring_up()
+        recovered = mediator.resubmit(partial)
+        return partial, recovered
+
+    partial, recovered = benchmark(run)
+    assert partial.is_partial
+    assert recovered.data == expected
+    benchmark.extra_info.update(
+        {"sources": sources, "partial_query_length": len(partial.partial_query)}
+    )
+
+
+@pytest.mark.parametrize("down", [1, 2, 4])
+def test_e6_partial_answer_construction_cost(benchmark, down):
+    """Cost of building the answer-as-a-query as more sources are down."""
+    sources = 8
+    mediator = build_person_federation(sources=sources, rows_per_source=40)
+    servers = _servers(mediator, sources)
+    for server in servers[:down]:
+        server.take_down()
+
+    def run():
+        return mediator.query(PERSON_QUERY)
+
+    result = benchmark(run)
+    assert result.is_partial
+    assert len(result.unavailable_sources) == down
+    benchmark.extra_info.update(
+        {"sources_down": down, "partial_query_length": len(result.partial_query)}
+    )
+
+
+@pytest.mark.parametrize("timeout", [0.02, 0.1, 0.5])
+def test_e6_timeout_sweep(benchmark, timeout):
+    """The designated time period trades latency against answer completeness."""
+    sources = 4
+    mediator = build_person_federation(sources=sources, rows_per_source=40)
+    servers = _servers(mediator, sources)
+    # One slow source: with a short timeout it is declared unavailable.
+    servers[0].network = NetworkProfile(base_latency=0.2)
+    servers[0].real_sleep = True
+
+    def run():
+        return mediator.query(PERSON_QUERY, timeout=timeout)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info.update(
+        {"timeout": timeout, "is_partial": result.is_partial}
+    )
+    if timeout < 0.2:
+        assert result.is_partial
+    else:
+        assert not result.is_partial

@@ -1,0 +1,143 @@
+"""E8: maps, subtyping and views reconcile similar and dissimilar sources
+(paper Sections 2.2-2.3).
+
+Measures the cost of the three reconciliation mechanisms on top of a growing
+federation: a local transformation map (PersonPrime), the recursive ``type*``
+extent over a subtype hierarchy (Student under Person), and the multi-level
+views (``double``, ``multiple``) with their reconciliation functions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import build_person_federation
+from repro import LocalTransformationMap, RelationalWrapper
+from repro.sources.relational_engine import RelationalEngine
+from repro.sources.server import SimulatedServer
+from repro.sources.workload import generate_student_rows
+
+
+def _add_student_sources(mediator, count: int) -> None:
+    mediator.define_interface(
+        "Student", [("university", "String")], supertype="Person", extent_name="student"
+    )
+    for index in range(count):
+        engine = RelationalEngine(f"studentdb{index}")
+        engine.create_table(
+            f"student{index}",
+            rows=generate_student_rows(30, seed=50 + index, id_offset=10_000 + index * 100),
+        )
+        server = SimulatedServer(f"student-host{index}", engine)
+        mediator.register_wrapper(f"ws{index}", RelationalWrapper(f"ws{index}", server))
+        mediator.create_repository(f"rs{index}", host=server.name)
+        mediator.add_extent(f"student{index}", "Student", f"ws{index}", f"rs{index}")
+
+
+def test_e8_map_overhead(benchmark):
+    """Querying through a local transformation map vs the plain extent."""
+    mediator = build_person_federation(sources=1, rows_per_source=200)
+    mediator.define_interface(
+        "PersonPrime", [("n", "String"), ("s", "Short")], extent_name="personprime"
+    )
+    mapping = LocalTransformationMap.from_pairs(
+        [("person0", "personprime0"), ("name", "n"), ("salary", "s")]
+    )
+    mediator.add_extent("personprime0", "PersonPrime", "w0", "r0", map=mapping)
+    plain = mediator.query("select x.name from x in person0 where x.salary > 250")
+
+    def run():
+        return mediator.query("select x.n from x in personprime0 where x.s > 250")
+
+    mapped = benchmark(run)
+    assert mapped.data == plain.data
+    benchmark.extra_info["rows"] = len(mapped.rows())
+
+
+@pytest.mark.parametrize("student_sources", [1, 4])
+def test_e8_person_star_over_subtype_hierarchy(benchmark, student_sources):
+    """The recursive extent person* fans out over subtype extents too."""
+    mediator = build_person_federation(sources=2, rows_per_source=50)
+    _add_student_sources(mediator, student_sources)
+
+    def run():
+        return mediator.query("select x.name from x in person*")
+
+    result = benchmark(run)
+    assert result.sources_contacted() == 2 + student_sources
+    benchmark.extra_info["student_sources"] = student_sources
+    benchmark.extra_info["rows"] = len(result.rows())
+
+
+def test_e8_double_view_reconciliation(benchmark):
+    """The paper's ``double`` view: one reconciliation function over two sources."""
+    mediator = build_person_federation(sources=2, rows_per_source=100, seed=21)
+    # Make ids overlap so the join produces rows.
+    engine1 = mediator.registry.wrapper_object("w1").server.store
+    engine1.table("person1").clear()
+    engine0 = mediator.registry.wrapper_object("w0").server.store
+    engine1.table("person1").insert_many(engine0.scan("person0"))
+    mediator.define_view(
+        "double",
+        "select struct(name: x.name, salary: x.salary + y.salary) "
+        "from x in person0 and y in person1 where x.id = y.id",
+    )
+
+    def run():
+        return mediator.query("double")
+
+    result = benchmark(run)
+    assert len(result.rows()) == 100
+    assert all(row["salary"] % 2 == 0 for row in result.rows())
+
+
+def test_e8_multiple_view_with_aggregate(benchmark):
+    """The ``multiple`` view: a correlated aggregate over person*."""
+    mediator = build_person_federation(sources=2, rows_per_source=20, seed=22)
+    _add_student_sources(mediator, 1)
+    mediator.define_view(
+        "multiple",
+        "select struct(name: x.name, salary: sum(select z.salary from z in person "
+        "where x.id = z.id)) from x in person*",
+    )
+
+    def run():
+        return mediator.query("multiple")
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    # 2 person sources x 20 rows + 1 student source x 30 rows
+    assert len(result.rows()) == 70
+    benchmark.extra_info["rows"] = len(result.rows())
+
+
+def test_e8_dissimilar_structure_view(benchmark):
+    """The ``personnew`` view merging Person with the split-salary PersonTwo."""
+    mediator = build_person_federation(sources=2, rows_per_source=50, seed=23)
+    engine = RelationalEngine("persontwodb")
+    engine.create_table(
+        "persontwo0",
+        rows=[
+            {"name": f"consultant{i}", "regular": 40 + i, "consult": 10 + i}
+            for i in range(50)
+        ],
+    )
+    server = SimulatedServer("persontwo-host", engine)
+    mediator.register_wrapper("wt", RelationalWrapper("wt", server))
+    mediator.create_repository("rt", host="persontwo-host")
+    mediator.define_interface(
+        "PersonTwo",
+        [("name", "String"), ("regular", "Short"), ("consult", "Short")],
+        extent_name="persontwo",
+    )
+    mediator.add_extent("persontwo0", "PersonTwo", "wt", "rt")
+    mediator.define_view(
+        "personnew",
+        "bag(select struct(name: x.name, salary: x.salary) from x in person, "
+        "select struct(name: x.name, salary: x.regular + x.consult) from x in persontwo0)",
+    )
+
+    def run():
+        return mediator.query("select p.name from p in flatten(personnew)")
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert len(result.rows()) == 150

@@ -1,0 +1,48 @@
+"""E1 / Figure 1: end-to-end query latency through the full architecture.
+
+Reproduces the architecture of Figure 1 (application -> mediator -> wrappers
+-> data sources) on the water-quality workload and measures end-to-end query
+latency as the number of federated stations grows.  The paper makes no
+latency claim for the figure itself; the series documents that the mediator
+pipeline scales linearly in the number of sources it fans out to.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import build_water_federation
+
+QUERY = 'select m.value from m in measurements where m.parameter = "ph" and m.value > 7'
+
+SOURCE_COUNTS = [1, 2, 4, 8, 16]
+
+
+@pytest.mark.parametrize("sources", SOURCE_COUNTS)
+def test_fig1_end_to_end_latency(benchmark, sources):
+    """Latency of one federated query versus the number of stations."""
+    mediator = build_water_federation(sources=sources, rows_per_source=50)
+
+    def run():
+        return mediator.query(QUERY)
+
+    result = benchmark(run)
+    assert not result.is_partial
+    assert result.sources_contacted() == sources
+    benchmark.extra_info["sources"] = sources
+    benchmark.extra_info["rows_returned"] = len(result.rows())
+
+
+def test_fig1_architecture_components_are_exercised(benchmark):
+    """One run through every Figure-1 component, with per-stage accounting."""
+    mediator = build_water_federation(sources=4, rows_per_source=50)
+
+    def run():
+        planned = mediator.explain(QUERY)
+        result = mediator.query(QUERY)
+        return planned, result
+
+    planned, result = benchmark(run)
+    assert planned.optimized is not None
+    assert all(report.available for report in result.reports)
+    benchmark.extra_info["logical_plan"] = planned.optimized.logical.to_text()[:120]

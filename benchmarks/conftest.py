@@ -1,0 +1,81 @@
+"""Shared builders for the benchmark harness.
+
+Every benchmark federates N synthetic Person or water-quality sources under
+one mediator; the helpers here keep source counts and row counts small enough
+that the whole suite runs in seconds while preserving the *shapes* the paper
+claims (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow `pytest benchmarks/` to run from a clean checkout without installation.
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro import Mediator, RelationalWrapper  # noqa: E402
+from repro.algebra.capabilities import CapabilitySet  # noqa: E402
+from repro.baselines import GetOnlyWrapper  # noqa: E402
+from repro.sources.workload import (  # noqa: E402
+    WorkloadConfig,
+    build_person_sources,
+    build_water_quality_sources,
+)
+
+PERSON_QUERY = "select x.name from x in person where x.salary > 250"
+
+
+def build_person_federation(
+    sources: int,
+    rows_per_source: int = 50,
+    failure_probability: float = 0.0,
+    capabilities: CapabilitySet | None = None,
+    get_only: bool = False,
+    base_latency: float = 0.0,
+    seed: int = 7,
+) -> Mediator:
+    """A mediator federating ``sources`` Person databases."""
+    servers = build_person_sources(
+        WorkloadConfig(
+            sources=sources,
+            rows_per_source=rows_per_source,
+            failure_probability=failure_probability,
+            base_latency=base_latency,
+            seed=seed,
+        )
+    )
+    mediator = Mediator(name=f"bench-{sources}")
+    mediator.define_interface(
+        "Person",
+        [("id", "Long"), ("name", "String"), ("salary", "Short")],
+        extent_name="person",
+    )
+    for index, server in enumerate(servers):
+        wrapper = RelationalWrapper(f"w{index}", server, capabilities=capabilities)
+        if get_only:
+            wrapper = GetOnlyWrapper(wrapper)
+        mediator.register_wrapper(f"w{index}", wrapper)
+        mediator.create_repository(f"r{index}", host=server.name)
+        mediator.add_extent(f"person{index}", "Person", f"w{index}", f"r{index}")
+    return mediator
+
+
+def build_water_federation(sources: int, rows_per_source: int = 50, seed: int = 7) -> Mediator:
+    """A mediator federating ``sources`` water-quality stations."""
+    servers = build_water_quality_sources(
+        WorkloadConfig(sources=sources, rows_per_source=rows_per_source, seed=seed)
+    )
+    mediator = Mediator(name=f"water-{sources}")
+    mediator.define_interface(
+        "Measurement",
+        [("site", "String"), ("day", "Long"), ("parameter", "String"), ("value", "Float")],
+        extent_name="measurements",
+    )
+    for index, server in enumerate(servers):
+        mediator.register_wrapper(f"w{index}", RelationalWrapper(f"w{index}", server))
+        mediator.create_repository(f"r{index}", host=server.name)
+        mediator.add_extent(f"measurements{index}", "Measurement", f"w{index}", f"r{index}")
+    return mediator

@@ -1,0 +1,120 @@
+"""The distributed architecture of Figure 1: mediators over mediators.
+
+Two departmental mediators each federate their own heterogeneous sources
+(a relational server and a key-value server; a SQL server and a text-search
+server).  A top-level organisation mediator federates the two departmental
+mediators through :class:`MediatorWrapper`, and a catalog keeps track of every
+component.  One OQL query at the top fans out across the whole tree.
+
+Run with:  python examples/federation_of_mediators.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Catalog,
+    KeyValueWrapper,
+    Mediator,
+    MediatorWrapper,
+    RelationalWrapper,
+    SqlWrapper,
+    TextSearchWrapper,
+)
+from repro.sources import KeyValueStore, RelationalEngine, SimulatedServer, TextStore
+from repro.sources.sql.engine import SqlEngine
+from repro.sources.text_store import Document
+from repro.sources.workload import generate_person_rows
+
+
+def build_department_a() -> Mediator:
+    """Relational + key-value sources."""
+    mediator = Mediator(name="dept-a")
+    mediator.define_interface(
+        "Person", [("id", "Long"), ("name", "String"), ("salary", "Short")],
+        extent_name="person",
+    )
+    relational = RelationalEngine("a-rel")
+    relational.create_table("person0", rows=generate_person_rows(40, seed=1))
+    mediator.register_wrapper(
+        "w0", RelationalWrapper("w0", SimulatedServer("a-rel-host", relational))
+    )
+    mediator.create_repository("r0", host="a-rel-host")
+    mediator.add_extent("person0", "Person", "w0", "r0")
+
+    kv = KeyValueStore("a-kv")
+    kv.create_collection("person1")
+    kv.put_many("person1", [(row["id"], row) for row in generate_person_rows(40, seed=2, id_offset=100)])
+    mediator.register_wrapper("w1", KeyValueWrapper("w1", SimulatedServer("a-kv-host", kv)))
+    mediator.create_repository("r1", host="a-kv-host")
+    mediator.add_extent("person1", "Person", "w1", "r1")
+    return mediator
+
+
+def build_department_b() -> Mediator:
+    """SQL + text-search sources."""
+    mediator = Mediator(name="dept-b")
+    mediator.define_interface(
+        "Person", [("id", "Long"), ("name", "String"), ("salary", "Short")],
+        extent_name="person",
+    )
+    sql = SqlEngine(name="b-sql")
+    sql.create_table("person2", rows=generate_person_rows(40, seed=3, id_offset=200))
+    mediator.register_wrapper("w2", SqlWrapper("w2", SimulatedServer("b-sql-host", sql)))
+    mediator.create_repository("r2", host="b-sql-host")
+    mediator.add_extent("person2", "Person", "w2", "r2")
+
+    text = TextStore("b-wais")
+    text.create_collection("person3")
+    for row in generate_person_rows(20, seed=4, id_offset=300):
+        text.add_document(
+            "person3",
+            Document(str(row["id"]), f"profile of {row['name']}", fields=row),
+        )
+    mediator.register_wrapper(
+        "w3", TextSearchWrapper("w3", SimulatedServer("b-wais-host", text))
+    )
+    mediator.create_repository("r3", host="b-wais-host")
+    mediator.add_extent("person3", "Person", "w3", "r3")
+    return mediator
+
+
+def build_organisation(dept_a: Mediator, dept_b: Mediator) -> Mediator:
+    mediator = Mediator(name="organisation")
+    mediator.define_interface(
+        "Person", [("id", "Long"), ("name", "String"), ("salary", "Short")],
+        extent_name="person",
+    )
+    for label, child in (("a", dept_a), ("b", dept_b)):
+        mediator.register_wrapper(f"dept_{label}", MediatorWrapper(f"dept_{label}", child))
+        mediator.create_repository(f"repo_{label}", host=f"dept-{label}")
+        mediator.add_extent(
+            f"people_{label}", "Person", f"dept_{label}", f"repo_{label}",
+            source_collection="person",
+        )
+    return mediator
+
+
+def main() -> None:
+    dept_a = build_department_a()
+    dept_b = build_department_b()
+    organisation = build_organisation(dept_a, dept_b)
+
+    catalog = Catalog(name="deployment-catalog")
+    for mediator in (dept_a, dept_b, organisation):
+        catalog.register_mediator(mediator)
+    print("catalog overview:", catalog.overview())
+    print("mediators serving Person:", catalog.mediators_serving_interface("Person"))
+
+    rich = organisation.query("select x.name from x in person where x.salary > 400")
+    print(f"\nhigh earners across the whole organisation: {len(rich.rows())}")
+
+    total = organisation.query("count(select x from x in person)")
+    print(f"people known to the organisation mediator: {total.data}")
+
+    per_dept_a = dept_a.query("count(select x from x in person)")
+    per_dept_b = dept_b.query("count(select x from x in person)")
+    print(f"  dept-a holds {per_dept_a.data}, dept-b holds {per_dept_b.data}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Partial-evaluation semantics under source failures (paper Section 4).
+
+Federates eight Person sources with a per-request failure probability, runs
+the same query repeatedly, and contrasts DISCO's partial answers with the
+blocking all-or-nothing baseline: the blocking system's success rate collapses
+as sources flake, while DISCO always returns something useful and eventually
+converges to the full answer by re-submitting the partial answers it got.
+
+Run with:  python examples/unavailable_sources.py
+"""
+
+from __future__ import annotations
+
+from repro import Mediator, RelationalWrapper, Session
+from repro.baselines import BlockingSemantics, complete_answer_probability
+from repro.sources.workload import WorkloadConfig, build_person_sources
+
+SOURCES = 8
+FAILURE_PROBABILITY = 0.15
+ATTEMPTS = 20
+QUERY = "select x.name from x in person where x.salary > 10"
+
+
+def build_mediator() -> Mediator:
+    servers = build_person_sources(
+        WorkloadConfig(
+            sources=SOURCES,
+            rows_per_source=50,
+            failure_probability=FAILURE_PROBABILITY,
+            seed=11,
+        )
+    )
+    mediator = Mediator(name="flaky-federation")
+    mediator.define_interface(
+        "Person",
+        [("id", "Long"), ("name", "String"), ("salary", "Short")],
+        extent_name="person",
+    )
+    for index, server in enumerate(servers):
+        mediator.register_wrapper(f"w{index}", RelationalWrapper(f"w{index}", server))
+        mediator.create_repository(f"r{index}", host=server.name)
+        mediator.add_extent(f"person{index}", "Person", f"w{index}", f"r{index}")
+    return mediator
+
+
+def main() -> None:
+    mediator = build_mediator()
+    analytic = complete_answer_probability(1 - FAILURE_PROBABILITY, SOURCES)
+    print(f"sources: {SOURCES}, per-request failure probability: {FAILURE_PROBABILITY}")
+    print(f"analytic probability a blocking system answers: {analytic:.2f}\n")
+
+    blocking = BlockingSemantics(mediator, raise_on_unavailable=False)
+    blocking_answers = sum(blocking.answered(QUERY) for _ in range(ATTEMPTS))
+    print(f"blocking baseline answered {blocking_answers}/{ATTEMPTS} attempts")
+
+    partial_count = 0
+    complete_count = 0
+    for _ in range(ATTEMPTS):
+        result = mediator.query(QUERY)
+        if result.is_partial:
+            partial_count += 1
+        else:
+            complete_count += 1
+    print(
+        f"DISCO answered every attempt: {complete_count} complete, "
+        f"{partial_count} partial (still usable, still re-submittable)"
+    )
+
+    print("\n-- retrying partial answers until complete --")
+    session = Session(mediator)
+    result = session.query_with_retry(QUERY, retries=10)
+    print(f"final answer complete: {result.complete()}, rows: {len(result.rows())}")
+    print(f"partial answers seen along the way: {len(session.partial_answers())}")
+
+    if session.partial_answers():
+        example = session.partial_answers()[0].partial_query
+        print("\nexample partial answer (truncated):")
+        print(" ", example[:160] + ("..." if len(example) > 160 else ""))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim so that ``pip install -e .`` works without the ``wheel`` package.
+
+The environment this reproduction targets has no network access and no
+``wheel`` distribution, so PEP 660 editable installs (which build an editable
+wheel) are unavailable; the legacy ``setup.py develop`` path used by
+``pip install -e . --no-use-pep517`` works everywhere.  All project metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,72 @@
+"""repro: a reproduction of DISCO -- Scaling Heterogeneous Databases and the
+Design of Disco (Tomasic, Raschid, Valduriez; INRIA RR-2704, 1995 / ICDCS 1996).
+
+The public API is re-exported here::
+
+    from repro import Mediator, Repository, RelationalWrapper
+    from repro.sources import RelationalEngine, SimulatedServer
+
+    mediator = Mediator()
+    mediator.register_wrapper("w0", RelationalWrapper("w0", server))
+    mediator.create_repository("r0", host="rodin")
+    mediator.define_interface("Person", [("name", "String"), ("salary", "Short")],
+                              extent_name="person")
+    mediator.add_extent("person0", "Person", "w0", "r0")
+    result = mediator.query("select x.name from x in person where x.salary > 10")
+
+See README.md for the full quickstart and DESIGN.md for the system inventory.
+"""
+
+from repro.core.catalog import Catalog
+from repro.core.mediator import Mediator
+from repro.core.result import QueryResult
+from repro.core.session import Session
+from repro.datamodel.mapping import LocalTransformationMap
+from repro.datamodel.repository import Repository
+from repro.datamodel.values import Bag, Struct, make_bag, make_struct
+from repro.errors import (
+    CapabilityError,
+    DiscoError,
+    NameResolutionError,
+    ParseError,
+    SchemaError,
+    TypeConflictError,
+    UnavailableSourceError,
+)
+from repro.wrappers import (
+    CsvWrapper,
+    KeyValueWrapper,
+    MediatorWrapper,
+    RelationalWrapper,
+    SqlWrapper,
+    TextSearchWrapper,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Mediator",
+    "Catalog",
+    "Session",
+    "QueryResult",
+    "Repository",
+    "LocalTransformationMap",
+    "Bag",
+    "Struct",
+    "make_bag",
+    "make_struct",
+    "RelationalWrapper",
+    "SqlWrapper",
+    "KeyValueWrapper",
+    "TextSearchWrapper",
+    "CsvWrapper",
+    "MediatorWrapper",
+    "DiscoError",
+    "ParseError",
+    "SchemaError",
+    "NameResolutionError",
+    "TypeConflictError",
+    "CapabilityError",
+    "UnavailableSourceError",
+    "__version__",
+]

@@ -1,0 +1,467 @@
+"""Scalar expression language shared by the OQL AST and the algebra.
+
+Expressions are evaluated against an *environment*: a mapping from query
+variable names to the current element bound by the enclosing ``from`` clause
+(a :class:`~repro.datamodel.values.Struct` or plain dict).  Every node knows
+how to evaluate itself, report the variables and attribute paths it uses
+(needed by the optimizer to decide what can be pushed to a wrapper), rename
+attributes (needed by the local transformation maps of Section 2.2.2) and
+print itself back as OQL text (needed for partial answers, Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.datamodel.values import Bag, Struct
+from repro.errors import QueryExecutionError
+
+Environment = Mapping[str, Any]
+
+COMPARISON_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+ARITHMETIC_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+AGGREGATE_FUNCTIONS = ("sum", "count", "min", "max", "avg")
+
+
+class Expr:
+    """Base class for every scalar expression node."""
+
+    def evaluate(self, env: Environment, evaluator=None) -> Any:
+        """Evaluate under ``env``; ``evaluator`` runs nested subqueries."""
+        raise NotImplementedError
+
+    def free_variables(self) -> set[str]:
+        """Names of the query variables this expression references."""
+        return set()
+
+    def attribute_paths(self) -> set[tuple[str, str]]:
+        """``(variable, attribute)`` pairs accessed by this expression."""
+        return set()
+
+    def rename_attributes(self, renames: Mapping[str, str]) -> "Expr":
+        """Return a copy with attribute names substituted (map application)."""
+        return self
+
+    def to_oql(self) -> str:
+        """Render back to OQL text."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.to_oql()})"
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.to_oql() == other.to_oql()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.to_oql()))
+
+
+@dataclass(frozen=True, eq=False)
+class Const(Expr):
+    """A literal constant."""
+
+    value: Any
+
+    def evaluate(self, env: Environment, evaluator=None) -> Any:
+        return self.value
+
+    def to_oql(self) -> str:
+        if isinstance(self.value, str):
+            return '"' + self.value.replace('"', '\\"') + '"'
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        if self.value is None:
+            return "nil"
+        return str(self.value)
+
+
+@dataclass(frozen=True, eq=False)
+class Var(Expr):
+    """A reference to a query variable bound by a ``from`` clause."""
+
+    name: str
+
+    def evaluate(self, env: Environment, evaluator=None) -> Any:
+        if self.name not in env:
+            raise QueryExecutionError(f"unbound variable {self.name!r}")
+        return env[self.name]
+
+    def free_variables(self) -> set[str]:
+        return {self.name}
+
+    def to_oql(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, eq=False)
+class Path(Expr):
+    """Attribute access ``base.attribute`` (e.g. ``x.salary``)."""
+
+    base: Expr
+    attribute: str
+
+    def evaluate(self, env: Environment, evaluator=None) -> Any:
+        value = self.base.evaluate(env, evaluator)
+        if isinstance(value, (Struct, Mapping)):
+            try:
+                return value[self.attribute]
+            except KeyError:
+                raise QueryExecutionError(
+                    f"object {value!r} has no attribute {self.attribute!r}"
+                ) from None
+        if hasattr(value, self.attribute):
+            return getattr(value, self.attribute)
+        raise QueryExecutionError(f"cannot access {self.attribute!r} on {value!r}")
+
+    def free_variables(self) -> set[str]:
+        return self.base.free_variables()
+
+    def attribute_paths(self) -> set[tuple[str, str]]:
+        paths = set(self.base.attribute_paths())
+        if isinstance(self.base, Var):
+            paths.add((self.base.name, self.attribute))
+        return paths
+
+    def rename_attributes(self, renames: Mapping[str, str]) -> "Expr":
+        return Path(self.base.rename_attributes(renames), renames.get(self.attribute, self.attribute))
+
+    def to_oql(self) -> str:
+        return f"{self.base.to_oql()}.{self.attribute}"
+
+
+@dataclass(frozen=True, eq=False)
+class Comparison(Expr):
+    """Binary comparison ``left <op> right`` with op in =, !=, <, <=, >, >=."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def evaluate(self, env: Environment, evaluator=None) -> bool:
+        if self.op not in COMPARISON_OPS:
+            raise QueryExecutionError(f"unknown comparison operator {self.op!r}")
+        left = self.left.evaluate(env, evaluator)
+        right = self.right.evaluate(env, evaluator)
+        if left is None or right is None:
+            return False
+        try:
+            return COMPARISON_OPS[self.op](left, right)
+        except TypeError:
+            return False
+
+    def free_variables(self) -> set[str]:
+        return self.left.free_variables() | self.right.free_variables()
+
+    def attribute_paths(self) -> set[tuple[str, str]]:
+        return self.left.attribute_paths() | self.right.attribute_paths()
+
+    def rename_attributes(self, renames: Mapping[str, str]) -> "Expr":
+        return Comparison(
+            self.op, self.left.rename_attributes(renames), self.right.rename_attributes(renames)
+        )
+
+    def to_oql(self) -> str:
+        return f"{self.left.to_oql()} {self.op} {self.right.to_oql()}"
+
+
+@dataclass(frozen=True, eq=False)
+class BooleanExpr(Expr):
+    """``and`` / ``or`` / ``not`` combination of predicates."""
+
+    op: str
+    operands: tuple[Expr, ...]
+
+    def evaluate(self, env: Environment, evaluator=None) -> bool:
+        if self.op == "and":
+            return all(operand.evaluate(env, evaluator) for operand in self.operands)
+        if self.op == "or":
+            return any(operand.evaluate(env, evaluator) for operand in self.operands)
+        if self.op == "not":
+            return not self.operands[0].evaluate(env, evaluator)
+        raise QueryExecutionError(f"unknown boolean operator {self.op!r}")
+
+    def free_variables(self) -> set[str]:
+        result: set[str] = set()
+        for operand in self.operands:
+            result |= operand.free_variables()
+        return result
+
+    def attribute_paths(self) -> set[tuple[str, str]]:
+        result: set[tuple[str, str]] = set()
+        for operand in self.operands:
+            result |= operand.attribute_paths()
+        return result
+
+    def rename_attributes(self, renames: Mapping[str, str]) -> "Expr":
+        return BooleanExpr(self.op, tuple(o.rename_attributes(renames) for o in self.operands))
+
+    def to_oql(self) -> str:
+        if self.op == "not":
+            return f"not ({self.operands[0].to_oql()})"
+        joiner = f" {self.op} "
+        return "(" + joiner.join(operand.to_oql() for operand in self.operands) + ")"
+
+
+@dataclass(frozen=True, eq=False)
+class Arithmetic(Expr):
+    """Binary arithmetic ``left <op> right`` with op in +, -, *, /."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def evaluate(self, env: Environment, evaluator=None) -> Any:
+        if self.op not in ARITHMETIC_OPS:
+            raise QueryExecutionError(f"unknown arithmetic operator {self.op!r}")
+        left = self.left.evaluate(env, evaluator)
+        right = self.right.evaluate(env, evaluator)
+        try:
+            return ARITHMETIC_OPS[self.op](left, right)
+        except (TypeError, ZeroDivisionError) as exc:
+            raise QueryExecutionError(f"cannot compute {self.to_oql()}: {exc}") from exc
+
+    def free_variables(self) -> set[str]:
+        return self.left.free_variables() | self.right.free_variables()
+
+    def attribute_paths(self) -> set[tuple[str, str]]:
+        return self.left.attribute_paths() | self.right.attribute_paths()
+
+    def rename_attributes(self, renames: Mapping[str, str]) -> "Expr":
+        return Arithmetic(
+            self.op, self.left.rename_attributes(renames), self.right.rename_attributes(renames)
+        )
+
+    def to_oql(self) -> str:
+        return f"{self.left.to_oql()} {self.op} {self.right.to_oql()}"
+
+
+@dataclass(frozen=True, eq=False)
+class StructExpr(Expr):
+    """The OQL ``struct(name: expr, ...)`` constructor."""
+
+    fields: tuple[tuple[str, Expr], ...]
+
+    def evaluate(self, env: Environment, evaluator=None) -> Struct:
+        return Struct({name: expr.evaluate(env, evaluator) for name, expr in self.fields})
+
+    def free_variables(self) -> set[str]:
+        result: set[str] = set()
+        for _, expr in self.fields:
+            result |= expr.free_variables()
+        return result
+
+    def attribute_paths(self) -> set[tuple[str, str]]:
+        result: set[tuple[str, str]] = set()
+        for _, expr in self.fields:
+            result |= expr.attribute_paths()
+        return result
+
+    def rename_attributes(self, renames: Mapping[str, str]) -> "Expr":
+        return StructExpr(tuple((name, expr.rename_attributes(renames)) for name, expr in self.fields))
+
+    def to_oql(self) -> str:
+        inner = ", ".join(f"{name}: {expr.to_oql()}" for name, expr in self.fields)
+        return f"struct({inner})"
+
+    def field_names(self) -> list[str]:
+        """Names of the struct fields in declaration order."""
+        return [name for name, _ in self.fields]
+
+
+@dataclass(frozen=True, eq=False)
+class BagExpr(Expr):
+    """The OQL ``bag(e1, e2, ...)`` constructor."""
+
+    items: tuple[Expr, ...]
+
+    def evaluate(self, env: Environment, evaluator=None) -> Bag:
+        result = Bag()
+        for item in self.items:
+            value = item.evaluate(env, evaluator)
+            if isinstance(value, Bag):
+                result.extend(value)
+            else:
+                result.add(value)
+        return result
+
+    def free_variables(self) -> set[str]:
+        result: set[str] = set()
+        for item in self.items:
+            result |= item.free_variables()
+        return result
+
+    def attribute_paths(self) -> set[tuple[str, str]]:
+        result: set[tuple[str, str]] = set()
+        for item in self.items:
+            result |= item.attribute_paths()
+        return result
+
+    def rename_attributes(self, renames: Mapping[str, str]) -> "Expr":
+        return BagExpr(tuple(item.rename_attributes(renames) for item in self.items))
+
+    def to_oql(self) -> str:
+        return "bag(" + ", ".join(item.to_oql() for item in self.items) + ")"
+
+
+@dataclass(frozen=True, eq=False)
+class FunctionCall(Expr):
+    """A call to a built-in function, including the aggregates and ``flatten``.
+
+    Aggregates (``sum``, ``count``, ``min``, ``max``, ``avg``) take a single
+    collection-valued argument -- typically a nested ``select`` wrapped in a
+    :class:`Subquery`.  Reconciliation functions (Section 2.2.3) are just
+    ordinary function calls; ``sum`` over two sources in the paper's
+    ``multiple`` view is exactly this node.
+    """
+
+    name: str
+    args: tuple[Expr, ...]
+
+    def evaluate(self, env: Environment, evaluator=None) -> Any:
+        values = [arg.evaluate(env, evaluator) for arg in self.args]
+        name = self.name.lower()
+        if name in AGGREGATE_FUNCTIONS:
+            return self._aggregate(name, values)
+        if name == "flatten":
+            collection = values[0]
+            if isinstance(collection, Bag):
+                return collection.flatten()
+            return Bag(collection).flatten()
+        if name == "abs":
+            return abs(values[0])
+        if name == "union":
+            result = Bag()
+            for value in values:
+                result.extend(value if isinstance(value, (Bag, list, tuple)) else [value])
+            return result
+        raise QueryExecutionError(f"unknown function {self.name!r}")
+
+    def _aggregate(self, name: str, values: list[Any]) -> Any:
+        if len(values) != 1:
+            raise QueryExecutionError(f"aggregate {name!r} takes exactly one argument")
+        collection = values[0]
+        items = list(collection) if isinstance(collection, (Bag, list, tuple)) else [collection]
+        if name == "count":
+            return len(items)
+        if not items:
+            return 0 if name == "sum" else None
+        if name == "sum":
+            return sum(items)
+        if name == "min":
+            return min(items)
+        if name == "max":
+            return max(items)
+        if name == "avg":
+            return sum(items) / len(items)
+        raise QueryExecutionError(f"unknown aggregate {name!r}")
+
+    def free_variables(self) -> set[str]:
+        result: set[str] = set()
+        for arg in self.args:
+            result |= arg.free_variables()
+        return result
+
+    def attribute_paths(self) -> set[tuple[str, str]]:
+        result: set[tuple[str, str]] = set()
+        for arg in self.args:
+            result |= arg.attribute_paths()
+        return result
+
+    def rename_attributes(self, renames: Mapping[str, str]) -> "Expr":
+        return FunctionCall(self.name, tuple(arg.rename_attributes(renames) for arg in self.args))
+
+    def to_oql(self) -> str:
+        return f"{self.name}(" + ", ".join(arg.to_oql() for arg in self.args) + ")"
+
+
+@dataclass(frozen=True, eq=False)
+class Subquery(Expr):
+    """A nested query used as an expression (``sum(select z.salary from ...)``).
+
+    ``query`` is an OQL AST node; evaluation is delegated to the ``evaluator``
+    callable supplied by the run-time system, with the enclosing environment
+    made available so correlated subqueries (``where x.id = z.id``) work.
+    """
+
+    query: Any
+
+    def evaluate(self, env: Environment, evaluator=None) -> Any:
+        if evaluator is None:
+            raise QueryExecutionError("no evaluator available for nested subquery")
+        return evaluator(self.query, env)
+
+    def free_variables(self) -> set[str]:
+        free = getattr(self.query, "free_variables", None)
+        return free() if callable(free) else set()
+
+    def to_oql(self) -> str:
+        to_oql = getattr(self.query, "to_oql", None)
+        return to_oql() if callable(to_oql) else repr(self.query)
+
+
+# -- helpers -----------------------------------------------------------------------
+def walk_expr(expr: Expr):
+    """Yield ``expr`` and every sub-expression it contains (pre-order)."""
+    yield expr
+    if isinstance(expr, Path):
+        yield from walk_expr(expr.base)
+    elif isinstance(expr, (Comparison, Arithmetic)):
+        yield from walk_expr(expr.left)
+        yield from walk_expr(expr.right)
+    elif isinstance(expr, BooleanExpr):
+        for operand in expr.operands:
+            yield from walk_expr(operand)
+    elif isinstance(expr, StructExpr):
+        for _, value in expr.fields:
+            yield from walk_expr(value)
+    elif isinstance(expr, (BagExpr, FunctionCall)):
+        children = expr.items if isinstance(expr, BagExpr) else expr.args
+        for child in children:
+            yield from walk_expr(child)
+
+
+def walk_expr_for_subqueries(expr: Expr):
+    """Alias of :func:`walk_expr`; rules use it to detect nested subqueries."""
+    return walk_expr(expr)
+
+
+def contains_subquery(expr: Expr) -> bool:
+    """Return True when ``expr`` contains a nested :class:`Subquery`."""
+    return any(isinstance(node, Subquery) for node in walk_expr(expr))
+
+
+def conjunction(predicates: Iterable[Expr]) -> Expr | None:
+    """Combine predicates with ``and``; return None for an empty iterable."""
+    predicates = [p for p in predicates if p is not None]
+    if not predicates:
+        return None
+    if len(predicates) == 1:
+        return predicates[0]
+    return BooleanExpr("and", tuple(predicates))
+
+
+def split_conjuncts(predicate: Expr | None) -> list[Expr]:
+    """Split a predicate into its top-level ``and`` conjuncts."""
+    if predicate is None:
+        return []
+    if isinstance(predicate, BooleanExpr) and predicate.op == "and":
+        result: list[Expr] = []
+        for operand in predicate.operands:
+            result.extend(split_conjuncts(operand))
+        return result
+    return [predicate]

@@ -1,0 +1,347 @@
+"""Logical operators of the mediator's algebraic machine (paper Sections 3.1-3.2).
+
+The operator set is the one the paper names -- ``get``, ``project``,
+``select`` (filter), ``join``, ``union``, ``flatten`` -- plus two DISCO-specific
+nodes:
+
+* :class:`Submit` -- ``submit(source, expression)``: "the meaning of
+  expression is located at source".  Its argument lives in the *mediator's*
+  name space; the exec physical algorithm translates it into the source's
+  name space using the extent's local transformation map.
+* :class:`BagLiteral` -- data embedded inside a plan, which is how partial
+  answers carry the rows already obtained from the available sources.
+
+``Apply`` is the general per-element computation operator (struct
+construction, arithmetic, aggregates over nested subqueries); it is never
+pushed to a wrapper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.algebra.expressions import Expr
+from repro.datamodel.values import Bag
+
+
+class LogicalOp:
+    """Base class for logical operator nodes."""
+
+    #: operator name used by capability grammars and transformation rules
+    op_name: str = "logical"
+
+    def children(self) -> tuple["LogicalOp", ...]:
+        """Child operators, left to right."""
+        return ()
+
+    def with_children(self, children: Sequence["LogicalOp"]) -> "LogicalOp":
+        """Return a copy of this node with ``children`` substituted."""
+        if children:
+            raise ValueError(f"{self.op_name} takes no children")
+        return self
+
+    def to_text(self) -> str:
+        """Compact textual form, e.g. ``project(name, submit(r0, get(person0)))``."""
+        raise NotImplementedError
+
+    def operators_used(self) -> set[str]:
+        """The set of operator names appearing in this subtree."""
+        used = {self.op_name}
+        for child in self.children():
+            used |= child.operators_used()
+        return used
+
+    def contains_submit(self) -> bool:
+        """Return True when a ``submit`` appears anywhere in the subtree."""
+        return "submit" in self.operators_used()
+
+    def __repr__(self) -> str:
+        return self.to_text()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LogicalOp) and self.to_text() == other.to_text()
+
+    def __hash__(self) -> int:
+        return hash(self.to_text())
+
+
+@dataclass(eq=False)
+class Get(LogicalOp):
+    """``get(collection)``: retrieve every object of a named collection."""
+
+    collection: str
+    op_name = "get"
+
+    def to_text(self) -> str:
+        return f"get({self.collection})"
+
+
+@dataclass(eq=False)
+class Submit(LogicalOp):
+    """``submit(source, expression)``: evaluate ``expression`` at ``source``.
+
+    ``extent_name`` identifies the MetaExtent whose wrapper/repository/map the
+    exec algorithm will use; ``source`` keeps the repository name so the plan
+    prints exactly like the paper's examples.
+    """
+
+    source: str
+    expression: LogicalOp
+    extent_name: str | None = None
+    op_name = "submit"
+
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.expression,)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "Submit":
+        (expression,) = children
+        return Submit(self.source, expression, extent_name=self.extent_name)
+
+    def to_text(self) -> str:
+        return f"submit({self.source}, {self.expression.to_text()})"
+
+
+@dataclass(eq=False)
+class Project(LogicalOp):
+    """``project(attributes, child)``: keep only the named attributes."""
+
+    attributes: tuple[str, ...]
+    child: LogicalOp
+    op_name = "project"
+
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "Project":
+        (child,) = children
+        return Project(self.attributes, child)
+
+    def to_text(self) -> str:
+        attrs = ",".join(self.attributes)
+        return f"project({attrs}, {self.child.to_text()})"
+
+
+@dataclass(eq=False)
+class Select(LogicalOp):
+    """``select(predicate, child)``: keep elements satisfying the predicate.
+
+    ``variable`` names the element inside ``predicate`` (the paper's queries
+    always range a variable over a collection).
+    """
+
+    variable: str
+    predicate: Expr
+    child: LogicalOp
+    op_name = "select"
+
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "Select":
+        (child,) = children
+        return Select(self.variable, self.predicate, child)
+
+    def to_text(self) -> str:
+        return f"select({self.variable}: {self.predicate.to_oql()}, {self.child.to_text()})"
+
+
+@dataclass(eq=False)
+class Apply(LogicalOp):
+    """``apply(expr, child)``: compute ``expr`` for each element (mediator only)."""
+
+    variable: str
+    expression: Expr
+    child: LogicalOp
+    op_name = "apply"
+
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "Apply":
+        (child,) = children
+        return Apply(self.variable, self.expression, child)
+
+    def to_text(self) -> str:
+        return f"apply({self.variable}: {self.expression.to_oql()}, {self.child.to_text()})"
+
+
+@dataclass(eq=False)
+class Join(LogicalOp):
+    """``join(left, right, attribute)``: equi-join on a shared attribute.
+
+    ``on`` is either one attribute name present on both sides (the paper's
+    ``join(..., dept)``) or a ``(left_attribute, right_attribute)`` pair.
+    """
+
+    left: LogicalOp
+    right: LogicalOp
+    on: str | tuple[str, str]
+    left_variable: str = "l"
+    right_variable: str = "r"
+    op_name = "join"
+
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "Join":
+        left, right = children
+        return Join(
+            left,
+            right,
+            self.on,
+            left_variable=self.left_variable,
+            right_variable=self.right_variable,
+        )
+
+    def join_attributes(self) -> tuple[str, str]:
+        """Return the ``(left_attribute, right_attribute)`` pair."""
+        if isinstance(self.on, tuple):
+            return self.on
+        return (self.on, self.on)
+
+    def to_text(self) -> str:
+        on = self.on if isinstance(self.on, str) else f"{self.on[0]}={self.on[1]}"
+        return f"join({self.left.to_text()}, {self.right.to_text()}, {on})"
+
+
+@dataclass(eq=False)
+class BindJoin(LogicalOp):
+    """Mediator-side join over *variable bindings* (multi-variable ``from`` clauses).
+
+    ``from x in person0 and y in person1`` binds two variables; the element
+    produced by this operator is an environment mapping each variable name to
+    its row, so that select items such as ``x.salary + y.salary`` (the paper's
+    ``double`` reconciliation view) remain unambiguous.  ``condition`` is an
+    optional predicate over both variables; the run-time system turns an
+    equi-join conjunct into a hash join and falls back to nested loops.
+
+    BindJoin never crosses the wrapper boundary -- it is not part of the
+    pushable operator vocabulary.
+    """
+
+    left: LogicalOp
+    right: LogicalOp
+    left_variable: str
+    right_variable: str
+    condition: Expr | None = None
+    op_name = "bindjoin"
+
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "BindJoin":
+        left, right = children
+        return BindJoin(
+            left,
+            right,
+            self.left_variable,
+            self.right_variable,
+            condition=self.condition,
+        )
+
+    def to_text(self) -> str:
+        condition = self.condition.to_oql() if self.condition is not None else "true"
+        return (
+            f"bindjoin({self.left_variable}: {self.left.to_text()}, "
+            f"{self.right_variable}: {self.right.to_text()}, {condition})"
+        )
+
+
+@dataclass(eq=False)
+class Union(LogicalOp):
+    """``union(e1, ..., en)``: n-ary additive bag union."""
+
+    inputs: tuple[LogicalOp, ...]
+    op_name = "union"
+
+    def children(self) -> tuple[LogicalOp, ...]:
+        return self.inputs
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "Union":
+        return Union(tuple(children))
+
+    def to_text(self) -> str:
+        return "union(" + ", ".join(child.to_text() for child in self.inputs) + ")"
+
+
+@dataclass(eq=False)
+class Flatten(LogicalOp):
+    """``flatten(child)``: flatten a bag of bags one level."""
+
+    child: LogicalOp
+    op_name = "flatten"
+
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "Flatten":
+        (child,) = children
+        return Flatten(child)
+
+    def to_text(self) -> str:
+        return f"flatten({self.child.to_text()})"
+
+
+@dataclass(eq=False)
+class Distinct(LogicalOp):
+    """``distinct(child)``: drop duplicate elements (the OQL ``select distinct``)."""
+
+    child: LogicalOp
+    op_name = "distinct"
+
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "Distinct":
+        (child,) = children
+        return Distinct(child)
+
+    def to_text(self) -> str:
+        return f"distinct({self.child.to_text()})"
+
+
+@dataclass(eq=False)
+class BagLiteral(LogicalOp):
+    """Literal data inside a plan (the second argument of a partial answer)."""
+
+    values: tuple[Any, ...] = ()
+    op_name = "bag"
+
+    @classmethod
+    def from_bag(cls, bag: Bag | Iterable[Any]) -> "BagLiteral":
+        """Build a literal from an existing bag or iterable."""
+        return cls(tuple(bag))
+
+    def to_bag(self) -> Bag:
+        """Return the literal's contents as a bag."""
+        return Bag(self.values)
+
+    def to_text(self) -> str:
+        return "Bag(" + ", ".join(repr(value) for value in self.values) + ")"
+
+
+# -- tree utilities ------------------------------------------------------------------
+def walk(node: LogicalOp) -> Iterable[LogicalOp]:
+    """Yield every node of the tree, parents before children."""
+    yield node
+    for child in node.children():
+        yield from walk(child)
+
+
+def transform_bottom_up(node: LogicalOp, visit) -> LogicalOp:
+    """Rebuild the tree bottom-up, replacing each node with ``visit(node)``."""
+    children = node.children()
+    if children:
+        node = node.with_children([transform_bottom_up(child, visit) for child in children])
+    return visit(node)
+
+
+def submits_in(node: LogicalOp) -> list[Submit]:
+    """Return every ``submit`` node in the tree, in pre-order."""
+    return [candidate for candidate in walk(node) if isinstance(candidate, Submit)]
+
+
+def sources_referenced(node: LogicalOp) -> set[str]:
+    """Names of every repository referenced by ``submit`` nodes in the tree."""
+    return {submit.source for submit in submits_in(node)}

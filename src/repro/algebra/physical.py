@@ -1,0 +1,301 @@
+"""Physical algorithms of the run-time system (paper Sections 3.1 and 3.3).
+
+Each logical operator has at least one physical algorithm implementing it:
+
+====================  =======================================
+logical               physical
+====================  =======================================
+``submit``            :class:`Exec` (calls the wrapper)
+``project``           :class:`MkProj`
+``select``            :class:`Filter`
+``apply``             :class:`MkApply`
+``join``              :class:`HashJoin`, :class:`NestedLoopJoin`
+``union``             :class:`MkUnion`
+``flatten``           :class:`MkFlatten`
+``bag`` literal       :class:`MkBag`
+``get`` (single obj)  :class:`Field`
+====================  =======================================
+
+``Exec`` keeps its argument as a *logical* expression because "the wrapper
+interface accepts a logical expression"; the run-time system applies the
+extent's local transformation map before calling the wrapper and applies the
+inverse map to the rows that come back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.algebra.expressions import Expr
+from repro.algebra.logical import LogicalOp
+
+
+class PhysicalOp:
+    """Base class for physical operator nodes."""
+
+    algo_name: str = "physical"
+
+    def children(self) -> tuple["PhysicalOp", ...]:
+        """Child operators, left to right."""
+        return ()
+
+    def with_children(self, children: Sequence["PhysicalOp"]) -> "PhysicalOp":
+        """Return a copy with ``children`` substituted."""
+        if children:
+            raise ValueError(f"{self.algo_name} takes no children")
+        return self
+
+    def to_text(self) -> str:
+        """Compact textual form, e.g. ``mkproj(name, exec(field(r0), ...))``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.to_text()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PhysicalOp) and self.to_text() == other.to_text()
+
+    def __hash__(self) -> int:
+        return hash(self.to_text())
+
+
+@dataclass(eq=False)
+class Field(PhysicalOp):
+    """``field(r)``: the physical form of ``get`` on a single object (a repository)."""
+
+    name: str
+    algo_name = "field"
+
+    def to_text(self) -> str:
+        return f"field({self.name})"
+
+
+@dataclass(eq=False)
+class Exec(PhysicalOp):
+    """``exec(field(source), logical_expression)``: one call to a wrapper.
+
+    ``extent_name`` identifies which MetaExtent (and therefore which wrapper,
+    repository and map) the run-time system uses for the call.
+    """
+
+    source: Field
+    expression: LogicalOp
+    extent_name: str
+    algo_name = "exec"
+
+    def to_text(self) -> str:
+        return f"exec({self.source.to_text()}, {self.expression.to_text()})"
+
+
+@dataclass(eq=False)
+class MkProj(PhysicalOp):
+    """``mkproj(attributes, child)``: mediator-side projection."""
+
+    attributes: tuple[str, ...]
+    child: PhysicalOp
+    algo_name = "mkproj"
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[PhysicalOp]) -> "MkProj":
+        (child,) = children
+        return MkProj(self.attributes, child)
+
+    def to_text(self) -> str:
+        return f"mkproj({','.join(self.attributes)}, {self.child.to_text()})"
+
+
+@dataclass(eq=False)
+class Filter(PhysicalOp):
+    """``filter(predicate, child)``: mediator-side selection."""
+
+    variable: str
+    predicate: Expr
+    child: PhysicalOp
+    algo_name = "filter"
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[PhysicalOp]) -> "Filter":
+        (child,) = children
+        return Filter(self.variable, self.predicate, child)
+
+    def to_text(self) -> str:
+        return f"filter({self.variable}: {self.predicate.to_oql()}, {self.child.to_text()})"
+
+
+@dataclass(eq=False)
+class MkApply(PhysicalOp):
+    """``mkapply(expr, child)``: mediator-side per-element computation."""
+
+    variable: str
+    expression: Expr
+    child: PhysicalOp
+    algo_name = "mkapply"
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[PhysicalOp]) -> "MkApply":
+        (child,) = children
+        return MkApply(self.variable, self.expression, child)
+
+    def to_text(self) -> str:
+        return f"mkapply({self.variable}: {self.expression.to_oql()}, {self.child.to_text()})"
+
+
+@dataclass(eq=False)
+class HashJoin(PhysicalOp):
+    """Hash equi-join, the default join algorithm."""
+
+    left: PhysicalOp
+    right: PhysicalOp
+    on: str | tuple[str, str]
+    algo_name = "hashjoin"
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[PhysicalOp]) -> "HashJoin":
+        left, right = children
+        return HashJoin(left, right, self.on)
+
+    def join_attributes(self) -> tuple[str, str]:
+        """Return the ``(left_attribute, right_attribute)`` pair."""
+        return self.on if isinstance(self.on, tuple) else (self.on, self.on)
+
+    def to_text(self) -> str:
+        on = self.on if isinstance(self.on, str) else f"{self.on[0]}={self.on[1]}"
+        return f"hashjoin({self.left.to_text()}, {self.right.to_text()}, {on})"
+
+
+@dataclass(eq=False)
+class NestedLoopJoin(PhysicalOp):
+    """Nested-loop equi-join: cheaper to set up, quadratic to run."""
+
+    left: PhysicalOp
+    right: PhysicalOp
+    on: str | tuple[str, str]
+    algo_name = "nljoin"
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[PhysicalOp]) -> "NestedLoopJoin":
+        left, right = children
+        return NestedLoopJoin(left, right, self.on)
+
+    def join_attributes(self) -> tuple[str, str]:
+        """Return the ``(left_attribute, right_attribute)`` pair."""
+        return self.on if isinstance(self.on, tuple) else (self.on, self.on)
+
+    def to_text(self) -> str:
+        on = self.on if isinstance(self.on, str) else f"{self.on[0]}={self.on[1]}"
+        return f"nljoin({self.left.to_text()}, {self.right.to_text()}, {on})"
+
+
+@dataclass(eq=False)
+class MkBindJoin(PhysicalOp):
+    """Mediator-side join over variable bindings (implements logical ``bindjoin``)."""
+
+    left: PhysicalOp
+    right: PhysicalOp
+    left_variable: str
+    right_variable: str
+    condition: Expr | None = None
+    algo_name = "mkbindjoin"
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[PhysicalOp]) -> "MkBindJoin":
+        left, right = children
+        return MkBindJoin(
+            left, right, self.left_variable, self.right_variable, condition=self.condition
+        )
+
+    def to_text(self) -> str:
+        condition = self.condition.to_oql() if self.condition is not None else "true"
+        return (
+            f"mkbindjoin({self.left_variable}: {self.left.to_text()}, "
+            f"{self.right_variable}: {self.right.to_text()}, {condition})"
+        )
+
+
+@dataclass(eq=False)
+class MkUnion(PhysicalOp):
+    """``mkunion(children...)``: mediator-side bag union."""
+
+    inputs: tuple[PhysicalOp, ...]
+    algo_name = "mkunion"
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return self.inputs
+
+    def with_children(self, children: Sequence[PhysicalOp]) -> "MkUnion":
+        return MkUnion(tuple(children))
+
+    def to_text(self) -> str:
+        return "mkunion(" + ", ".join(child.to_text() for child in self.inputs) + ")"
+
+
+@dataclass(eq=False)
+class MkFlatten(PhysicalOp):
+    """``mkflatten(child)``: mediator-side flatten."""
+
+    child: PhysicalOp
+    algo_name = "mkflatten"
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[PhysicalOp]) -> "MkFlatten":
+        (child,) = children
+        return MkFlatten(child)
+
+    def to_text(self) -> str:
+        return f"mkflatten({self.child.to_text()})"
+
+
+@dataclass(eq=False)
+class MkDistinct(PhysicalOp):
+    """``mkdistinct(child)``: mediator-side duplicate elimination."""
+
+    child: PhysicalOp
+    algo_name = "mkdistinct"
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[PhysicalOp]) -> "MkDistinct":
+        (child,) = children
+        return MkDistinct(child)
+
+    def to_text(self) -> str:
+        return f"mkdistinct({self.child.to_text()})"
+
+
+@dataclass(eq=False)
+class MkBag(PhysicalOp):
+    """``mkbag(values)``: literal data in a physical plan."""
+
+    values: tuple[Any, ...] = ()
+    algo_name = "mkbag"
+
+    def to_text(self) -> str:
+        return "mkbag(" + ", ".join(repr(value) for value in self.values) + ")"
+
+
+def walk(node: PhysicalOp):
+    """Yield every node of the physical tree, parents before children."""
+    yield node
+    for child in node.children():
+        yield from walk(child)
+
+
+def execs_in(node: PhysicalOp) -> list[Exec]:
+    """Return every :class:`Exec` node in the tree, in pre-order."""
+    return [candidate for candidate in walk(node) if isinstance(candidate, Exec)]

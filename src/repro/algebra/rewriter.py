@@ -1,0 +1,104 @@
+"""The rule engine that drives logical-plan rewriting.
+
+Two modes, both used by the optimizer:
+
+* :meth:`Rewriter.rewrite_greedy` applies the rules bottom-up until no rule
+  fires anywhere -- this yields the "maximum push-down" plan the paper's
+  default cost model favours (everything done at a data source costs 0);
+* :meth:`Rewriter.alternatives` enumerates the closure of single-rule
+  applications (bounded), which is the search space handed to the cost-based
+  optimizer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.algebra.logical import LogicalOp, transform_bottom_up
+from repro.algebra.rules import (
+    DEFAULT_RULES,
+    CapabilityResolver,
+    TransformationRule,
+)
+
+
+class Rewriter:
+    """Applies transformation rules under a wrapper-capability resolver."""
+
+    def __init__(
+        self,
+        capabilities: CapabilityResolver,
+        rules: Iterable[TransformationRule] | None = None,
+        max_alternatives: int = 64,
+    ):
+        self.capabilities = capabilities
+        self.rules: tuple[TransformationRule, ...] = tuple(rules or DEFAULT_RULES)
+        self.max_alternatives = max_alternatives
+
+    # -- greedy fixpoint -------------------------------------------------------------
+    def rewrite_greedy(self, root: LogicalOp) -> LogicalOp:
+        """Apply rules bottom-up until a fixpoint is reached."""
+        current = root
+        for _ in range(100):  # fixpoint bound; the rule sets used here terminate quickly
+            rewritten = self._one_pass(current)
+            if rewritten == current:
+                return current
+            current = rewritten
+        return current
+
+    def _one_pass(self, root: LogicalOp) -> LogicalOp:
+        def visit(node: LogicalOp) -> LogicalOp:
+            for rule in self.rules:
+                alternatives = rule.apply(node, self.capabilities)
+                if alternatives:
+                    return alternatives[0]
+            return node
+
+        return transform_bottom_up(root, visit)
+
+    # -- exhaustive enumeration ---------------------------------------------------------
+    def alternatives(self, root: LogicalOp) -> list[LogicalOp]:
+        """Return the closure of rule applications starting from ``root``.
+
+        Always includes ``root`` itself; bounded by ``max_alternatives`` so a
+        pathological rule set cannot blow up the search space.
+        """
+        seen: dict[str, LogicalOp] = {root.to_text(): root}
+        frontier: list[LogicalOp] = [root]
+        while frontier and len(seen) < self.max_alternatives:
+            plan = frontier.pop()
+            for variant in self._single_step_variants(plan):
+                key = variant.to_text()
+                if key not in seen:
+                    seen[key] = variant
+                    frontier.append(variant)
+                if len(seen) >= self.max_alternatives:
+                    break
+        return list(seen.values())
+
+    def _single_step_variants(self, root: LogicalOp) -> list[LogicalOp]:
+        """Every plan obtainable from ``root`` by one rule application at one node."""
+        variants: list[LogicalOp] = []
+        for path, node in self._nodes_with_paths(root, []):
+            for rule in self.rules:
+                for alternative in rule.apply(node, self.capabilities):
+                    variants.append(self._replace_at(root, path, alternative))
+        return variants
+
+    def _nodes_with_paths(
+        self, node: LogicalOp, path: list[int]
+    ) -> list[tuple[list[int], LogicalOp]]:
+        result: list[tuple[list[int], LogicalOp]] = [(path, node)]
+        for index, child in enumerate(node.children()):
+            result.extend(self._nodes_with_paths(child, path + [index]))
+        return result
+
+    def _replace_at(
+        self, root: LogicalOp, path: list[int], replacement: LogicalOp
+    ) -> LogicalOp:
+        if not path:
+            return replacement
+        children = list(root.children())
+        index = path[0]
+        children[index] = self._replace_at(children[index], path[1:], replacement)
+        return root.with_children(children)

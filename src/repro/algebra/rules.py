@@ -1,0 +1,178 @@
+"""Transformation rules over logical expressions (paper Section 3.2).
+
+Each rule rewrites a logical expression into an equivalent one.  The rules
+that move work across the ``submit`` boundary must first consult the wrapper's
+capability grammar (obtained through the ``submit-functionality`` interface);
+a rule silently declines to fire when the wrapper would not understand the
+resulting expression, which is how "transformation rules insure that wrapper
+functionality is not violated".
+
+The capability resolver passed to every rule maps a :class:`Submit` node to
+the grammar of the wrapper serving that extent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.algebra.capabilities import CapabilityGrammar
+from repro.algebra.expressions import Subquery, walk_expr_for_subqueries
+from repro.algebra.logical import (
+    Join,
+    LogicalOp,
+    Project,
+    Select,
+    Submit,
+    Union,
+)
+
+CapabilityResolver = Callable[[Submit], CapabilityGrammar]
+
+
+class TransformationRule(Protocol):
+    """A rule proposes zero or more equivalent rewrites of one node."""
+
+    name: str
+
+    def apply(self, node: LogicalOp, capabilities: CapabilityResolver) -> list[LogicalOp]:
+        """Return alternative forms of ``node`` (not including ``node`` itself)."""
+        ...
+
+
+def _predicate_is_pushable(select: Select) -> bool:
+    """A predicate can cross the wrapper boundary only if it is self-contained.
+
+    The paper forbids passing mediator object references, path expressions
+    into mediator data and mediator-defined functions through the wrapper
+    interface; concretely the predicate may only mention the select's own
+    variable and constants, and may not contain nested subqueries.
+    """
+    predicate = select.predicate
+    if predicate.free_variables() - {select.variable}:
+        return False
+    for node in walk_expr_for_subqueries(predicate):
+        if isinstance(node, Subquery):
+            return False
+    return True
+
+
+class PushProjectIntoSubmit:
+    """``project(attrs, submit(r, e))`` -> ``submit(r, project(attrs, e))``."""
+
+    name = "push-project-into-submit"
+
+    def apply(self, node: LogicalOp, capabilities: CapabilityResolver) -> list[LogicalOp]:
+        if not isinstance(node, Project) or not isinstance(node.child, Submit):
+            return []
+        submit = node.child
+        pushed = Project(node.attributes, submit.expression)
+        if not capabilities(submit).accepts(pushed):
+            return []
+        return [Submit(submit.source, pushed, extent_name=submit.extent_name)]
+
+
+class PushSelectIntoSubmit:
+    """``select(p, submit(r, e))`` -> ``submit(r, select(p, e))``."""
+
+    name = "push-select-into-submit"
+
+    def apply(self, node: LogicalOp, capabilities: CapabilityResolver) -> list[LogicalOp]:
+        if not isinstance(node, Select) or not isinstance(node.child, Submit):
+            return []
+        if not _predicate_is_pushable(node):
+            return []
+        submit = node.child
+        pushed = Select(node.variable, node.predicate, submit.expression)
+        if not capabilities(submit).accepts(pushed):
+            return []
+        return [Submit(submit.source, pushed, extent_name=submit.extent_name)]
+
+
+class PushJoinIntoSubmit:
+    """``join(submit(r, e1), submit(r, e2), a)`` -> ``submit(r, join(e1, e2, a))``.
+
+    Only fires when both operands live at the *same* source: the ``submit``
+    operator has RPC semantics and cannot ship data between sources (the
+    paper's semijoin restriction).
+    """
+
+    name = "push-join-into-submit"
+
+    def apply(self, node: LogicalOp, capabilities: CapabilityResolver) -> list[LogicalOp]:
+        if not isinstance(node, Join):
+            return []
+        left, right = node.left, node.right
+        if not (isinstance(left, Submit) and isinstance(right, Submit)):
+            return []
+        if left.source != right.source:
+            return []
+        pushed = Join(
+            left.expression,
+            right.expression,
+            node.on,
+            left_variable=node.left_variable,
+            right_variable=node.right_variable,
+        )
+        if not capabilities(left).accepts(pushed):
+            return []
+        return [Submit(left.source, pushed, extent_name=left.extent_name)]
+
+
+class PushProjectThroughUnion:
+    """``project(attrs, union(e1, ..., en))`` -> ``union(project(attrs, e1), ...)``."""
+
+    name = "push-project-through-union"
+
+    def apply(self, node: LogicalOp, capabilities: CapabilityResolver) -> list[LogicalOp]:
+        if not isinstance(node, Project) or not isinstance(node.child, Union):
+            return []
+        rewritten = Union(
+            tuple(Project(node.attributes, child) for child in node.child.inputs)
+        )
+        return [rewritten]
+
+
+class PushSelectThroughUnion:
+    """``select(p, union(e1, ..., en))`` -> ``union(select(p, e1), ...)``."""
+
+    name = "push-select-through-union"
+
+    def apply(self, node: LogicalOp, capabilities: CapabilityResolver) -> list[LogicalOp]:
+        if not isinstance(node, Select) or not isinstance(node.child, Union):
+            return []
+        rewritten = Union(
+            tuple(
+                Select(node.variable, node.predicate, child) for child in node.child.inputs
+            )
+        )
+        return [rewritten]
+
+
+class CommuteSelectProject:
+    """``select(p, project(attrs, e))`` -> ``project(attrs, select(p, e))``.
+
+    Legal only when the predicate references attributes that survive the
+    projection (it always does in plans built by the translator, but the guard
+    keeps the rule sound on hand-built plans).
+    """
+
+    name = "commute-select-project"
+
+    def apply(self, node: LogicalOp, capabilities: CapabilityResolver) -> list[LogicalOp]:
+        if not isinstance(node, Select) or not isinstance(node.child, Project):
+            return []
+        project = node.child
+        used = {attr for _, attr in node.predicate.attribute_paths()}
+        if not used <= set(project.attributes):
+            return []
+        return [Project(project.attributes, Select(node.variable, node.predicate, project.child))]
+
+
+DEFAULT_RULES: tuple[TransformationRule, ...] = (
+    PushSelectThroughUnion(),
+    PushProjectThroughUnion(),
+    PushSelectIntoSubmit(),
+    PushProjectIntoSubmit(),
+    PushJoinIntoSubmit(),
+    CommuteSelectProject(),
+)

@@ -1,0 +1,190 @@
+"""Turning logical expressions back into OQL text.
+
+Partial evaluation (paper Section 4) requires that "the physical expression is
+transformed back into a high level query", which is possible "because each
+physical operation has a corresponding logical operation, and each logical
+operation has a corresponding OQL expression".  This module implements the
+logical -> OQL half of that round trip; the physical -> logical half lives in
+:mod:`repro.runtime.partial_eval`.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.algebra.expressions import Const, Expr, Path, Var
+from repro.algebra.logical import (
+    Apply,
+    BagLiteral,
+    Flatten,
+    Get,
+    Join,
+    LogicalOp,
+    Project,
+    Select,
+    Submit,
+    Union,
+)
+from repro.errors import QueryExecutionError
+
+
+def _render_value(value) -> str:
+    """Render one literal value the way OQL writes it.
+
+    Structs and nested collections are rendered with OQL constructors so that
+    a partial answer containing data rows remains parseable when re-submitted
+    as a query.
+    """
+    from collections.abc import Mapping
+
+    from repro.datamodel.values import Bag, Struct
+
+    if isinstance(value, (Struct, Mapping)):
+        inner = ", ".join(f"{name}: {_render_value(field)}" for name, field in dict(value).items())
+        return f"struct({inner})"
+    if isinstance(value, (Bag, list, tuple)):
+        return "bag(" + ", ".join(_render_value(item) for item in value) + ")"
+    return Const(value).to_oql()
+
+
+class _Unparser:
+    """Stateful helper allocating fresh variable names while unparsing."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+
+    def fresh_variable(self, preferred: str | None = None) -> str:
+        """Return ``preferred`` or a fresh ``xN`` variable name."""
+        if preferred:
+            return preferred
+        return f"x{next(self._counter)}"
+
+    # -- collection-level rendering -----------------------------------------------------
+    def unparse(self, node: LogicalOp) -> str:
+        """Render ``node`` as an OQL expression producing a collection."""
+        if isinstance(node, BagLiteral):
+            return "Bag(" + ", ".join(_render_value(value) for value in node.values) + ")"
+        if isinstance(node, Union):
+            return "union(" + ", ".join(self.unparse(child) for child in node.inputs) + ")"
+        if isinstance(node, Flatten):
+            return f"flatten({self.unparse(node.child)})"
+        if isinstance(node, (Get, Submit, Project, Select, Apply, Join)):
+            return self._render_select(node)
+        raise QueryExecutionError(f"cannot render {node.to_text()} as OQL")
+
+    # -- select-from-where rendering -------------------------------------------------------
+    def _render_select(self, node: LogicalOp) -> str:
+        select_item, sources, predicates = self._decompose(node)
+        if not sources:
+            raise QueryExecutionError(f"no collection under {node.to_text()}")
+        from_parts = ", ".join(f"{var} in {collection}" for var, collection in sources)
+        text = f"select {select_item} from {from_parts}"
+        if predicates:
+            text += " where " + " and ".join(predicates)
+        return text
+
+    def _decompose(
+        self, node: LogicalOp
+    ) -> tuple[str, list[tuple[str, str]], list[str]]:
+        """Break a single-block plan into (select item, from sources, where predicates)."""
+        if isinstance(node, Submit):
+            # submit is transparent in OQL: its argument already names the
+            # extent in the mediator name space.
+            return self._decompose(node.expression)
+        if isinstance(node, Get):
+            variable = self.fresh_variable()
+            return variable, [(variable, node.collection)], []
+        if isinstance(node, Project):
+            item, sources, predicates = self._decompose(node.child)
+            variable = sources[0][0] if sources else item
+            if len(node.attributes) == 1:
+                item = f"{variable}.{node.attributes[0]}"
+            else:
+                fields = ", ".join(f"{attr}: {variable}.{attr}" for attr in node.attributes)
+                item = f"struct({fields})"
+            return item, sources, predicates
+        if isinstance(node, Select):
+            item, sources, predicates = self._decompose(node.child)
+            variable = sources[0][0] if sources else node.variable
+            predicate_text = self._rebind_expression(node.predicate, node.variable, variable)
+            return item, sources, predicates + [predicate_text]
+        if isinstance(node, Apply):
+            item, sources, predicates = self._decompose(node.child)
+            variable = sources[0][0] if sources else node.variable
+            item = self._rebind_expression(node.expression, node.variable, variable)
+            return item, sources, predicates
+        if isinstance(node, Join):
+            left_item, left_sources, left_predicates = self._decompose(node.left)
+            right_item, right_sources, right_predicates = self._decompose(node.right)
+            left_attr, right_attr = node.join_attributes()
+            left_var = left_sources[0][0]
+            right_var = right_sources[0][0]
+            item = f"struct(left: {left_var}, right: {right_var})"
+            predicates = left_predicates + right_predicates + [
+                f"{left_var}.{left_attr} = {right_var}.{right_attr}"
+            ]
+            return item, left_sources + right_sources, predicates
+        if isinstance(node, (Union, Flatten, BagLiteral)):
+            # A nested collection expression becomes an inline from-source.
+            variable = self.fresh_variable()
+            return variable, [(variable, f"({self.unparse(node)})")], []
+        raise QueryExecutionError(f"cannot decompose {node.to_text()}")
+
+    def _rebind_expression(self, expression: Expr, old: str, new: str) -> str:
+        """Render ``expression`` with variable ``old`` renamed to ``new``."""
+        if old == new:
+            return expression.to_oql()
+        return _substitute_variable(expression, old, new).to_oql()
+
+
+def _substitute_variable(expression: Expr, old: str, new: str) -> Expr:
+    """Return ``expression`` with every reference to ``old`` replaced by ``new``."""
+    from repro.algebra.expressions import (
+        Arithmetic,
+        BagExpr,
+        BooleanExpr,
+        Comparison,
+        FunctionCall,
+        StructExpr,
+    )
+
+    if isinstance(expression, Var):
+        return Var(new) if expression.name == old else expression
+    if isinstance(expression, Path):
+        return Path(_substitute_variable(expression.base, old, new), expression.attribute)
+    if isinstance(expression, Comparison):
+        return Comparison(
+            expression.op,
+            _substitute_variable(expression.left, old, new),
+            _substitute_variable(expression.right, old, new),
+        )
+    if isinstance(expression, Arithmetic):
+        return Arithmetic(
+            expression.op,
+            _substitute_variable(expression.left, old, new),
+            _substitute_variable(expression.right, old, new),
+        )
+    if isinstance(expression, BooleanExpr):
+        return BooleanExpr(
+            expression.op,
+            tuple(_substitute_variable(operand, old, new) for operand in expression.operands),
+        )
+    if isinstance(expression, StructExpr):
+        return StructExpr(
+            tuple(
+                (name, _substitute_variable(value, old, new)) for name, value in expression.fields
+            )
+        )
+    if isinstance(expression, BagExpr):
+        return BagExpr(tuple(_substitute_variable(item, old, new) for item in expression.items))
+    if isinstance(expression, FunctionCall):
+        return FunctionCall(
+            expression.name,
+            tuple(_substitute_variable(arg, old, new) for arg in expression.args),
+        )
+    return expression
+
+
+def logical_to_oql(node: LogicalOp) -> str:
+    """Render a logical plan as OQL text (entry point used for partial answers)."""
+    return _Unparser().unparse(node)

@@ -1,0 +1,44 @@
+"""A mediator configuration that never pushes work to data sources.
+
+Wrapping every wrapper in :class:`GetOnlyWrapper` makes its capability
+grammar advertise only ``get``, so the optimizer cannot push selections,
+projections or joins: every row travels to the mediator and all work happens
+there.  Experiment E4 uses this to quantify the benefit of DISCO's
+capability-aware push-down.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.capabilities import CapabilitySet
+from repro.algebra.logical import Get, LogicalOp
+from repro.errors import WrapperError
+from repro.wrappers.base import Row, Wrapper
+
+
+class GetOnlyWrapper(Wrapper):
+    """Delegate ``get`` to an inner wrapper; refuse everything else."""
+
+    def __init__(self, inner: Wrapper):
+        super().__init__(f"{inner.name}-get-only", CapabilitySet.get_only())
+        self.inner = inner
+
+    def _execute(self, expression: LogicalOp) -> list[Row]:
+        if not isinstance(expression, Get):
+            raise WrapperError(
+                f"{self.name!r} only evaluates get(collection); got {expression.to_text()}"
+            )
+        return self.inner.submit(expression)
+
+    def source_collections(self) -> list[str]:
+        return self.inner.source_collections()
+
+    def source_attributes(self, collection: str) -> list[str]:
+        return self.inner.source_attributes(collection)
+
+    def cardinality(self, collection: str) -> int | None:
+        return self.inner.cardinality(collection)
+
+
+def make_get_only(wrapper: Wrapper) -> GetOnlyWrapper:
+    """Convenience constructor matching the wrappers' factory style."""
+    return GetOnlyWrapper(wrapper)

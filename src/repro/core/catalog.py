@@ -1,0 +1,92 @@
+"""The catalog: a special mediator tracking the components of the system.
+
+Paper Section 1.1: "special mediators, catalogs, keep track of collections of
+databases, wrappers, and mediators in the system.  Catalogs do not have total
+knowledge of all elements of the system; however, they provide an overview of
+the entire system."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.mediator import Mediator
+from repro.datamodel.repository import Repository
+
+
+@dataclass
+class CatalogEntry:
+    """One registered component and its self-description."""
+
+    kind: str  # "mediator", "wrapper", "repository"
+    name: str
+    description: dict[str, Any] = field(default_factory=dict)
+
+
+class Catalog:
+    """Registry of mediators, wrappers and repositories in one deployment."""
+
+    def __init__(self, name: str = "catalog"):
+        self.name = name
+        self._entries: dict[tuple[str, str], CatalogEntry] = {}
+
+    # -- registration -------------------------------------------------------------------
+    def register_mediator(self, mediator: Mediator) -> CatalogEntry:
+        """Record a mediator and a snapshot of its schema."""
+        entry = CatalogEntry(kind="mediator", name=mediator.name, description=mediator.describe())
+        self._entries[("mediator", mediator.name)] = entry
+        return entry
+
+    def register_wrapper(self, name: str, wrapper: Any) -> CatalogEntry:
+        """Record a wrapper type available to DBAs."""
+        describe = getattr(wrapper, "describe", None)
+        description = describe() if callable(describe) else {"name": name}
+        entry = CatalogEntry(kind="wrapper", name=name, description=description)
+        self._entries[("wrapper", name)] = entry
+        return entry
+
+    def register_repository(self, repository: Repository) -> CatalogEntry:
+        """Record a repository reachable in the deployment."""
+        entry = CatalogEntry(
+            kind="repository", name=repository.name, description=repository.describe()
+        )
+        self._entries[("repository", repository.name)] = entry
+        return entry
+
+    # -- lookup -----------------------------------------------------------------------------
+    def mediators(self) -> list[CatalogEntry]:
+        """Every registered mediator."""
+        return [entry for entry in self._entries.values() if entry.kind == "mediator"]
+
+    def wrappers(self) -> list[CatalogEntry]:
+        """Every registered wrapper."""
+        return [entry for entry in self._entries.values() if entry.kind == "wrapper"]
+
+    def repositories(self) -> list[CatalogEntry]:
+        """Every registered repository."""
+        return [entry for entry in self._entries.values() if entry.kind == "repository"]
+
+    def find(self, kind: str, name: str) -> CatalogEntry | None:
+        """Return the entry of ``kind`` called ``name``, or None."""
+        return self._entries.get((kind, name))
+
+    def mediators_serving_interface(self, interface_name: str) -> list[str]:
+        """Names of mediators whose schema defines ``interface_name``.
+
+        This is the overview function a DBA uses to find where a type of data
+        lives before combining mediators.
+        """
+        matches = []
+        for entry in self.mediators():
+            if interface_name in entry.description.get("interfaces", []):
+                matches.append(entry.name)
+        return matches
+
+    def overview(self) -> dict[str, list[str]]:
+        """A compact overview of the whole deployment."""
+        return {
+            "mediators": [entry.name for entry in self.mediators()],
+            "wrappers": [entry.name for entry in self.wrappers()],
+            "repositories": [entry.name for entry in self.repositories()],
+        }

@@ -1,0 +1,205 @@
+"""The DISCO mediator façade.
+
+One :class:`Mediator` bundles the components of Prototype 0 (Figure 2): the
+ODL and OQL parsers, the internal database (registry), the query optimizer and
+the run-time system that calls wrappers.  Applications and other mediators
+only ever talk to this class.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.core.planner import PlannedQuery, QueryPlanner
+from repro.core.registry import Registry
+from repro.core.result import QueryResult
+from repro.datamodel.mapping import LocalTransformationMap
+from repro.datamodel.repository import Repository
+from repro.datamodel.types import AttributeSpec, InterfaceType, PrimitiveType
+from repro.datamodel.values import Bag
+from repro.errors import QueryExecutionError
+from repro.odl.loader import OdlLoader
+from repro.oql.ast import DefineStatement, ExprQuery
+from repro.oql.parser import parse_statement
+from repro.optimizer.history import ExecCallHistory
+from repro.optimizer.implementation import implement
+from repro.runtime.executor import Executor, ExecutorConfig
+
+
+class Mediator:
+    """A DISCO mediator: uniform OQL access to heterogeneous data sources."""
+
+    def __init__(
+        self,
+        name: str = "disco",
+        timeout: float | None = 5.0,
+        type_check: bool = True,
+        use_plan_cache: bool = True,
+    ):
+        self.name = name
+        self.registry = Registry()
+        self.history = ExecCallHistory()
+        self.planner = QueryPlanner(
+            self.registry, history=self.history, use_plan_cache=use_plan_cache
+        )
+        self.executor = Executor(
+            self.registry,
+            history=self.history,
+            config=ExecutorConfig(timeout=timeout, type_check=type_check),
+            subquery_planner=self.planner.logical_for_bound,
+        )
+        self.odl_loader = OdlLoader(self.registry)
+
+    # -- DBA interface: definitions -----------------------------------------------------------
+    def load_odl(self, text: str) -> list[object]:
+        """Load ODL declarations (interfaces, extents, views, repositories)."""
+        return self.odl_loader.load(text)
+
+    def define_interface(
+        self,
+        name: str,
+        attributes: Iterable[tuple[str, str]] = (),
+        supertype: str | None = None,
+        extent_name: str | None = None,
+    ) -> InterfaceType:
+        """Programmatic equivalent of an ODL ``interface`` declaration."""
+        specs = tuple(
+            AttributeSpec(attr_name, PrimitiveType.from_name(attr_type))
+            for attr_name, attr_type in attributes
+        )
+        return self.registry.define_interface(
+            InterfaceType(
+                name=name, attributes=specs, supertype=supertype, extent_name=extent_name
+            )
+        )
+
+    def create_repository(self, name: str, host: str = "localhost", address: str = "", **properties) -> Repository:
+        """Create and register a Repository object (``r0 := Repository(...)``)."""
+        repository = Repository(
+            name=name, host=host, address=address, properties=dict(properties)
+        )
+        return self.registry.add_repository(repository)
+
+    def register_repository(self, repository: Repository) -> Repository:
+        """Register an existing Repository object."""
+        return self.registry.add_repository(repository)
+
+    def register_wrapper(self, name: str, wrapper: Any) -> Any:
+        """Register a wrapper object (``w0 := WrapperPostgres()``)."""
+        return self.registry.add_wrapper(name, wrapper)
+
+    def add_extent(
+        self,
+        name: str,
+        interface: str,
+        wrapper: str,
+        repository: str,
+        map: LocalTransformationMap | None = None,
+        source_collection: str | None = None,
+    ):
+        """``extent <name> of <interface> wrapper <w> repository <r> [map ...];``"""
+        meta = self.registry.add_extent(
+            name,
+            interface,
+            wrapper,
+            repository,
+            map=map,
+            source_collection=source_collection,
+        )
+        self.executor.invalidate_type_checks()
+        return meta
+
+    def drop_extent(self, name: str) -> None:
+        """Remove an extent declaration."""
+        self.registry.drop_extent(name)
+        self.executor.invalidate_type_checks()
+
+    def define_view(self, name: str, query_text: str):
+        """``define <name> as <query>;``"""
+        return self.registry.define_view_text(name, query_text)
+
+    def execute_statement(self, text: str) -> Any:
+        """Execute one OQL statement: a ``define`` updates the schema, a query runs."""
+        statement = parse_statement(text)
+        if isinstance(statement, DefineStatement):
+            return self.define_view(statement.name, statement.query.to_oql())
+        return self.query(text)
+
+    # -- application interface: queries ------------------------------------------------------------
+    def query(self, text: str, timeout: float | None = None) -> QueryResult:
+        """Evaluate an OQL query and return its (possibly partial) answer."""
+        planned = self.planner.plan(text)
+        return self._run(planned, timeout=timeout)
+
+    def explain(self, text: str) -> PlannedQuery:
+        """Return the planner's output without executing anything."""
+        return self.planner.plan(text, use_cache=False)
+
+    def resubmit(self, result: QueryResult, timeout: float | None = None) -> QueryResult:
+        """Re-evaluate a partial answer (e.g. after sources came back up).
+
+        The partial answer is itself a query, so this simply plans and runs
+        its logical plan again; with every source available the original
+        query's full answer comes back.
+        """
+        if not result.is_partial or result.partial_plan is None:
+            return result
+        physical = implement(result.partial_plan)
+        execution = self.executor.execute(physical, timeout=timeout)
+        return QueryResult(
+            query_text=result.partial_query or result.query_text,
+            data=execution.data,
+            is_partial=execution.is_partial,
+            partial_query=execution.partial_query,
+            partial_plan=execution.partial_plan,
+            unavailable_sources=execution.unavailable_sources,
+            reports=execution.reports,
+            logical_plan=result.partial_plan.to_text(),
+            physical_plan=physical.to_text(),
+        )
+
+    # -- internals -----------------------------------------------------------------------------------
+    def _run(self, planned: PlannedQuery, timeout: float | None = None) -> QueryResult:
+        if planned.is_scalar:
+            return self._run_scalar(planned, timeout=timeout)
+        if planned.optimized is None or planned.logical is None:
+            raise QueryExecutionError(f"query {planned.text!r} produced no plan")
+        execution = self.executor.execute(planned.optimized.physical, timeout=timeout)
+        return QueryResult(
+            query_text=planned.text,
+            data=execution.data,
+            is_partial=execution.is_partial,
+            partial_query=execution.partial_query,
+            partial_plan=execution.partial_plan,
+            unavailable_sources=execution.unavailable_sources,
+            reports=execution.reports,
+            estimated_cost=planned.optimized.cost.total(),
+            logical_plan=planned.optimized.logical.to_text(),
+            physical_plan=planned.optimized.physical.to_text(),
+            from_plan_cache=planned.from_cache,
+        )
+
+    def _run_scalar(self, planned: PlannedQuery, timeout: float | None = None) -> QueryResult:
+        bound = planned.bound
+        if not isinstance(bound, ExprQuery):
+            raise QueryExecutionError(f"scalar query {planned.text!r} did not bind to an expression")
+        value = bound.expression.evaluate({}, self.executor._evaluate_subquery)
+        return QueryResult(query_text=planned.text, data=value)
+
+    # -- catalog support --------------------------------------------------------------------------------
+    def describe(self) -> dict[str, Any]:
+        """Describe this mediator (used by catalogs)."""
+        description = self.registry.describe()
+        description["mediator"] = self.name
+        return description
+
+    def statistics(self) -> dict[str, Any]:
+        """Operational statistics: recorded exec signatures, plan-cache state."""
+        cache = self.planner.plan_cache
+        return {
+            "exec_signatures": self.history.recorded_calls(),
+            "plan_cache_entries": len(cache) if cache is not None else 0,
+            "plan_cache_hits": cache.hits if cache is not None else 0,
+            "plan_cache_misses": cache.misses if cache is not None else 0,
+            "schema_version": self.registry.schema_version,
+        }

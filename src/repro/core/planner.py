@@ -1,0 +1,112 @@
+"""The parse / bind / translate / optimize pipeline of Prototype 0 (Figure 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.capabilities import CapabilityGrammar, grammar_for
+from repro.algebra.logical import LogicalOp, Submit
+from repro.algebra.rewriter import Rewriter
+from repro.core.registry import Registry
+from repro.errors import SchemaError
+from repro.oql.ast import ExprQuery, QueryNode
+from repro.oql.binder import Binder
+from repro.oql.parser import parse_query
+from repro.oql.translator import Translator
+from repro.optimizer.cost import CostModel
+from repro.optimizer.history import ExecCallHistory
+from repro.optimizer.optimizer import OptimizedPlan, Optimizer
+from repro.optimizer.plancache import PlanCache
+
+
+@dataclass
+class PlannedQuery:
+    """Everything the planner produced for one query."""
+
+    text: str
+    ast: QueryNode
+    bound: QueryNode
+    logical: LogicalOp | None
+    optimized: OptimizedPlan | None
+    is_scalar: bool
+    from_cache: bool = False
+
+
+class QueryPlanner:
+    """Turns OQL text into an optimized physical plan against one registry."""
+
+    def __init__(
+        self,
+        registry: Registry,
+        history: ExecCallHistory | None = None,
+        cost_model: CostModel | None = None,
+        use_plan_cache: bool = True,
+    ):
+        self.registry = registry
+        self.history = history or ExecCallHistory()
+        self.cost_model = cost_model or CostModel(history=self.history)
+        self.binder = Binder(registry)
+        self.translator = Translator(metaextent_rows=registry.metaextent_rows)
+        self.rewriter = Rewriter(self._capabilities_for_submit)
+        self.optimizer = Optimizer(self.rewriter, self.cost_model)
+        self.plan_cache = PlanCache() if use_plan_cache else None
+
+    # -- capability resolution ------------------------------------------------------------
+    def _capabilities_for_submit(self, submit: Submit) -> CapabilityGrammar:
+        """The ``submit-functionality`` call: ask the extent's wrapper for its grammar."""
+        extent_name = submit.extent_name or submit.source
+        try:
+            meta = self.registry.extent(extent_name)
+            wrapper = self.registry.wrapper_object(meta.wrapper)
+        except SchemaError:
+            # Unknown extent (hand-built plan): assume the minimal wrapper.
+            return grammar_for({"get"})
+        return wrapper.submit_functionality()
+
+    # -- the pipeline -----------------------------------------------------------------------
+    def plan(self, text: str, use_cache: bool = True) -> PlannedQuery:
+        """Parse, bind, translate and optimize ``text``."""
+        if self.plan_cache is not None and use_cache:
+            cached = self.plan_cache.get(text, self.registry.schema_version)
+            if cached is not None:
+                return PlannedQuery(
+                    text=text,
+                    ast=cached.ast,
+                    bound=cached.bound,
+                    logical=cached.logical,
+                    optimized=cached.optimized,
+                    is_scalar=cached.is_scalar,
+                    from_cache=True,
+                )
+        ast = parse_query(text)
+        planned = self.plan_ast(ast, text=text)
+        if self.plan_cache is not None and use_cache:
+            self.plan_cache.put(text, self.registry.schema_version, planned)
+        return planned
+
+    def plan_ast(self, ast: QueryNode, text: str | None = None) -> PlannedQuery:
+        """Bind, translate and optimize an already-parsed query."""
+        bound = self.binder.bind(ast)
+        if isinstance(bound, ExprQuery):
+            return PlannedQuery(
+                text=text or ast.to_oql(),
+                ast=ast,
+                bound=bound,
+                logical=None,
+                optimized=None,
+                is_scalar=True,
+            )
+        logical = self.translator.translate(bound)
+        optimized = self.optimizer.optimize(logical)
+        return PlannedQuery(
+            text=text or ast.to_oql(),
+            ast=ast,
+            bound=bound,
+            logical=logical,
+            optimized=optimized,
+            is_scalar=False,
+        )
+
+    def logical_for_bound(self, bound: QueryNode) -> LogicalOp:
+        """Translate a bound (sub)query without optimizing (used for subqueries)."""
+        return self.translator.translate(bound)

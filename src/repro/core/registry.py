@@ -1,0 +1,157 @@
+"""The mediator's internal database.
+
+"The DISCO mediator contains an internal database.  The internal database
+records information on data sources, types, interfaces, and views, etc."
+(Section 3).  The registry wraps the declarative :class:`Schema` and adds what
+query processing needs: collection-name resolution for the binder (including
+implicit type extents, ``type*`` and ``metaextent``), wrapper-object lookup
+for the run-time system, a schema version for plan-cache invalidation and the
+MetaExtent rows exposed to queries.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.datamodel.mapping import LocalTransformationMap
+from repro.datamodel.repository import Repository
+from repro.datamodel.schema import Schema, ViewDefinition
+from repro.datamodel.types import InterfaceType
+from repro.datamodel.values import Struct
+from repro.errors import NameResolutionError, SchemaError
+from repro.oql.binder import ResolvedCollection
+from repro.oql.parser import parse_query
+
+METAEXTENT_NAME = "metaextent"
+
+
+class Registry:
+    """Internal database of one mediator."""
+
+    def __init__(self, schema: Schema | None = None):
+        self.schema = schema or Schema()
+        self.schema_version = 0
+
+    # -- definitions (delegate to the schema, bump the version where needed) ----------------
+    def define_interface(self, interface: InterfaceType) -> InterfaceType:
+        """Register an interface type."""
+        result = self.schema.define_interface(interface)
+        self._bump()
+        return result
+
+    def add_repository(self, repository: Repository) -> Repository:
+        """Register a repository object."""
+        return self.schema.add_repository(repository)
+
+    def add_wrapper(self, name: str, wrapper: Any) -> Any:
+        """Register a wrapper object under ``name``."""
+        return self.schema.add_wrapper(name, wrapper)
+
+    def add_extent(
+        self,
+        name: str,
+        interface_name: str,
+        wrapper_name: str,
+        repository_name: str,
+        map: LocalTransformationMap | None = None,
+        source_collection: str | None = None,
+    ):
+        """Declare an extent; this is the DBA action that adds a data source."""
+        meta = self.schema.add_extent(
+            name,
+            interface_name,
+            wrapper_name,
+            repository_name,
+            map=map,
+            source_collection=source_collection,
+        )
+        self._bump()
+        return meta
+
+    def drop_extent(self, name: str) -> None:
+        """Remove an extent (deleting its MetaExtent object)."""
+        self.schema.drop_extent(name)
+        self._bump()
+
+    def define_view_text(self, name: str, query_text: str) -> ViewDefinition:
+        """Register a ``define <name> as <query>`` view from raw OQL text."""
+        view = ViewDefinition(name=name, query_text=query_text)
+        self.schema.define_view(view)
+        self._bump()
+        return view
+
+    def _bump(self) -> None:
+        self.schema_version += 1
+
+    # -- lookups used by the planner and the run-time system -----------------------------------
+    def wrapper_object(self, name: str) -> Any:
+        """Return the wrapper object registered under ``name``."""
+        return self.schema.wrapper(name)
+
+    def extent(self, name: str):
+        """Return the MetaExtent for extent ``name``."""
+        return self.schema.extent(name)
+
+    def interface_attributes(self, interface_name: str) -> list[str]:
+        """Attribute names of an interface (used by the run-time type check)."""
+        return self.schema.interface(interface_name).attribute_names()
+
+    def metaextent_rows(self) -> list[Struct]:
+        """The ``metaextent`` collection: one struct per declared extent."""
+        rows = []
+        for meta in self.schema.extents():
+            rows.append(
+                Struct(
+                    {
+                        "name": meta.name,
+                        "e": meta.name,
+                        "interface": meta.interface,
+                        "wrapper": meta.wrapper,
+                        "repository": meta.repository.name,
+                        "map": " ".join(meta.map.describe()),
+                    }
+                )
+            )
+        return rows
+
+    # -- collection-name resolution (the binder's resolver) ---------------------------------------
+    def resolve_collection(self, name: str, recursive: bool = False) -> ResolvedCollection:
+        """Resolve a collection name appearing in a query."""
+        if name == METAEXTENT_NAME:
+            return ResolvedCollection(kind="metaextent")
+        if not recursive and self.schema.has_extent(name):
+            return ResolvedCollection(kind="extents", extents=(self.schema.extent(name),))
+        if not recursive and self.schema.has_view(name):
+            view = self.schema.view(name)
+            if view.ast is None:
+                view.ast = parse_query(view.query_text)
+            return ResolvedCollection(kind="view", view_query=view.ast, view_name=name)
+        interface = self._interface_for_implicit_extent(name)
+        if interface is not None:
+            extents = self.schema.extents_of_interface(interface.name, recursive=recursive)
+            return ResolvedCollection(kind="extents", extents=tuple(extents))
+        raise NameResolutionError(
+            f"{name!r} does not name an extent, a view, an implicit type extent or "
+            f"{METAEXTENT_NAME!r}"
+        )
+
+    def _interface_for_implicit_extent(self, name: str) -> InterfaceType | None:
+        for interface in self.schema.types.interfaces():
+            if interface.extent_name == name:
+                return interface
+        # Fall back to the interface name itself (``from x in Person``), which
+        # some of the paper's prose uses interchangeably with the extent.
+        if name in self.schema.types:
+            return self.schema.types.get(name)
+        return None
+
+    # -- catalog support ----------------------------------------------------------------------------
+    def describe(self) -> dict[str, Any]:
+        """Catalog-friendly description of everything this mediator knows."""
+        description = self.schema.describe()
+        description["schema_version"] = self.schema_version
+        return description
+
+    def statement_count(self) -> int:
+        """Number of DBA-level definitions (integration-effort experiments)."""
+        return self.schema.statement_count()

@@ -1,0 +1,57 @@
+"""Query results, including partial answers.
+
+"The answer to a query may be another query" (Section 1.3).  A
+:class:`QueryResult` therefore carries either data (a bag, or a scalar for
+aggregate queries) or a partial answer: the OQL text and the logical plan of
+the query that remains to be evaluated, with the data already obtained
+embedded in it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.algebra.logical import LogicalOp
+from repro.datamodel.values import Bag
+from repro.runtime.executor import ExecReport
+
+
+@dataclass
+class QueryResult:
+    """The answer returned by :meth:`Mediator.query`."""
+
+    query_text: str
+    data: Any = field(default_factory=Bag)
+    is_partial: bool = False
+    partial_query: str | None = None
+    partial_plan: LogicalOp | None = None
+    unavailable_sources: tuple[str, ...] = ()
+    reports: tuple[ExecReport, ...] = ()
+    estimated_cost: float | None = None
+    logical_plan: str | None = None
+    physical_plan: str | None = None
+    from_plan_cache: bool = False
+
+    def answer(self) -> Any:
+        """The user-facing answer: data when complete, the partial query otherwise."""
+        return self.partial_query if self.is_partial else self.data
+
+    def complete(self) -> bool:
+        """True when every referenced data source answered."""
+        return not self.is_partial
+
+    def rows(self) -> list[Any]:
+        """The data as a list (empty for partial answers)."""
+        if isinstance(self.data, Bag):
+            return self.data.to_list()
+        return [self.data]
+
+    def sources_contacted(self) -> int:
+        """Number of exec calls issued for this query."""
+        return len(self.reports)
+
+    def __repr__(self) -> str:
+        if self.is_partial:
+            return f"QueryResult(partial, unavailable={list(self.unavailable_sources)})"
+        return f"QueryResult(data={self.data!r})"

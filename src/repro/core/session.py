@@ -1,0 +1,48 @@
+"""Application-side sessions.
+
+A thin convenience layer for the "application (A)" boxes of Figure 1: it keeps
+a history of issued queries and offers a retry helper that re-submits partial
+answers until they are complete or the retry budget runs out (the paper notes
+"the user may always simply issue the original query again").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.mediator import Mediator
+from repro.core.result import QueryResult
+
+
+@dataclass
+class Session:
+    """One application's connection to a mediator."""
+
+    mediator: Mediator
+    history: list[QueryResult] = field(default_factory=list)
+
+    def query(self, text: str, timeout: float | None = None) -> QueryResult:
+        """Run a query and remember its result."""
+        result = self.mediator.query(text, timeout=timeout)
+        self.history.append(result)
+        return result
+
+    def query_with_retry(
+        self, text: str, retries: int = 3, timeout: float | None = None
+    ) -> QueryResult:
+        """Run a query; if the answer is partial, re-submit it up to ``retries`` times."""
+        result = self.query(text, timeout=timeout)
+        attempts = 0
+        while result.is_partial and attempts < retries:
+            result = self.mediator.resubmit(result, timeout=timeout)
+            self.history.append(result)
+            attempts += 1
+        return result
+
+    def last(self) -> QueryResult | None:
+        """The most recent result, if any."""
+        return self.history[-1] if self.history else None
+
+    def partial_answers(self) -> list[QueryResult]:
+        """Every partial answer seen in this session."""
+        return [result for result in self.history if result.is_partial]

@@ -1,0 +1,45 @@
+"""ODMG-93 data model with the DISCO extensions (paper Section 2).
+
+The package provides:
+
+* value types -- :class:`~repro.datamodel.values.Bag`,
+  :class:`~repro.datamodel.values.Struct` and helpers, matching the OQL value
+  universe used in the paper's examples;
+* the type system -- :class:`~repro.datamodel.types.InterfaceType` with
+  attributes and ODMG subtyping;
+* DISCO extensions -- multiple :class:`~repro.datamodel.extent.Extent` objects
+  per interface recorded as :class:`~repro.datamodel.extent.MetaExtent`
+  instances, :class:`~repro.datamodel.repository.Repository` objects,
+  :class:`~repro.datamodel.mapping.LocalTransformationMap` type maps, and the
+  :class:`~repro.datamodel.schema.Schema` container that a mediator's internal
+  database stores.
+"""
+
+from repro.datamodel.values import Bag, Struct, make_bag, make_struct
+from repro.datamodel.types import (
+    AttributeSpec,
+    InterfaceType,
+    PrimitiveType,
+    TypeSystem,
+)
+from repro.datamodel.repository import Repository
+from repro.datamodel.mapping import LocalTransformationMap
+from repro.datamodel.extent import Extent, MetaExtent
+from repro.datamodel.schema import Schema, ViewDefinition
+
+__all__ = [
+    "Bag",
+    "Struct",
+    "make_bag",
+    "make_struct",
+    "AttributeSpec",
+    "InterfaceType",
+    "PrimitiveType",
+    "TypeSystem",
+    "Repository",
+    "LocalTransformationMap",
+    "Extent",
+    "MetaExtent",
+    "Schema",
+    "ViewDefinition",
+]

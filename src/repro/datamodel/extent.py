@@ -1,0 +1,95 @@
+"""Extents and the ``MetaExtent`` meta-type (paper Sections 2.1-2.2).
+
+The key DISCO idea is that *each extent represents the collection of data in
+one data source*.  Declaring::
+
+    extent person0 of Person wrapper w0 repository r0;
+
+creates a :class:`MetaExtent` instance recording the extent name, interface,
+wrapper, repository and optional local transformation map.  The implicit
+extent of a type (``person``) is *defined as a query* over the MetaExtent
+collection, which is what lets a new data source join a mediator type without
+touching any existing query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.datamodel.mapping import LocalTransformationMap
+from repro.datamodel.repository import Repository
+from repro.errors import SchemaError
+
+
+@dataclass
+class Extent:
+    """A named collection bound to one data source through a wrapper."""
+
+    name: str
+    interface_name: str
+    wrapper_name: str
+    repository: Repository
+    map: LocalTransformationMap = field(default_factory=LocalTransformationMap.identity)
+    source_collection: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("an extent needs a non-empty name")
+        self.map.validate()
+
+    def source_name(self) -> str:
+        """Name of the collection inside the data source.
+
+        Defaults to the extent name (the paper: "the extent name person0 is
+        determined by the name of the data source in the repository") unless a
+        map or an explicit ``source_collection`` overrides it.
+        """
+        if self.source_collection is not None:
+            return self.source_collection
+        return self.map.source_collection_name(self.name)
+
+
+@dataclass
+class MetaExtent:
+    """One object of the paper's ``MetaExtent`` interface.
+
+    Mirrors the ODL given in Section 2.1::
+
+        interface MetaExtent (extent metaextent) {
+            attribute String name;
+            attribute Extent e;
+            attribute Type interface;
+            attribute Wrapper wrapper;
+            attribute Repository repository;
+            attribute Map map; }
+    """
+
+    name: str
+    e: Extent
+    interface: str
+    wrapper: str
+    repository: Repository
+    map: LocalTransformationMap
+
+    @classmethod
+    def from_extent(cls, extent: Extent) -> "MetaExtent":
+        """Build the meta-data object for ``extent``."""
+        return cls(
+            name=extent.name,
+            e=extent,
+            interface=extent.interface_name,
+            wrapper=extent.wrapper_name,
+            repository=extent.repository,
+            map=extent.map,
+        )
+
+    def describe(self) -> dict[str, Any]:
+        """Plain-dict description used by catalogs and the ``metaextent`` extent."""
+        return {
+            "name": self.name,
+            "interface": self.interface,
+            "wrapper": self.wrapper,
+            "repository": self.repository.name,
+            "map": self.map.describe(),
+        }

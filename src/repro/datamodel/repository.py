@@ -1,0 +1,57 @@
+"""The ``Repository`` interface (paper Section 2.1).
+
+A repository is "essentially the address of a database or some other type of
+repository"; the paper's example is::
+
+    r0 := Repository(host="rodin", name="db", address="123.45.6.7")
+
+Repositories are first-class objects in the mediator data model and can carry
+extra descriptive attributes (maintainer, access cost hints, ...).  In this
+reproduction the repository also carries a reference to the *simulated* server
+hosting the data source, which stands in for the 1995 network address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import RepositoryError
+
+
+@dataclass
+class Repository:
+    """Addressing information for one data-source host."""
+
+    name: str
+    host: str = "localhost"
+    address: str = ""
+    maintainer: str | None = None
+    properties: dict[str, Any] = field(default_factory=dict)
+    server: Any | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise RepositoryError("a repository needs a non-empty name")
+
+    def describe(self) -> dict[str, Any]:
+        """Return a plain dict description (used by the catalog mediator)."""
+        return {
+            "name": self.name,
+            "host": self.host,
+            "address": self.address,
+            "maintainer": self.maintainer,
+            **self.properties,
+        }
+
+    def is_bound(self) -> bool:
+        """Return True when a concrete server object is attached."""
+        return self.server is not None
+
+    def bind(self, server: Any) -> "Repository":
+        """Attach the simulated server hosting this repository's data sources."""
+        self.server = server
+        return self
+
+    def __repr__(self) -> str:
+        return f"Repository(name={self.name!r}, host={self.host!r}, address={self.address!r})"

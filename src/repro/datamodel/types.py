@@ -1,0 +1,192 @@
+"""ODMG interface types, attributes and subtyping (paper Section 2).
+
+A mediator models each kind of data as an :class:`InterfaceType` -- e.g. the
+paper's ``Person`` interface with ``name: String`` and ``salary: Short``.
+DISCO keeps the ODMG subtyping relation (``interface Student : Person``) and
+adds the ``type*`` extent syntax that recursively includes the extents of all
+subtypes; the :class:`TypeSystem` therefore records the subtype graph and can
+enumerate a type's transitive subtypes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterable, Mapping
+
+from repro.datamodel.values import Struct
+from repro.errors import SchemaError, TypeConflictError
+
+
+class PrimitiveType(str, Enum):
+    """ODL primitive attribute types used by the paper's examples."""
+
+    STRING = "String"
+    SHORT = "Short"
+    LONG = "Long"
+    FLOAT = "Float"
+    DOUBLE = "Double"
+    BOOLEAN = "Boolean"
+    ANY = "Any"
+
+    @classmethod
+    def from_name(cls, name: str) -> "PrimitiveType":
+        """Resolve an ODL type name (case-insensitive) to a primitive type."""
+        for member in cls:
+            if member.value.lower() == name.lower():
+                return member
+        raise SchemaError(f"unknown primitive type {name!r}")
+
+    def accepts(self, value: Any) -> bool:
+        """Return True when ``value`` is a legal instance of this primitive."""
+        if value is None:
+            return True
+        if self is PrimitiveType.ANY:
+            return True
+        if self is PrimitiveType.STRING:
+            return isinstance(value, str)
+        if self is PrimitiveType.BOOLEAN:
+            return isinstance(value, bool)
+        if self in (PrimitiveType.SHORT, PrimitiveType.LONG):
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self in (PrimitiveType.FLOAT, PrimitiveType.DOUBLE):
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        return False
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """One ``attribute <type> <name>`` declaration in an interface."""
+
+    name: str
+    type: PrimitiveType = PrimitiveType.ANY
+
+    def check(self, value: Any) -> None:
+        """Raise :class:`TypeConflictError` when ``value`` does not fit the type."""
+        if not self.type.accepts(value):
+            raise TypeConflictError(
+                f"attribute {self.name!r} expects {self.type.value}, got {value!r}"
+            )
+
+
+@dataclass
+class InterfaceType:
+    """An ODMG interface: a named type signature with attributes and a supertype.
+
+    ``extent_name`` is the *implicit* extent declared in the interface header
+    (``interface Person (extent person) {...}``); the actual member extents
+    that mirror data sources live in the schema's MetaExtent collection.
+    """
+
+    name: str
+    attributes: tuple[AttributeSpec, ...] = ()
+    supertype: str | None = None
+    extent_name: str | None = None
+
+    def attribute_names(self) -> list[str]:
+        """Return attribute names in declaration order."""
+        return [attr.name for attr in self.attributes]
+
+    def attribute(self, name: str) -> AttributeSpec:
+        """Return the attribute spec called ``name`` or raise :class:`SchemaError`."""
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        raise SchemaError(f"interface {self.name!r} has no attribute {name!r}")
+
+    def has_attribute(self, name: str) -> bool:
+        """Return True when the interface declares an attribute called ``name``."""
+        return any(attr.name == name for attr in self.attributes)
+
+    def validate_instance(self, row: Mapping[str, Any] | Struct) -> None:
+        """Type-check a data-source row against this interface.
+
+        The paper says the wrapper checks at run time that the type of the
+        objects in the data source matches the mediator type; a mismatch is a
+        :class:`TypeConflictError` unless a map resolves it (Section 2.2.2).
+        """
+        for attr in self.attributes:
+            if attr.name not in row:
+                raise TypeConflictError(
+                    f"object {dict(row)!r} lacks attribute {attr.name!r} "
+                    f"required by interface {self.name!r}"
+                )
+            attr.check(row[attr.name])
+
+
+@dataclass
+class TypeSystem:
+    """Registry of interface types with the subtype relation.
+
+    The type system is part of the mediator's internal database.  It answers
+    the two questions DISCO needs: attribute lookup during name binding, and
+    the set of transitive subtypes needed to expand ``person*`` (Section 2.2.1).
+    """
+
+    _interfaces: dict[str, InterfaceType] = field(default_factory=dict)
+
+    def define(self, interface: InterfaceType) -> InterfaceType:
+        """Register ``interface``; supertype must already exist; names are unique."""
+        if interface.name in self._interfaces:
+            raise SchemaError(f"interface {interface.name!r} is already defined")
+        if interface.supertype is not None and interface.supertype not in self._interfaces:
+            raise SchemaError(
+                f"interface {interface.name!r} declares unknown supertype "
+                f"{interface.supertype!r}"
+            )
+        if interface.supertype is not None:
+            # ODMG inheritance: attributes of the supertype are visible on the
+            # subtype.  We materialise them so lookups need no chain walking.
+            parent = self._interfaces[interface.supertype]
+            inherited = [
+                attr for attr in parent.attributes if not interface.has_attribute(attr.name)
+            ]
+            interface = InterfaceType(
+                name=interface.name,
+                attributes=tuple(inherited) + tuple(interface.attributes),
+                supertype=interface.supertype,
+                extent_name=interface.extent_name,
+            )
+        self._interfaces[interface.name] = interface
+        return interface
+
+    def get(self, name: str) -> InterfaceType:
+        """Return the interface called ``name`` or raise :class:`SchemaError`."""
+        try:
+            return self._interfaces[name]
+        except KeyError:
+            raise SchemaError(f"unknown interface {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._interfaces
+
+    def names(self) -> list[str]:
+        """Return the names of all defined interfaces."""
+        return list(self._interfaces)
+
+    def interfaces(self) -> Iterable[InterfaceType]:
+        """Iterate over every defined interface."""
+        return self._interfaces.values()
+
+    def is_subtype(self, candidate: str, ancestor: str) -> bool:
+        """Return True when ``candidate`` equals or transitively extends ``ancestor``."""
+        current: str | None = candidate
+        while current is not None:
+            if current == ancestor:
+                return True
+            current = self.get(current).supertype
+        return False
+
+    def subtypes(self, name: str, include_self: bool = True) -> list[str]:
+        """Return ``name`` plus every transitive subtype (used for ``type*``)."""
+        self.get(name)  # raise early for unknown types
+        result = [
+            candidate
+            for candidate in self._interfaces
+            if self.is_subtype(candidate, name) and (include_self or candidate != name)
+        ]
+        return result
+
+    def direct_subtypes(self, name: str) -> list[str]:
+        """Return interfaces whose declared supertype is exactly ``name``."""
+        return [i.name for i in self._interfaces.values() if i.supertype == name]

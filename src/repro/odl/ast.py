@@ -1,0 +1,54 @@
+"""AST nodes for ODL declarations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class AttributeDecl:
+    """``attribute <Type> <name>;`` inside an interface body."""
+
+    type_name: str
+    name: str
+
+
+@dataclass(frozen=True)
+class InterfaceDecl:
+    """``interface <Name> [: <Super>] [(extent <name>)] { ... }``."""
+
+    name: str
+    attributes: tuple[AttributeDecl, ...] = ()
+    supertype: str | None = None
+    extent_name: str | None = None
+
+
+@dataclass(frozen=True)
+class ExtentDecl:
+    """``extent <name> of <Interface> wrapper <w> repository <r> [map (...)];``."""
+
+    name: str
+    interface: str
+    wrapper: str
+    repository: str
+    map_pairs: tuple[tuple[str, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class DefineDecl:
+    """``define <name> as <OQL query>;`` -- the body is kept as raw OQL text."""
+
+    name: str
+    query_text: str
+
+
+@dataclass(frozen=True)
+class RepositoryDecl:
+    """``repository <name> (key="value", ...);`` -- reproduction convenience."""
+
+    name: str
+    properties: tuple[tuple[str, str], ...] = ()
+
+    def property_dict(self) -> dict[str, str]:
+        """Return the properties as a dict."""
+        return dict(self.properties)

@@ -1,0 +1,201 @@
+"""Recursive-descent parser for ODL with the DISCO extensions."""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.odl.ast import (
+    AttributeDecl,
+    DefineDecl,
+    ExtentDecl,
+    InterfaceDecl,
+    RepositoryDecl,
+)
+from repro.odl.lexer import OdlLexer, OdlToken
+
+
+class OdlParser:
+    """Parse a sequence of ODL declarations."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self._tokens = OdlLexer(text).tokens()
+        self._index = 0
+
+    # -- token helpers --------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> OdlToken:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> OdlToken:
+        token = self._tokens[self._index]
+        if token.kind != "EOF":
+            self._index += 1
+        return token
+
+    def _expect(self, kind: str, text: str | None = None) -> OdlToken:
+        token = self._advance()
+        if token.kind != kind or (text is not None and token.text != text):
+            raise ParseError(
+                f"expected {text or kind}, got {token.text!r}",
+                line=token.line,
+                column=token.column,
+            )
+        return token
+
+    def _expect_keyword(self, word: str) -> OdlToken:
+        token = self._advance()
+        if not token.is_keyword(word):
+            raise ParseError(
+                f"expected {word!r}, got {token.text!r}", line=token.line, column=token.column
+            )
+        return token
+
+    def _expect_op(self, text: str) -> OdlToken:
+        token = self._advance()
+        if not token.is_op(text):
+            raise ParseError(
+                f"expected {text!r}, got {token.text!r}", line=token.line, column=token.column
+            )
+        return token
+
+    def _match_op(self, text: str) -> bool:
+        if self._peek().is_op(text):
+            self._advance()
+            return True
+        return False
+
+    # -- declarations ------------------------------------------------------------------
+    def parse(self) -> list[object]:
+        """Parse every declaration in the input."""
+        declarations: list[object] = []
+        while self._peek().kind != "EOF":
+            declarations.append(self._declaration())
+        return declarations
+
+    def _declaration(self) -> object:
+        token = self._peek()
+        if token.is_keyword("interface"):
+            return self._interface()
+        if token.is_keyword("extent"):
+            return self._extent()
+        if token.is_keyword("define"):
+            return self._define()
+        if token.is_keyword("repository"):
+            return self._repository()
+        raise ParseError(
+            f"expected a declaration, got {token.text!r}", line=token.line, column=token.column
+        )
+
+    def _interface(self) -> InterfaceDecl:
+        self._expect_keyword("interface")
+        name = self._expect("IDENT").text
+        supertype = None
+        extent_name = None
+        if self._match_op(":"):
+            supertype = self._expect("IDENT").text
+        if self._match_op("("):
+            self._expect_keyword("extent")
+            extent_name = self._expect("IDENT").text
+            self._expect_op(")")
+        self._expect_op("{")
+        attributes: list[AttributeDecl] = []
+        while not self._peek().is_op("}"):
+            self._expect_keyword("attribute")
+            type_name = self._expect("IDENT").text
+            attribute_name = self._expect("IDENT").text
+            self._expect_op(";")
+            attributes.append(AttributeDecl(type_name=type_name, name=attribute_name))
+        self._expect_op("}")
+        self._match_op(";")
+        return InterfaceDecl(
+            name=name,
+            attributes=tuple(attributes),
+            supertype=supertype,
+            extent_name=extent_name,
+        )
+
+    def _extent(self) -> ExtentDecl:
+        self._expect_keyword("extent")
+        name = self._expect("IDENT").text
+        self._expect_keyword("of")
+        interface = self._expect("IDENT").text
+        self._expect_keyword("wrapper")
+        wrapper = self._expect("IDENT").text
+        self._expect_keyword("repository")
+        repository = self._expect("IDENT").text
+        map_pairs: list[tuple[str, str]] = []
+        if self._peek().is_keyword("map"):
+            self._advance()
+            map_pairs = self._map_pairs()
+        self._expect_op(";")
+        return ExtentDecl(
+            name=name,
+            interface=interface,
+            wrapper=wrapper,
+            repository=repository,
+            map_pairs=tuple(map_pairs),
+        )
+
+    def _map_pairs(self) -> list[tuple[str, str]]:
+        """Parse ``((a=b), (c=d), ...)`` -- the paper's list-of-strings map."""
+        self._expect_op("(")
+        pairs: list[tuple[str, str]] = []
+        while True:
+            self._expect_op("(")
+            left = self._expect("IDENT").text
+            self._expect_op("=")
+            right = self._expect("IDENT").text
+            self._expect_op(")")
+            pairs.append((left, right))
+            if not self._match_op(","):
+                break
+        self._expect_op(")")
+        return pairs
+
+    def _define(self) -> DefineDecl:
+        self._expect_keyword("define")
+        name = self._expect("IDENT").text
+        as_token = self._expect_keyword("as")
+        # The view body is raw OQL: slice the source text from just after
+        # "as" to the terminating semicolon at nesting depth zero.
+        start = as_token.offset + len("as")
+        depth = 0
+        while True:
+            token = self._peek()
+            if token.kind == "EOF":
+                raise ParseError(f"unterminated define {name!r}", line=token.line)
+            if token.is_op("("):
+                depth += 1
+            elif token.is_op(")"):
+                depth -= 1
+            elif token.is_op(";") and depth == 0:
+                end = token.offset
+                self._advance()
+                return DefineDecl(name=name, query_text=self.text[start:end].strip())
+            self._advance()
+
+    def _repository(self) -> RepositoryDecl:
+        self._expect_keyword("repository")
+        name = self._expect("IDENT").text
+        properties: list[tuple[str, str]] = []
+        if self._match_op("("):
+            while not self._peek().is_op(")"):
+                key = self._expect("IDENT").text
+                self._expect_op("=")
+                token = self._advance()
+                if token.kind not in ("STRING", "IDENT", "NUMBER"):
+                    raise ParseError(
+                        f"expected a value for repository property {key!r}, got {token.text!r}",
+                        line=token.line,
+                        column=token.column,
+                    )
+                properties.append((key, token.text))
+                self._match_op(",")
+            self._expect_op(")")
+        self._expect_op(";")
+        return RepositoryDecl(name=name, properties=tuple(properties))
+
+
+def parse_odl(text: str) -> list[object]:
+    """Parse ``text`` as a sequence of ODL declarations."""
+    return OdlParser(text).parse()

@@ -1,0 +1,35 @@
+"""The mediator query optimizer (paper Sections 3.1-3.3).
+
+The optimizer manipulates the five abstractions the paper lists:
+
+* logical operators (:mod:`repro.algebra.logical`);
+* transformation rules (:mod:`repro.algebra.rules`), applied by the
+  :class:`~repro.algebra.rewriter.Rewriter`;
+* physical algorithms (:mod:`repro.algebra.physical`);
+* implementation rules (:mod:`repro.optimizer.implementation`);
+* cost functions (:mod:`repro.optimizer.cost`), fed by the exec-call history
+  of :mod:`repro.optimizer.history`.
+
+:class:`~repro.optimizer.optimizer.Optimizer` searches the space of logical
+and physical trees and returns the cheapest physical plan;
+:class:`~repro.optimizer.plancache.PlanCache` caches optimized plans and is
+invalidated when extents change.
+"""
+
+from repro.optimizer.cost import Cost, CostModel
+from repro.optimizer.history import ExecCallHistory, CostEstimate
+from repro.optimizer.implementation import implement, implementation_alternatives
+from repro.optimizer.optimizer import Optimizer, OptimizedPlan
+from repro.optimizer.plancache import PlanCache
+
+__all__ = [
+    "Cost",
+    "CostModel",
+    "ExecCallHistory",
+    "CostEstimate",
+    "implement",
+    "implementation_alternatives",
+    "Optimizer",
+    "OptimizedPlan",
+    "PlanCache",
+]

@@ -1,0 +1,178 @@
+"""Learning data-source costs from previous ``exec`` calls (paper Section 3.3).
+
+"DISCO solves this problem by recording previous exec calls to a data source
+and the actual cost of the call. [...] In the case that an exec call exactly
+matches a sequence of previous exec calls to a data source, a smoothing
+function is used to combine the associated data to generate a new estimate.
+Only a fixed number of exactly matching calls are recorded.  In the case that
+the exec call does not exactly match, DISCO searches for close matches [...]
+In the case that there are no close matches to the exec call, a default time
+cost of 0 and a data cost of 1 is used."
+
+A *close match* here is the paper's example: the same expression shape whose
+comparison operators match but whose constants differ -- implemented by
+stripping constants from the expression signature.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque
+
+from repro.algebra.expressions import (
+    Arithmetic,
+    BagExpr,
+    BooleanExpr,
+    Comparison,
+    Const,
+    Expr,
+    FunctionCall,
+    Path,
+    StructExpr,
+)
+from repro.algebra.logical import (
+    Apply,
+    LogicalOp,
+    Select,
+    transform_bottom_up,
+)
+
+DEFAULT_TIME_COST = 0.0
+DEFAULT_DATA_COST = 1.0
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """An estimated (time, rows) pair plus how it was obtained."""
+
+    time: float
+    rows: float
+    kind: str  # "exact", "close" or "default"
+    samples: int = 0
+
+
+@dataclass(frozen=True)
+class _Observation:
+    elapsed: float
+    rows: int
+
+
+def _strip_constants_expr(expression: Expr) -> Expr:
+    """Replace every constant in ``expression`` by a placeholder."""
+    if isinstance(expression, Const):
+        return Const("?")
+    if isinstance(expression, Path):
+        return Path(_strip_constants_expr(expression.base), expression.attribute)
+    if isinstance(expression, Comparison):
+        return Comparison(
+            expression.op,
+            _strip_constants_expr(expression.left),
+            _strip_constants_expr(expression.right),
+        )
+    if isinstance(expression, Arithmetic):
+        return Arithmetic(
+            expression.op,
+            _strip_constants_expr(expression.left),
+            _strip_constants_expr(expression.right),
+        )
+    if isinstance(expression, BooleanExpr):
+        return BooleanExpr(
+            expression.op,
+            tuple(_strip_constants_expr(operand) for operand in expression.operands),
+        )
+    if isinstance(expression, StructExpr):
+        return StructExpr(
+            tuple((name, _strip_constants_expr(value)) for name, value in expression.fields)
+        )
+    if isinstance(expression, BagExpr):
+        return BagExpr(tuple(_strip_constants_expr(item) for item in expression.items))
+    if isinstance(expression, FunctionCall):
+        return FunctionCall(
+            expression.name, tuple(_strip_constants_expr(arg) for arg in expression.args)
+        )
+    return expression
+
+
+def exact_signature(extent_name: str, expression: LogicalOp) -> str:
+    """Signature for exact matching: extent plus the full expression text."""
+    return f"{extent_name}|{expression.to_text()}"
+
+
+def close_signature(extent_name: str, expression: LogicalOp) -> str:
+    """Signature for close matching: constants are replaced by placeholders."""
+
+    def visit(node: LogicalOp) -> LogicalOp:
+        if isinstance(node, Select):
+            return Select(node.variable, _strip_constants_expr(node.predicate), node.child)
+        if isinstance(node, Apply):
+            return Apply(node.variable, _strip_constants_expr(node.expression), node.child)
+        return node
+
+    stripped = transform_bottom_up(expression, visit)
+    return f"{extent_name}|{stripped.to_text()}"
+
+
+class ExecCallHistory:
+    """Fixed-size history of exec calls, per exact and per close signature."""
+
+    def __init__(self, window: int = 16, smoothing: float = 0.5):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        self.window = window
+        self.smoothing = smoothing
+        self._exact: dict[str, Deque[_Observation]] = {}
+        self._close: dict[str, Deque[_Observation]] = {}
+
+    # -- recording -----------------------------------------------------------------------
+    def record(
+        self, extent_name: str, expression: LogicalOp, elapsed: float, rows: int
+    ) -> None:
+        """Record the outcome of one exec call."""
+        observation = _Observation(elapsed=max(elapsed, 0.0), rows=max(rows, 0))
+        self._append(self._exact, exact_signature(extent_name, expression), observation)
+        self._append(self._close, close_signature(extent_name, expression), observation)
+
+    def _append(self, store: dict[str, Deque[_Observation]], key: str, observation: _Observation) -> None:
+        queue = store.setdefault(key, deque(maxlen=self.window))
+        queue.append(observation)
+
+    # -- estimation ----------------------------------------------------------------------
+    def estimate(self, extent_name: str, expression: LogicalOp) -> CostEstimate:
+        """Estimate the cost of an exec call from history (exact, close or default)."""
+        exact = self._exact.get(exact_signature(extent_name, expression))
+        if exact:
+            time, rows = self._smooth(exact)
+            return CostEstimate(time=time, rows=rows, kind="exact", samples=len(exact))
+        close = self._close.get(close_signature(extent_name, expression))
+        if close:
+            time, rows = self._smooth(close)
+            return CostEstimate(time=time, rows=rows, kind="close", samples=len(close))
+        return CostEstimate(
+            time=DEFAULT_TIME_COST, rows=DEFAULT_DATA_COST, kind="default", samples=0
+        )
+
+    def _smooth(self, observations: Deque[_Observation]) -> tuple[float, float]:
+        """Exponential smoothing over the recorded observations (oldest first)."""
+        time_estimate = observations[0].elapsed
+        rows_estimate = float(observations[0].rows)
+        for observation in list(observations)[1:]:
+            time_estimate = (
+                self.smoothing * observation.elapsed + (1 - self.smoothing) * time_estimate
+            )
+            rows_estimate = (
+                self.smoothing * observation.rows + (1 - self.smoothing) * rows_estimate
+            )
+        return time_estimate, rows_estimate
+
+    # -- inspection ----------------------------------------------------------------------
+    def recorded_calls(self) -> int:
+        """Total number of exact signatures currently tracked."""
+        return len(self._exact)
+
+    def clear(self) -> None:
+        """Forget everything (used between experiment runs)."""
+        self._exact.clear()
+        self._close.clear()

@@ -1,0 +1,109 @@
+"""Implementation rules: logical operators -> physical algorithms.
+
+"Logical operations are transformed into physical expressions using
+implementation rules. DISCO has the usual transformation rules that implement
+join with merge-join."  Here ``join`` can be implemented by a hash join or a
+nested-loop join (two alternatives the optimizer costs); every other logical
+operator has exactly one physical algorithm.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.algebra import logical as log
+from repro.algebra import physical as phys
+from repro.errors import OptimizationError
+
+
+def implement(node: log.LogicalOp) -> phys.PhysicalOp:
+    """Return the default physical plan for ``node`` (hash joins everywhere)."""
+    if isinstance(node, log.Submit):
+        return phys.Exec(
+            source=phys.Field(node.source),
+            expression=node.expression,
+            extent_name=node.extent_name or node.source,
+        )
+    if isinstance(node, log.BagLiteral):
+        return phys.MkBag(node.values)
+    if isinstance(node, log.Project):
+        return phys.MkProj(node.attributes, implement(node.child))
+    if isinstance(node, log.Select):
+        return phys.Filter(node.variable, node.predicate, implement(node.child))
+    if isinstance(node, log.Apply):
+        return phys.MkApply(node.variable, node.expression, implement(node.child))
+    if isinstance(node, log.Join):
+        return phys.HashJoin(implement(node.left), implement(node.right), node.on)
+    if isinstance(node, log.BindJoin):
+        return phys.MkBindJoin(
+            implement(node.left),
+            implement(node.right),
+            node.left_variable,
+            node.right_variable,
+            condition=node.condition,
+        )
+    if isinstance(node, log.Union):
+        return phys.MkUnion(tuple(implement(child) for child in node.inputs))
+    if isinstance(node, log.Flatten):
+        return phys.MkFlatten(implement(node.child))
+    if isinstance(node, log.Distinct):
+        return phys.MkDistinct(implement(node.child))
+    if isinstance(node, log.Get):
+        raise OptimizationError(
+            f"get({node.collection}) reached physical planning outside a submit; "
+            "extents must be accessed through submit/exec"
+        )
+    raise OptimizationError(f"no implementation rule for {node.to_text()}")
+
+
+def implementation_alternatives(node: log.LogicalOp) -> list[phys.PhysicalOp]:
+    """Return every physical plan for ``node`` (join algorithm choices multiply)."""
+    if isinstance(node, (log.Submit, log.BagLiteral)):
+        # Submit keeps its argument as a logical expression (the wrapper
+        # interface accepts logical expressions), so it is a physical leaf.
+        return [implement(node)]
+    if isinstance(node, log.Join):
+        lefts = implementation_alternatives(node.left)
+        rights = implementation_alternatives(node.right)
+        plans: list[phys.PhysicalOp] = []
+        for left, right in product(lefts, rights):
+            plans.append(phys.HashJoin(left, right, node.on))
+            plans.append(phys.NestedLoopJoin(left, right, node.on))
+        return plans
+    children = node.children()
+    if not children:
+        return [implement(node)]
+    children_alternatives = [implementation_alternatives(child) for child in children]
+    plans = []
+    for combination in product(*children_alternatives):
+        plans.append(_rebuild(node, list(combination)))
+    return plans
+
+
+def _rebuild(node: log.LogicalOp, children: list[phys.PhysicalOp]) -> phys.PhysicalOp:
+    """Build the physical node for ``node`` given already-implemented children."""
+    if isinstance(node, log.Project):
+        return phys.MkProj(node.attributes, children[0])
+    if isinstance(node, log.Select):
+        return phys.Filter(node.variable, node.predicate, children[0])
+    if isinstance(node, log.Apply):
+        return phys.MkApply(node.variable, node.expression, children[0])
+    if isinstance(node, log.BindJoin):
+        return phys.MkBindJoin(
+            children[0],
+            children[1],
+            node.left_variable,
+            node.right_variable,
+            condition=node.condition,
+        )
+    if isinstance(node, log.Union):
+        return phys.MkUnion(tuple(children))
+    if isinstance(node, log.Flatten):
+        return phys.MkFlatten(children[0])
+    if isinstance(node, log.Distinct):
+        return phys.MkDistinct(children[0])
+    if isinstance(node, log.Submit):
+        # A submit has a logical child but the physical Exec keeps it as a
+        # logical argument (the wrapper interface accepts logical expressions).
+        return implement(node)
+    raise OptimizationError(f"no implementation rule for {node.to_text()}")

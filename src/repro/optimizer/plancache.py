@@ -1,0 +1,59 @@
+"""Caching of optimized plans, invalidated by schema changes.
+
+The paper: "if query optimization plans are cached, the mediator must monitor
+updates to extents, and modify or recompute plans that are affected by updates
+to the extents understood by the mediator."  The registry bumps a schema
+version every time an extent is added or dropped; cached plans remember the
+version they were built under and are discarded when it moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class _CachedPlan:
+    plan: Any
+    schema_version: int
+
+
+@dataclass
+class PlanCache:
+    """A small query-text -> optimized-plan cache."""
+
+    capacity: int = 128
+    _entries: dict[str, _CachedPlan] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    def get(self, query_text: str, schema_version: int) -> Any | None:
+        """Return the cached plan, or None when absent or stale."""
+        entry = self._entries.get(query_text)
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry.schema_version != schema_version:
+            del self._entries[query_text]
+            self.invalidations += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry.plan
+
+    def put(self, query_text: str, schema_version: int, plan: Any) -> None:
+        """Store a plan built under ``schema_version``."""
+        if len(self._entries) >= self.capacity and query_text not in self._entries:
+            # Drop the oldest entry (insertion order) to stay within capacity.
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+        self._entries[query_text] = _CachedPlan(plan=plan, schema_version=schema_version)
+
+    def clear(self) -> None:
+        """Drop every cached plan."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,187 @@
+"""Query-level AST nodes of the OQL subset.
+
+Scalar expressions (paths, comparisons, struct constructors, aggregates, ...)
+are shared with the algebra and live in :mod:`repro.algebra.expressions`; the
+nodes here represent whole *collections* (or a scalar top-level expression)
+and the ``define ... as`` statement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.algebra.expressions import Expr
+from repro.datamodel.extent import MetaExtent
+
+
+class QueryNode:
+    """Base class of query-level AST nodes."""
+
+    def to_oql(self) -> str:
+        """Render back to OQL text."""
+        raise NotImplementedError
+
+    def free_variables(self) -> set[str]:
+        """Query variables referenced but not bound inside this node."""
+        return set()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}<{self.to_oql()}>"
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.to_oql() == other.to_oql()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.to_oql()))
+
+
+@dataclass(eq=False)
+class CollectionRef(QueryNode):
+    """A named collection: an extent, a view or an implicit type extent.
+
+    ``recursive=True`` is the paper's ``person*`` syntax (extents of the type
+    and of all its subtypes).
+    """
+
+    name: str
+    recursive: bool = False
+
+    def to_oql(self) -> str:
+        return f"{self.name}*" if self.recursive else self.name
+
+
+@dataclass(eq=False)
+class BoundExtent(QueryNode):
+    """A collection resolved by the binder to one concrete data-source extent."""
+
+    meta: MetaExtent
+
+    def to_oql(self) -> str:
+        return self.meta.name
+
+
+@dataclass(eq=False)
+class MetaExtentCollection(QueryNode):
+    """The special ``metaextent`` collection holding every MetaExtent object."""
+
+    def to_oql(self) -> str:
+        return "metaextent"
+
+
+@dataclass(eq=False)
+class Binding:
+    """One ``<variable> in <collection>`` element of a ``from`` clause."""
+
+    variable: str
+    collection: QueryNode
+
+    def to_oql(self) -> str:
+        """Render as ``variable in collection``."""
+        return f"{self.variable} in {self.collection.to_oql()}"
+
+
+@dataclass(eq=False)
+class SelectQuery(QueryNode):
+    """``select [distinct] <item> from <bindings> [where <predicate>]``."""
+
+    item: Expr
+    bindings: tuple[Binding, ...]
+    where: Expr | None = None
+    distinct: bool = False
+
+    def to_oql(self) -> str:
+        parts = ["select"]
+        if self.distinct:
+            parts.append("distinct")
+        parts.append(self.item.to_oql())
+        parts.append("from " + ", ".join(binding.to_oql() for binding in self.bindings))
+        if self.where is not None:
+            parts.append("where " + self.where.to_oql())
+        return " ".join(parts)
+
+    def bound_variables(self) -> set[str]:
+        """Variables introduced by this query's ``from`` clause."""
+        return {binding.variable for binding in self.bindings}
+
+    def free_variables(self) -> set[str]:
+        bound = self.bound_variables()
+        used: set[str] = set()
+        used |= self.item.free_variables()
+        if self.where is not None:
+            used |= self.where.free_variables()
+        for binding in self.bindings:
+            used |= binding.collection.free_variables()
+        return used - bound
+
+
+@dataclass(eq=False)
+class UnionQuery(QueryNode):
+    """``union(q1, q2, ...)`` -- additive bag union of sub-queries."""
+
+    parts: tuple[QueryNode, ...]
+
+    def to_oql(self) -> str:
+        return "union(" + ", ".join(part.to_oql() for part in self.parts) + ")"
+
+    def free_variables(self) -> set[str]:
+        result: set[str] = set()
+        for part in self.parts:
+            result |= part.free_variables()
+        return result
+
+
+@dataclass(eq=False)
+class FlattenQuery(QueryNode):
+    """``flatten(q)`` -- flatten a bag of bags one level."""
+
+    child: QueryNode
+
+    def to_oql(self) -> str:
+        return f"flatten({self.child.to_oql()})"
+
+    def free_variables(self) -> set[str]:
+        return self.child.free_variables()
+
+
+@dataclass(eq=False)
+class BagLiteralQuery(QueryNode):
+    """``bag(v1, v2, ...)`` / ``Bag("Mary", "Sam")`` -- a literal collection."""
+
+    items: tuple[Expr, ...] = ()
+
+    def to_oql(self) -> str:
+        return "bag(" + ", ".join(item.to_oql() for item in self.items) + ")"
+
+    def free_variables(self) -> set[str]:
+        result: set[str] = set()
+        for item in self.items:
+            result |= item.free_variables()
+        return result
+
+
+@dataclass(eq=False)
+class ExprQuery(QueryNode):
+    """A top-level scalar expression (e.g. ``sum(select z.salary from ...)``)."""
+
+    expression: Expr
+
+    def to_oql(self) -> str:
+        return self.expression.to_oql()
+
+    def free_variables(self) -> set[str]:
+        return self.expression.free_variables()
+
+
+@dataclass(eq=False)
+class DefineStatement(QueryNode):
+    """``define <name> as <query>`` -- a view definition (paper Section 2.2.3)."""
+
+    name: str
+    query: QueryNode
+
+    def to_oql(self) -> str:
+        return f"define {self.name} as {self.query.to_oql()}"
+
+    def free_variables(self) -> set[str]:
+        return self.query.free_variables()

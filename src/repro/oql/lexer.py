@@ -1,0 +1,160 @@
+"""Tokenizer for the DISCO OQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+KEYWORDS = {
+    "select",
+    "from",
+    "in",
+    "where",
+    "and",
+    "or",
+    "not",
+    "union",
+    "flatten",
+    "bag",
+    "struct",
+    "define",
+    "as",
+    "distinct",
+    "true",
+    "false",
+    "nil",
+}
+
+OPERATORS = (
+    "<=",
+    ">=",
+    "!=",
+    "<>",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "(",
+    ")",
+    ",",
+    ".",
+    ":",
+    ";",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its position (for error messages)."""
+
+    kind: str  # KEYWORD, IDENT, NUMBER, STRING, OP, EOF
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        """True when this token is the keyword ``word`` (case-insensitive)."""
+        return self.kind == "KEYWORD" and self.text == word.lower()
+
+    def is_op(self, text: str) -> bool:
+        """True when this token is the operator ``text``."""
+        return self.kind == "OP" and self.text == text
+
+
+class OqlLexer:
+    """Hand-written scanner producing :class:`Token` objects."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.position = 0
+        self.line = 1
+        self.column = 1
+
+    def tokens(self) -> list[Token]:
+        """Tokenize the whole input, ending with an EOF token."""
+        result: list[Token] = []
+        while True:
+            token = self._next_token()
+            result.append(token)
+            if token.kind == "EOF":
+                return result
+
+    # -- internals -------------------------------------------------------------------
+    def _advance_char(self) -> str:
+        char = self.text[self.position]
+        self.position += 1
+        if char == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return char
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.position < len(self.text):
+            char = self.text[self.position]
+            if char.isspace():
+                self._advance_char()
+                continue
+            if self.text.startswith("//", self.position):
+                while self.position < len(self.text) and self.text[self.position] != "\n":
+                    self._advance_char()
+                continue
+            return
+
+    def _next_token(self) -> Token:
+        self._skip_whitespace_and_comments()
+        if self.position >= len(self.text):
+            return Token("EOF", "", self.line, self.column)
+        line, column = self.line, self.column
+        char = self.text[self.position]
+        if char == '"':
+            return self._string(line, column)
+        if char.isdigit():
+            return self._number(line, column)
+        if char.isalpha() or char == "_":
+            return self._word(line, column)
+        for operator in OPERATORS:
+            if self.text.startswith(operator, self.position):
+                for _ in operator:
+                    self._advance_char()
+                return Token("OP", operator, line, column)
+        raise ParseError(f"unexpected character {char!r} in OQL", line=line, column=column)
+
+    def _string(self, line: int, column: int) -> Token:
+        self._advance_char()  # opening quote
+        chars: list[str] = []
+        while self.position < len(self.text):
+            char = self._advance_char()
+            if char == "\\" and self.position < len(self.text):
+                chars.append(self._advance_char())
+                continue
+            if char == '"':
+                return Token("STRING", "".join(chars), line, column)
+            chars.append(char)
+        raise ParseError("unterminated string literal", line=line, column=column)
+
+    def _number(self, line: int, column: int) -> Token:
+        chars: list[str] = []
+        while self.position < len(self.text) and (
+            self.text[self.position].isdigit() or self.text[self.position] == "."
+        ):
+            chars.append(self._advance_char())
+        return Token("NUMBER", "".join(chars), line, column)
+
+    def _word(self, line: int, column: int) -> Token:
+        chars: list[str] = []
+        while self.position < len(self.text) and (
+            self.text[self.position].isalnum() or self.text[self.position] == "_"
+        ):
+            chars.append(self._advance_char())
+        text = "".join(chars)
+        if text.lower() in KEYWORDS:
+            # "Bag(...)" (capitalised, as in the paper's answers) maps to the
+            # same keyword as "bag(...)".
+            return Token("KEYWORD", text.lower(), line, column)
+        return Token("IDENT", text, line, column)

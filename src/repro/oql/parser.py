@@ -1,0 +1,374 @@
+"""Recursive-descent parser for the DISCO OQL subset."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.algebra.expressions import (
+    Arithmetic,
+    BagExpr,
+    BooleanExpr,
+    Comparison,
+    Const,
+    Expr,
+    FunctionCall,
+    Path,
+    StructExpr,
+    Subquery,
+    Var,
+)
+from repro.errors import ParseError
+from repro.oql.ast import (
+    BagLiteralQuery,
+    Binding,
+    CollectionRef,
+    DefineStatement,
+    ExprQuery,
+    FlattenQuery,
+    QueryNode,
+    SelectQuery,
+    UnionQuery,
+)
+from repro.oql.lexer import OqlLexer, Token
+
+_COMPARISON_OPS = ("=", "!=", "<>", "<", "<=", ">", ">=")
+
+
+class OqlParser:
+    """Parse OQL text into query AST nodes."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self._tokens = OqlLexer(text).tokens()
+        self._index = 0
+
+    # -- public entry points --------------------------------------------------------
+    def parse_query(self) -> QueryNode:
+        """Parse a single query; trailing input (except ``;``) is an error."""
+        query = self._query()
+        self._match_op(";")
+        token = self._peek()
+        if token.kind != "EOF":
+            raise ParseError(
+                f"unexpected trailing input {token.text!r}", line=token.line, column=token.column
+            )
+        return query
+
+    def parse_statement(self) -> QueryNode:
+        """Parse either a ``define ... as ...`` statement or a query."""
+        if self._peek().is_keyword("define"):
+            self._advance()
+            name = self._expect("IDENT").text
+            self._expect_keyword("as")
+            query = self._query()
+            self._match_op(";")
+            return DefineStatement(name=name, query=query)
+        return self.parse_query()
+
+    # -- token helpers ----------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind != "EOF":
+            self._index += 1
+        return token
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        token = self._advance()
+        if token.kind != kind or (text is not None and token.text != text):
+            raise ParseError(
+                f"expected {text or kind}, got {token.text!r}",
+                line=token.line,
+                column=token.column,
+            )
+        return token
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._advance()
+        if not token.is_keyword(word):
+            raise ParseError(
+                f"expected {word!r}, got {token.text!r}", line=token.line, column=token.column
+            )
+        return token
+
+    def _expect_op(self, text: str) -> Token:
+        token = self._advance()
+        if not token.is_op(text):
+            raise ParseError(
+                f"expected {text!r}, got {token.text!r}", line=token.line, column=token.column
+            )
+        return token
+
+    def _match_keyword(self, word: str) -> bool:
+        if self._peek().is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _match_op(self, text: str) -> bool:
+        if self._peek().is_op(text):
+            self._advance()
+            return True
+        return False
+
+    # -- queries ------------------------------------------------------------------------
+    def _query(self) -> QueryNode:
+        token = self._peek()
+        if token.is_keyword("select"):
+            return self._select_query()
+        if token.is_keyword("union"):
+            self._advance()
+            self._expect_op("(")
+            parts = [self._query()]
+            while self._match_op(","):
+                parts.append(self._query())
+            self._expect_op(")")
+            return UnionQuery(tuple(parts))
+        if token.is_keyword("flatten"):
+            self._advance()
+            self._expect_op("(")
+            child = self._query()
+            self._expect_op(")")
+            return FlattenQuery(child)
+        if token.is_keyword("bag"):
+            self._advance()
+            self._expect_op("(")
+            items: list[Expr] = []
+            if not self._peek().is_op(")"):
+                items.append(self._expression_or_subquery())
+                while self._match_op(","):
+                    items.append(self._expression_or_subquery())
+            self._expect_op(")")
+            return BagLiteralQuery(tuple(items))
+        if token.is_op("("):
+            self._advance()
+            inner = self._query()
+            self._expect_op(")")
+            return inner
+        if token.kind == "IDENT":
+            # Either a bare collection reference or a scalar expression such as
+            # sum(select ...); a following "(" means a function call.
+            if self._peek(1).is_op("("):
+                return ExprQuery(self._expression())
+            if self._peek(1).is_op("."):
+                return ExprQuery(self._expression())
+            return self._collection_ref()
+        # Anything else is a scalar expression used as a query.
+        return ExprQuery(self._expression())
+
+    def _collection_ref(self) -> CollectionRef:
+        name = self._expect("IDENT").text
+        recursive = False
+        if self._peek().is_op("*"):
+            self._advance()
+            recursive = True
+        return CollectionRef(name=name, recursive=recursive)
+
+    def _select_query(self) -> SelectQuery:
+        self._expect_keyword("select")
+        distinct = self._match_keyword("distinct")
+        item = self._expression()
+        self._expect_keyword("from")
+        bindings = [self._binding()]
+        while True:
+            # A "," or "and" continues the from clause only when a binding
+            # (IDENT "in" ...) follows; otherwise it belongs to an enclosing
+            # construct such as union(select ..., select ...).
+            if self._peek().is_op(",") and self._looks_like_binding(1):
+                self._advance()
+                bindings.append(self._binding())
+                continue
+            # The paper also separates bindings with "and":
+            #   from x in person0 and y in person1
+            if self._peek().is_keyword("and") and self._looks_like_binding(1):
+                self._advance()
+                bindings.append(self._binding())
+                continue
+            break
+        where = None
+        if self._match_keyword("where"):
+            where = self._expression()
+        return SelectQuery(item=item, bindings=tuple(bindings), where=where, distinct=distinct)
+
+    def _looks_like_binding(self, offset: int) -> bool:
+        return self._peek(offset).kind == "IDENT" and self._peek(offset + 1).is_keyword("in")
+
+    def _binding(self) -> Binding:
+        variable = self._expect("IDENT").text
+        self._expect_keyword("in")
+        collection = self._collection_expression()
+        return Binding(variable=variable, collection=collection)
+
+    def _collection_expression(self) -> QueryNode:
+        token = self._peek()
+        if token.kind == "IDENT" and not self._peek(1).is_op("("):
+            return self._collection_ref()
+        if (
+            token.is_keyword("select")
+            or token.is_keyword("union")
+            or token.is_keyword("flatten")
+            or token.is_keyword("bag")
+            or token.is_op("(")
+        ):
+            return self._query()
+        return ExprQuery(self._expression())
+
+    # -- expressions -----------------------------------------------------------------------
+    def _expression_or_subquery(self) -> Expr:
+        if self._peek().is_keyword("select"):
+            return Subquery(self._select_query())
+        return self._expression()
+
+    def _expression(self) -> Expr:
+        return self._or_expression()
+
+    def _or_expression(self) -> Expr:
+        operands = [self._and_expression()]
+        while self._match_keyword("or"):
+            operands.append(self._and_expression())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanExpr("or", tuple(operands))
+
+    def _and_expression(self) -> Expr:
+        operands = [self._not_expression()]
+        while self._peek().is_keyword("and") and not self._looks_like_binding(1):
+            self._advance()
+            operands.append(self._not_expression())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanExpr("and", tuple(operands))
+
+    def _not_expression(self) -> Expr:
+        if self._match_keyword("not"):
+            return BooleanExpr("not", (self._not_expression(),))
+        return self._comparison()
+
+    def _comparison(self) -> Expr:
+        left = self._additive()
+        token = self._peek()
+        if token.kind == "OP" and token.text in _COMPARISON_OPS:
+            self._advance()
+            op = "!=" if token.text == "<>" else token.text
+            right = self._additive()
+            return Comparison(op, left, right)
+        return left
+
+    def _additive(self) -> Expr:
+        left = self._multiplicative()
+        while self._peek().is_op("+") or self._peek().is_op("-"):
+            op = self._advance().text
+            right = self._multiplicative()
+            left = Arithmetic(op, left, right)
+        return left
+
+    def _multiplicative(self) -> Expr:
+        left = self._primary()
+        while self._peek().is_op("*") or self._peek().is_op("/"):
+            op = self._advance().text
+            right = self._primary()
+            left = Arithmetic(op, left, right)
+        return left
+
+    def _primary(self) -> Expr:
+        token = self._peek()
+        if token.kind == "NUMBER":
+            self._advance()
+            value = float(token.text) if "." in token.text else int(token.text)
+            return Const(value)
+        if token.kind == "STRING":
+            self._advance()
+            return Const(token.text)
+        if token.is_keyword("true"):
+            self._advance()
+            return Const(True)
+        if token.is_keyword("false"):
+            self._advance()
+            return Const(False)
+        if token.is_keyword("nil"):
+            self._advance()
+            return Const(None)
+        if token.is_keyword("struct"):
+            return self._struct_expression()
+        if token.is_keyword("bag"):
+            self._advance()
+            self._expect_op("(")
+            items: list[Expr] = []
+            if not self._peek().is_op(")"):
+                items.append(self._expression_or_subquery())
+                while self._match_op(","):
+                    items.append(self._expression_or_subquery())
+            self._expect_op(")")
+            return BagExpr(tuple(items))
+        if token.is_keyword("union") or token.is_keyword("flatten"):
+            name = self._advance().text
+            self._expect_op("(")
+            args = [self._expression_or_subquery()]
+            while self._match_op(","):
+                args.append(self._expression_or_subquery())
+            self._expect_op(")")
+            return FunctionCall(name, tuple(args))
+        if token.is_keyword("select"):
+            return Subquery(self._select_query())
+        if token.is_op("("):
+            self._advance()
+            if self._peek().is_keyword("select"):
+                inner: Expr = Subquery(self._select_query())
+            else:
+                inner = self._expression()
+            self._expect_op(")")
+            return inner
+        if token.kind == "IDENT":
+            return self._identifier_expression()
+        raise ParseError(
+            f"unexpected token {token.text!r} in expression",
+            line=token.line,
+            column=token.column,
+        )
+
+    def _struct_expression(self) -> Expr:
+        self._expect_keyword("struct")
+        self._expect_op("(")
+        fields: list[tuple[str, Expr]] = []
+        if not self._peek().is_op(")"):
+            fields.append(self._struct_field())
+            while self._match_op(","):
+                fields.append(self._struct_field())
+        self._expect_op(")")
+        return StructExpr(tuple(fields))
+
+    def _struct_field(self) -> tuple[str, Expr]:
+        name = self._expect("IDENT").text
+        self._expect_op(":")
+        return name, self._expression_or_subquery()
+
+    def _identifier_expression(self) -> Expr:
+        name = self._expect("IDENT").text
+        if self._peek().is_op("("):
+            self._advance()
+            args: list[Expr] = []
+            if not self._peek().is_op(")"):
+                args.append(self._expression_or_subquery())
+                while self._match_op(","):
+                    args.append(self._expression_or_subquery())
+            self._expect_op(")")
+            return FunctionCall(name, tuple(args))
+        expression: Expr = Var(name)
+        while self._peek().is_op("."):
+            self._advance()
+            attribute = self._expect("IDENT").text
+            expression = Path(expression, attribute)
+        return expression
+
+
+def parse_query(text: str) -> QueryNode:
+    """Parse ``text`` as one OQL query."""
+    return OqlParser(text).parse_query()
+
+
+def parse_statement(text: str) -> QueryNode:
+    """Parse ``text`` as one OQL statement (a query or a ``define``)."""
+    return OqlParser(text).parse_statement()

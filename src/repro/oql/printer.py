@@ -1,0 +1,42 @@
+"""Rendering OQL ASTs back to query text.
+
+Every AST node already knows how to print itself (``to_oql``); this module
+provides the public entry point plus a small pretty-printer that lays out
+``select`` blocks over several lines the way the paper formats its examples.
+"""
+
+from __future__ import annotations
+
+from repro.oql.ast import (
+    Binding,
+    FlattenQuery,
+    QueryNode,
+    SelectQuery,
+    UnionQuery,
+)
+
+
+def query_to_oql(query: QueryNode) -> str:
+    """Render ``query`` to compact single-line OQL text."""
+    return query.to_oql()
+
+
+def pretty(query: QueryNode, indent: int = 0) -> str:
+    """Render ``query`` over several lines (the paper's layout)."""
+    pad = " " * indent
+    if isinstance(query, SelectQuery):
+        lines = [pad + "select " + ("distinct " if query.distinct else "") + query.item.to_oql()]
+        lines.append(pad + "from " + ", ".join(_binding_text(b) for b in query.bindings))
+        if query.where is not None:
+            lines.append(pad + "where " + query.where.to_oql())
+        return "\n".join(lines)
+    if isinstance(query, UnionQuery):
+        parts = [pretty(part, indent + 6) for part in query.parts]
+        return pad + "union(\n" + ",\n".join(parts) + ")"
+    if isinstance(query, FlattenQuery):
+        return pad + "flatten(\n" + pretty(query.child, indent + 8) + ")"
+    return pad + query.to_oql()
+
+
+def _binding_text(binding: Binding) -> str:
+    return f"{binding.variable} in {binding.collection.to_oql()}"

@@ -1,0 +1,185 @@
+"""Translation of bound OQL ASTs into logical algebra (paper Section 3.2).
+
+"When the query optimizer transforms an OQL query into a logical expression,
+references to extents are transformed into the submit operator."  The
+translator does exactly that: every :class:`~repro.oql.ast.BoundExtent`
+becomes ``submit(<repository>, get(<extent>))``, a query over an implicit
+type extent becomes a union of submits (one per data source), and the select
+block's projection and predicate become ``project`` / ``select`` operators on
+top -- the starting point from which the transformation rules push work
+towards the wrappers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.algebra.expressions import (
+    Const,
+    Expr,
+    Path,
+    StructExpr,
+    Var,
+    contains_subquery,
+)
+from repro.algebra.logical import (
+    Apply,
+    BagLiteral,
+    BindJoin,
+    Distinct,
+    Flatten,
+    Get,
+    LogicalOp,
+    Project,
+    Select,
+    Submit,
+    Union,
+)
+from repro.datamodel.values import Struct
+from repro.errors import NameResolutionError, QueryExecutionError
+from repro.oql.ast import (
+    BagLiteralQuery,
+    BoundExtent,
+    CollectionRef,
+    ExprQuery,
+    FlattenQuery,
+    MetaExtentCollection,
+    QueryNode,
+    SelectQuery,
+    UnionQuery,
+)
+
+MetaExtentRowsProvider = Callable[[], list[Struct]]
+
+
+class Translator:
+    """Translate bound query ASTs into logical plans."""
+
+    def __init__(self, metaextent_rows: MetaExtentRowsProvider | None = None):
+        self._metaextent_rows = metaextent_rows
+
+    # -- entry point ----------------------------------------------------------------------
+    def translate(self, query: QueryNode) -> LogicalOp:
+        """Translate a *bound* collection query into a logical plan.
+
+        Scalar queries (:class:`ExprQuery`) have no collection-level plan and
+        are evaluated directly by the run-time system; asking for their plan
+        is an error so callers handle them explicitly.
+        """
+        if isinstance(query, ExprQuery):
+            raise QueryExecutionError(
+                "scalar expression queries are evaluated directly, not planned"
+            )
+        return self._collection(query)
+
+    # -- collections ------------------------------------------------------------------------
+    def _collection(self, query: QueryNode) -> LogicalOp:
+        if isinstance(query, BoundExtent):
+            meta = query.meta
+            return Submit(meta.repository.name, Get(meta.name), extent_name=meta.name)
+        if isinstance(query, CollectionRef):
+            raise NameResolutionError(
+                f"collection {query.name!r} was not bound before translation"
+            )
+        if isinstance(query, MetaExtentCollection):
+            rows = self._metaextent_rows() if self._metaextent_rows is not None else []
+            return BagLiteral(tuple(rows))
+        if isinstance(query, UnionQuery):
+            return Union(tuple(self._collection(part) for part in query.parts))
+        if isinstance(query, FlattenQuery):
+            return Flatten(self._collection(query.child))
+        if isinstance(query, BagLiteralQuery):
+            return self._bag_literal(query)
+        if isinstance(query, SelectQuery):
+            return self._select(query)
+        raise QueryExecutionError(f"cannot translate query node {query!r}")
+
+    def _bag_literal(self, query: BagLiteralQuery) -> LogicalOp:
+        """Translate ``bag(...)`` used as a collection.
+
+        Constant items become literal data.  Items that are themselves queries
+        (the paper's ``personnew`` view builds a bag of two selects) are
+        evaluated by the mediator: the whole constructor becomes a single
+        apply over a dummy element, producing one bag value that combines the
+        sub-results; ``flatten`` then merges them exactly as in the paper.
+        """
+        if any(contains_subquery(item) or item.free_variables() for item in query.items):
+            from repro.algebra.expressions import BagExpr
+
+            return Apply("_bag", BagExpr(tuple(query.items)), BagLiteral((0,)))
+        return BagLiteral(tuple(item.evaluate({}) for item in query.items))
+
+    # -- select blocks -----------------------------------------------------------------------
+    def _select(self, query: SelectQuery) -> LogicalOp:
+        if len(query.bindings) == 1:
+            plan = self._single_binding_select(query)
+        else:
+            plan = self._multi_binding_select(query)
+        if query.distinct:
+            plan = Distinct(plan)
+        return plan
+
+    def _single_binding_select(self, query: SelectQuery) -> LogicalOp:
+        binding = query.bindings[0]
+        variable = binding.variable
+        plan = self._collection(binding.collection)
+        if query.where is not None:
+            plan = Select(variable, query.where, plan)
+        return self._apply_item(plan, variable, query.item)
+
+    def _apply_item(self, plan: LogicalOp, variable: str, item: Expr) -> LogicalOp:
+        # ``select x from ...`` keeps the element unchanged.
+        if isinstance(item, Var) and item.name == variable:
+            return plan
+        # ``select x.name from ...`` yields bare values: the column reduction
+        # (project, pushable to the wrapper) is followed by a mediator-side
+        # apply extracting the value out of the single-field record.
+        if isinstance(item, Path) and isinstance(item.base, Var) and item.base.name == variable:
+            return Apply(variable, item, Project((item.attribute,), plan))
+        # ``select struct(a: x.a, b: x.b) from ...`` with matching field names
+        # is a pure projection (the answer is a bag of structs).
+        if isinstance(item, StructExpr) and self._is_simple_projection(item, variable):
+            return Project(tuple(name for name, _ in item.fields), plan)
+        # Anything else (arithmetic, renamed fields, aggregates, nested
+        # subqueries) is computed by the mediator.
+        return Apply(variable, item, plan)
+
+    def _is_simple_projection(self, item: StructExpr, variable: str) -> bool:
+        for name, value in item.fields:
+            if not (
+                isinstance(value, Path)
+                and isinstance(value.base, Var)
+                and value.base.name == variable
+                and value.attribute == name
+            ):
+                return False
+        return True
+
+    def _multi_binding_select(self, query: SelectQuery) -> LogicalOp:
+        # Fold the bindings left to right into a BindJoin tree whose elements
+        # are variable environments; predicates and the select item are then
+        # evaluated over those environments at the mediator.
+        bindings = list(query.bindings)
+        plan = self._collection(bindings[0].collection)
+        bound_variables = [bindings[0].variable]
+        for binding in bindings[1:]:
+            right = self._collection(binding.collection)
+            plan = BindJoin(
+                plan,
+                right,
+                left_variable=bound_variables[-1] if len(bound_variables) == 1 else "_env",
+                right_variable=binding.variable,
+                condition=None,
+            )
+            bound_variables.append(binding.variable)
+        if query.where is not None:
+            plan = Select("_env", query.where, plan)
+        item = query.item
+        if isinstance(item, Var) and len(bound_variables) == 1:
+            return plan
+        return Apply("_env", item, plan)
+
+
+def submit_for(meta) -> Submit:
+    """Convenience used in tests: the canonical submit plan for one extent."""
+    return Submit(meta.repository.name, Get(meta.name), extent_name=meta.name)

@@ -1,0 +1,24 @@
+"""The mediator run-time system (paper Sections 3.3 and 4).
+
+* :mod:`repro.runtime.operators` -- row-level implementations shared by the
+  physical-plan executor and the partial-answer simplifier;
+* :mod:`repro.runtime.executor` -- executes physical plans: dispatches every
+  ``exec`` call in parallel, applies local transformation maps, records call
+  costs in the history, evaluates the mediator-side operators and assembles
+  the answer;
+* :mod:`repro.runtime.partial_eval` -- when some sources are unavailable,
+  transforms the partially evaluated physical plan back into a logical plan
+  and then into OQL text: the answer to the query is itself a query.
+"""
+
+from repro.runtime.executor import ExecutionResult, Executor, ExecReport
+from repro.runtime.partial_eval import PartialAnswerBuilder
+from repro.runtime.operators import Env
+
+__all__ = [
+    "ExecutionResult",
+    "Executor",
+    "ExecReport",
+    "PartialAnswerBuilder",
+    "Env",
+]

@@ -1,0 +1,330 @@
+"""Execution of physical plans: parallel exec dispatch, maps, partial answers.
+
+Paper Section 4: "The physical expression contains calls to the exec operator.
+These calls proceed in parallel.  Calls to available data sources succeed.
+Calls to unavailable data sources block.  After a designated time period,
+query evaluation stops" -- and the partially evaluated plan becomes the
+answer.
+
+The executor also implements the ``exec`` bookkeeping of Section 3.3: the
+arguments, elapsed time and amount of data of every call are recorded in the
+:class:`~repro.optimizer.history.ExecCallHistory` used by the cost model.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor, TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Protocol
+
+from repro.algebra import logical as log
+from repro.algebra import physical as phys
+from repro.algebra.expressions import Expr
+from repro.algebra.logical import transform_bottom_up
+from repro.datamodel.extent import MetaExtent
+from repro.datamodel.values import Bag
+from repro.errors import QueryExecutionError, TypeConflictError, UnavailableSourceError
+from repro.optimizer.history import ExecCallHistory
+from repro.optimizer.implementation import implement
+from repro.runtime import operators as ops
+from repro.runtime.partial_eval import UNAVAILABLE, PartialAnswerBuilder
+
+
+class RuntimeRegistry(Protocol):
+    """What the executor needs from the mediator's internal database."""
+
+    def extent(self, name: str) -> MetaExtent: ...
+
+    def wrapper_object(self, name: str) -> Any: ...
+
+    def interface_attributes(self, interface_name: str) -> list[str]: ...
+
+
+@dataclass
+class ExecReport:
+    """Outcome of one exec call (one wrapper round trip)."""
+
+    extent_name: str
+    source: str
+    expression: str
+    elapsed: float
+    rows: int
+    available: bool
+
+
+@dataclass
+class ExecutionResult:
+    """The answer to one query execution."""
+
+    data: Bag
+    is_partial: bool = False
+    partial_plan: log.LogicalOp | None = None
+    partial_query: str | None = None
+    unavailable_sources: tuple[str, ...] = ()
+    reports: tuple[ExecReport, ...] = ()
+
+    def answer(self) -> Any:
+        """The user-facing answer: data when complete, OQL text when partial."""
+        return self.partial_query if self.is_partial else self.data
+
+
+@dataclass
+class ExecutorConfig:
+    """Execution knobs."""
+
+    #: the paper's "designated time period" before sources are declared
+    #: unavailable; None waits indefinitely.
+    timeout: float | None = 5.0
+    #: maximum number of concurrent exec calls
+    max_parallel_calls: int = 16
+    #: whether the mediator checks source attribute names against the
+    #: mediator interface (the run-time type check of Section 2.1)
+    type_check: bool = True
+
+
+class Executor:
+    """Runs physical plans against wrappers registered in a mediator registry."""
+
+    def __init__(
+        self,
+        registry: RuntimeRegistry,
+        history: ExecCallHistory | None = None,
+        config: ExecutorConfig | None = None,
+        subquery_planner=None,
+    ):
+        self.registry = registry
+        self.history = history or ExecCallHistory()
+        self.config = config or ExecutorConfig()
+        self._subquery_planner = subquery_planner
+        self._type_checked_extents: set[str] = set()
+        self.partial_builder = PartialAnswerBuilder(subquery_evaluator=self._evaluate_subquery)
+
+    # -- public entry point ------------------------------------------------------------------
+    def execute(
+        self,
+        plan: phys.PhysicalOp,
+        base_env: Mapping[str, Any] | None = None,
+        timeout: float | None = None,
+    ) -> ExecutionResult:
+        """Execute ``plan``; unavailable sources yield a partial answer."""
+        timeout = self.config.timeout if timeout is None else timeout
+        exec_nodes = phys.execs_in(plan)
+        outcomes, reports = self._dispatch(exec_nodes, timeout)
+        unavailable = tuple(
+            report.extent_name for report in reports if not report.available
+        )
+        if unavailable:
+            partial_plan = self.partial_builder.build(plan, outcomes, base_env=base_env)
+            return ExecutionResult(
+                data=Bag(),
+                is_partial=True,
+                partial_plan=partial_plan,
+                partial_query=self.partial_builder.to_oql(partial_plan),
+                unavailable_sources=unavailable,
+                reports=tuple(reports),
+            )
+        values = self._evaluate(plan, outcomes, base_env)
+        return ExecutionResult(data=Bag(values), reports=tuple(reports))
+
+    # -- exec dispatch ------------------------------------------------------------------------
+    def _dispatch(
+        self, exec_nodes: list[phys.Exec], timeout: float | None
+    ) -> tuple[dict[int, Any], list[ExecReport]]:
+        outcomes: dict[int, Any] = {}
+        reports: list[ExecReport] = []
+        if not exec_nodes:
+            return outcomes, reports
+        workers = min(self.config.max_parallel_calls, len(exec_nodes))
+        pool = ThreadPoolExecutor(max_workers=workers, thread_name_prefix="disco-exec")
+        try:
+            futures = {
+                pool.submit(self._run_exec, node): node for node in exec_nodes
+            }
+            deadline = None if timeout is None else time.monotonic() + timeout
+            for future, node in futures.items():
+                remaining = None
+                if deadline is not None:
+                    remaining = max(deadline - time.monotonic(), 0.0)
+                try:
+                    rows, elapsed = future.result(timeout=remaining)
+                    outcomes[id(node)] = rows
+                    reports.append(
+                        ExecReport(
+                            extent_name=node.extent_name,
+                            source=node.source.name,
+                            expression=node.expression.to_text(),
+                            elapsed=elapsed,
+                            rows=len(rows),
+                            available=True,
+                        )
+                    )
+                except (UnavailableSourceError, FutureTimeoutError) as exc:
+                    outcomes[id(node)] = UNAVAILABLE
+                    reports.append(
+                        ExecReport(
+                            extent_name=node.extent_name,
+                            source=node.source.name,
+                            expression=node.expression.to_text(),
+                            elapsed=0.0,
+                            rows=0,
+                            available=False,
+                        )
+                    )
+                    if isinstance(exc, FutureTimeoutError):
+                        future.cancel()
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return outcomes, reports
+
+    def _run_exec(self, node: phys.Exec) -> tuple[list[Any], float]:
+        """One wrapper round trip: map, submit, reverse-map, record cost."""
+        meta = self.registry.extent(node.extent_name)
+        wrapper = self.registry.wrapper_object(meta.wrapper)
+        self._check_types(meta, wrapper)
+        source_expression = self.to_source_namespace(node.expression, meta)
+        started = time.monotonic()
+        raw_rows = wrapper.submit(source_expression)
+        elapsed = time.monotonic() - started
+        rows = [ops.as_struct(meta.map.row_to_mediator(row)) if isinstance(row, Mapping) else row
+                for row in raw_rows]
+        self.history.record(node.extent_name, node.expression, elapsed, len(rows))
+        return rows, elapsed
+
+    # -- name-space translation (the local transformation map) ---------------------------------
+    def to_source_namespace(self, expression: log.LogicalOp, meta: MetaExtent) -> log.LogicalOp:
+        """Rename collections and attributes from mediator to source vocabulary."""
+        renames = meta.map.mediator_to_source
+
+        def visit(node: log.LogicalOp) -> log.LogicalOp:
+            if isinstance(node, log.Get):
+                if node.collection == meta.name:
+                    return log.Get(meta.e.source_name())
+                return node
+            if isinstance(node, log.Project):
+                return log.Project(
+                    tuple(renames.get(attr, attr) for attr in node.attributes), node.child
+                )
+            if isinstance(node, log.Select):
+                return log.Select(
+                    node.variable, node.predicate.rename_attributes(renames), node.child
+                )
+            if isinstance(node, log.Join):
+                left_attr, right_attr = node.join_attributes()
+                return log.Join(
+                    node.left,
+                    node.right,
+                    (renames.get(left_attr, left_attr), renames.get(right_attr, right_attr)),
+                    left_variable=node.left_variable,
+                    right_variable=node.right_variable,
+                )
+            return node
+
+        return transform_bottom_up(expression, visit)
+
+    def _check_types(self, meta: MetaExtent, wrapper: Any) -> None:
+        """Run-time type check: source attributes must cover the mediator type."""
+        if not self.config.type_check or meta.name in self._type_checked_extents:
+            return
+        interface_attributes = self.registry.interface_attributes(meta.interface)
+        source_attributes = wrapper.source_attributes(meta.e.source_name())
+        if source_attributes:
+            expected = {meta.map.attribute_to_source(attr) for attr in interface_attributes}
+            missing = expected - set(source_attributes)
+            if missing:
+                raise TypeConflictError(
+                    f"extent {meta.name!r}: data source collection "
+                    f"{meta.e.source_name()!r} lacks attribute(s) {sorted(missing)!r} "
+                    f"required by interface {meta.interface!r}; declare a map to resolve "
+                    "the conflict"
+                )
+        self._type_checked_extents.add(meta.name)
+
+    def invalidate_type_checks(self) -> None:
+        """Forget cached type checks (after schema changes)."""
+        self._type_checked_extents.clear()
+
+    # -- mediator-side evaluation -----------------------------------------------------------------
+    def _evaluate(
+        self,
+        plan: phys.PhysicalOp,
+        outcomes: dict[int, Any],
+        base_env: Mapping[str, Any] | None,
+    ) -> list[Any]:
+        if isinstance(plan, phys.Exec):
+            rows = outcomes.get(id(plan), UNAVAILABLE)
+            if rows is UNAVAILABLE:
+                raise QueryExecutionError(
+                    f"exec for extent {plan.extent_name!r} has no outcome"
+                )
+            return list(rows)
+        if isinstance(plan, phys.MkBag):
+            return [ops.as_struct(value) for value in plan.values]
+        if isinstance(plan, phys.MkProj):
+            return ops.project_rows(self._evaluate(plan.child, outcomes, base_env), plan.attributes)
+        if isinstance(plan, phys.Filter):
+            return ops.filter_rows(
+                self._evaluate(plan.child, outcomes, base_env),
+                plan.variable,
+                plan.predicate,
+                base_env=base_env,
+                subquery_evaluator=self._evaluate_subquery,
+            )
+        if isinstance(plan, phys.MkApply):
+            return ops.apply_rows(
+                self._evaluate(plan.child, outcomes, base_env),
+                plan.variable,
+                plan.expression,
+                base_env=base_env,
+                subquery_evaluator=self._evaluate_subquery,
+            )
+        if isinstance(plan, phys.HashJoin):
+            return ops.hash_join_rows(
+                self._evaluate(plan.left, outcomes, base_env),
+                self._evaluate(plan.right, outcomes, base_env),
+                plan.on,
+            )
+        if isinstance(plan, phys.NestedLoopJoin):
+            return ops.nested_loop_join_rows(
+                self._evaluate(plan.left, outcomes, base_env),
+                self._evaluate(plan.right, outcomes, base_env),
+                plan.on,
+            )
+        if isinstance(plan, phys.MkBindJoin):
+            return ops.bind_join_rows(
+                self._evaluate(plan.left, outcomes, base_env),
+                self._evaluate(plan.right, outcomes, base_env),
+                plan.left_variable,
+                plan.right_variable,
+                plan.condition,
+                base_env=base_env,
+                subquery_evaluator=self._evaluate_subquery,
+            )
+        if isinstance(plan, phys.MkUnion):
+            return ops.union_rows(
+                self._evaluate(child, outcomes, base_env) for child in plan.inputs
+            )
+        if isinstance(plan, phys.MkFlatten):
+            return ops.flatten_rows(self._evaluate(plan.child, outcomes, base_env))
+        if isinstance(plan, phys.MkDistinct):
+            return ops.distinct_rows(self._evaluate(plan.child, outcomes, base_env))
+        raise QueryExecutionError(f"cannot evaluate physical operator {plan.to_text()}")
+
+    # -- nested subqueries -------------------------------------------------------------------------
+    def _evaluate_subquery(self, query: Any, env: Mapping[str, Any]) -> Any:
+        """Evaluate a nested (bound) subquery with the enclosing environment."""
+        from repro.oql.ast import ExprQuery  # local import to avoid a cycle
+
+        if isinstance(query, ExprQuery):
+            return query.expression.evaluate(dict(env), self._evaluate_subquery)
+        if self._subquery_planner is None:
+            raise QueryExecutionError("no subquery planner configured")
+        logical = self._subquery_planner(query)
+        physical = implement(logical)
+        result = self.execute(physical, base_env=env)
+        if result.is_partial:
+            raise UnavailableSourceError(
+                ",".join(result.unavailable_sources),
+                "a nested subquery touched an unavailable data source",
+            )
+        return result.data

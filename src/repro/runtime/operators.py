@@ -1,0 +1,246 @@
+"""Row-level operator implementations shared across the run-time system.
+
+Elements flowing through a plan are either data values (usually
+:class:`~repro.datamodel.values.Struct` rows) or :class:`Env` objects --
+variable environments produced by ``bindjoin`` for multi-variable queries.
+Predicates and select items are evaluated with an environment that merges the
+query's outer environment (for correlated subqueries), the element's own
+bindings (when it is an :class:`Env`) and the operator's bound variable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.algebra.expressions import (
+    BooleanExpr,
+    Comparison,
+    Expr,
+    Path,
+    Var,
+    split_conjuncts,
+)
+from repro.datamodel.values import Bag, Struct
+
+SubqueryEvaluator = Callable[[Any, Mapping[str, Any]], Any]
+
+
+class Env(dict):
+    """A variable environment element: maps variable names to their rows."""
+
+
+def element_environment(
+    element: Any, variable: str, base_env: Mapping[str, Any] | None
+) -> dict[str, Any]:
+    """Build the evaluation environment for one element."""
+    env: dict[str, Any] = dict(base_env or {})
+    if isinstance(element, Env):
+        env.update(element)
+    else:
+        env[variable] = element
+    return env
+
+
+def as_struct(row: Any) -> Any:
+    """Convert plain dict rows to structs; other values pass through."""
+    if isinstance(row, Struct):
+        return row
+    if isinstance(row, dict):
+        return Struct(row)
+    return row
+
+
+def project_rows(elements: Iterable[Any], attributes: tuple[str, ...]) -> list[Any]:
+    """Keep only ``attributes`` of each record (records stay records)."""
+    result: list[Any] = []
+    for element in elements:
+        row = element
+        if isinstance(row, Env):
+            # Projection over an environment is ambiguous; it never occurs in
+            # translated plans, but fall back to the first binding for safety.
+            row = next(iter(row.values())) if row else row
+        if isinstance(row, Mapping):
+            result.append(Struct({attr: row.get(attr) for attr in attributes}))
+        else:
+            result.append(Struct({attr: getattr(row, attr, None) for attr in attributes}))
+    return result
+
+
+def filter_rows(
+    elements: Iterable[Any],
+    variable: str,
+    predicate: Expr,
+    base_env: Mapping[str, Any] | None = None,
+    subquery_evaluator: SubqueryEvaluator | None = None,
+) -> list[Any]:
+    """Keep elements for which ``predicate`` evaluates to true."""
+    kept: list[Any] = []
+    for element in elements:
+        env = element_environment(element, variable, base_env)
+        if predicate.evaluate(env, subquery_evaluator):
+            kept.append(element)
+    return kept
+
+
+def apply_rows(
+    elements: Iterable[Any],
+    variable: str,
+    expression: Expr,
+    base_env: Mapping[str, Any] | None = None,
+    subquery_evaluator: SubqueryEvaluator | None = None,
+) -> list[Any]:
+    """Compute ``expression`` for every element."""
+    result: list[Any] = []
+    for element in elements:
+        env = element_environment(element, variable, base_env)
+        result.append(expression.evaluate(env, subquery_evaluator))
+    return result
+
+
+def hash_join_rows(
+    left: Iterable[Any], right: Iterable[Any], on: str | tuple[str, str]
+) -> list[Any]:
+    """Equi-join plain rows on an attribute; the merged row keeps left values."""
+    left_attr, right_attr = on if isinstance(on, tuple) else (on, on)
+    buckets: dict[Any, list[Any]] = {}
+    for row in right:
+        key = _attribute_value(row, right_attr)
+        buckets.setdefault(key, []).append(row)
+    joined: list[Any] = []
+    for row in left:
+        key = _attribute_value(row, left_attr)
+        for match in buckets.get(key, []):
+            merged = dict(match if isinstance(match, Mapping) else match.fields())
+            merged.update(dict(row if isinstance(row, Mapping) else row.fields()))
+            joined.append(Struct(merged))
+    return joined
+
+
+def nested_loop_join_rows(
+    left: Iterable[Any], right: Iterable[Any], on: str | tuple[str, str]
+) -> list[Any]:
+    """Nested-loop equi-join (same semantics as the hash join, different cost)."""
+    left_attr, right_attr = on if isinstance(on, tuple) else (on, on)
+    right_rows = list(right)
+    joined: list[Any] = []
+    for row in left:
+        left_key = _attribute_value(row, left_attr)
+        for match in right_rows:
+            if _attribute_value(match, right_attr) == left_key:
+                merged = dict(match if isinstance(match, Mapping) else match.fields())
+                merged.update(dict(row if isinstance(row, Mapping) else row.fields()))
+                joined.append(Struct(merged))
+    return joined
+
+
+def bind_join_rows(
+    left: Iterable[Any],
+    right: Iterable[Any],
+    left_variable: str,
+    right_variable: str,
+    condition: Expr | None,
+    base_env: Mapping[str, Any] | None = None,
+    subquery_evaluator: SubqueryEvaluator | None = None,
+) -> list[Env]:
+    """Join producing variable environments (multi-variable ``from`` clauses).
+
+    When the condition contains an equi-join conjunct between the two sides a
+    hash join is used; otherwise every pair is enumerated.
+    """
+    left_elements = list(left)
+    right_elements = list(right)
+    equi = _find_equi_conjunct(condition, left_variable, right_variable) if condition else None
+    result: list[Env] = []
+
+    def make_env(left_element: Any, right_element: Any) -> Env:
+        env = Env()
+        if isinstance(left_element, Env):
+            env.update(left_element)
+        else:
+            env[left_variable] = left_element
+        env[right_variable] = right_element
+        return env
+
+    def passes(env: Env) -> bool:
+        if condition is None:
+            return True
+        full_env = dict(base_env or {})
+        full_env.update(env)
+        return bool(condition.evaluate(full_env, subquery_evaluator))
+
+    if equi is not None:
+        left_expr, right_expr = equi
+        buckets: dict[Any, list[Any]] = {}
+        for element in right_elements:
+            env = make_env(Env(), element)
+            key = right_expr.evaluate({**(base_env or {}), **env}, subquery_evaluator)
+            buckets.setdefault(key, []).append(element)
+        for left_element in left_elements:
+            left_env = (
+                dict(left_element) if isinstance(left_element, Env) else {left_variable: left_element}
+            )
+            key = left_expr.evaluate({**(base_env or {}), **left_env}, subquery_evaluator)
+            for right_element in buckets.get(key, []):
+                env = make_env(left_element, right_element)
+                if passes(env):
+                    result.append(env)
+        return result
+
+    for left_element in left_elements:
+        for right_element in right_elements:
+            env = make_env(left_element, right_element)
+            if passes(env):
+                result.append(env)
+    return result
+
+
+def _find_equi_conjunct(
+    condition: Expr | None, left_variable: str, right_variable: str
+) -> tuple[Expr, Expr] | None:
+    """Find a ``left.a = right.b`` conjunct usable as a hash-join key."""
+    for conjunct in split_conjuncts(condition):
+        if not isinstance(conjunct, Comparison) or conjunct.op != "=":
+            continue
+        left_vars = conjunct.left.free_variables()
+        right_vars = conjunct.right.free_variables()
+        if left_vars == {left_variable} and right_vars == {right_variable}:
+            return conjunct.left, conjunct.right
+        if left_vars == {right_variable} and right_vars == {left_variable}:
+            return conjunct.right, conjunct.left
+    return None
+
+
+def _attribute_value(row: Any, attribute: str) -> Any:
+    if isinstance(row, Mapping):
+        return row.get(attribute)
+    if isinstance(row, Struct):
+        return row[attribute] if attribute in row else None
+    return getattr(row, attribute, None)
+
+
+def union_rows(parts: Iterable[Iterable[Any]]) -> list[Any]:
+    """Additive bag union of several element lists."""
+    result: list[Any] = []
+    for part in parts:
+        result.extend(part)
+    return result
+
+
+def flatten_rows(elements: Iterable[Any]) -> list[Any]:
+    """Flatten one level of nested collections."""
+    result: list[Any] = []
+    for element in elements:
+        if isinstance(element, (Bag, list, tuple, set, frozenset)):
+            result.extend(element)
+        else:
+            result.append(element)
+    return result
+
+
+def distinct_rows(elements: Iterable[Any]) -> list[Any]:
+    """Remove duplicates, keeping the first occurrence."""
+    seen: list[Any] = []
+    for element in elements:
+        if element not in seen:
+            seen.append(element)
+    return seen

@@ -1,0 +1,193 @@
+"""Partial evaluation: turning a partly executed plan back into a query.
+
+Paper Section 4: "the physical expression is transformed back into a high
+level query.  This transformation is possible because each physical operation
+has a corresponding logical operation, and each logical operation has a
+corresponding OQL expression."
+
+Concretely:
+
+* every ``exec`` call that *succeeded* becomes a :class:`BagLiteral` holding
+  the rows it returned;
+* every ``exec`` call that was *unavailable* becomes the ``submit`` logical
+  operator it implements (i.e. stays a query);
+* every other physical operator becomes its logical counterpart;
+* finally, any subtree that contains no ``submit`` is fully evaluable at the
+  mediator and is collapsed into data, so the answer has the paper's two-part
+  shape: a query over the unavailable sources unioned with the data already
+  obtained.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.algebra import logical as log
+from repro.algebra import physical as phys
+from repro.algebra.unparser import logical_to_oql
+from repro.datamodel.values import Struct
+from repro.errors import QueryExecutionError
+from repro.runtime import operators as ops
+
+ExecOutcome = dict[int, Any]  # id(Exec node) -> list of rows, or UNAVAILABLE marker
+
+#: marker stored in the outcome map for execs that did not respond
+UNAVAILABLE = object()
+
+
+class PartialAnswerBuilder:
+    """Builds the partial-answer logical plan and its OQL text."""
+
+    def __init__(self, subquery_evaluator: ops.SubqueryEvaluator | None = None):
+        self._subquery_evaluator = subquery_evaluator
+
+    # -- physical -> logical -------------------------------------------------------------
+    def to_logical(self, plan: phys.PhysicalOp, outcomes: ExecOutcome) -> log.LogicalOp:
+        """Convert a partially executed physical plan back to a logical plan."""
+        if isinstance(plan, phys.Exec):
+            outcome = outcomes.get(id(plan), UNAVAILABLE)
+            if outcome is UNAVAILABLE:
+                return log.Submit(
+                    plan.source.name, plan.expression, extent_name=plan.extent_name
+                )
+            return log.BagLiteral(tuple(outcome))
+        if isinstance(plan, phys.MkBag):
+            return log.BagLiteral(plan.values)
+        if isinstance(plan, phys.MkProj):
+            return log.Project(plan.attributes, self.to_logical(plan.child, outcomes))
+        if isinstance(plan, phys.Filter):
+            return log.Select(plan.variable, plan.predicate, self.to_logical(plan.child, outcomes))
+        if isinstance(plan, phys.MkApply):
+            return log.Apply(plan.variable, plan.expression, self.to_logical(plan.child, outcomes))
+        if isinstance(plan, (phys.HashJoin, phys.NestedLoopJoin)):
+            return log.Join(
+                self.to_logical(plan.left, outcomes),
+                self.to_logical(plan.right, outcomes),
+                plan.on,
+            )
+        if isinstance(plan, phys.MkBindJoin):
+            return log.BindJoin(
+                self.to_logical(plan.left, outcomes),
+                self.to_logical(plan.right, outcomes),
+                plan.left_variable,
+                plan.right_variable,
+                condition=plan.condition,
+            )
+        if isinstance(plan, phys.MkUnion):
+            return log.Union(tuple(self.to_logical(child, outcomes) for child in plan.inputs))
+        if isinstance(plan, phys.MkFlatten):
+            return log.Flatten(self.to_logical(plan.child, outcomes))
+        if isinstance(plan, phys.MkDistinct):
+            return log.Distinct(self.to_logical(plan.child, outcomes))
+        raise QueryExecutionError(f"cannot convert {plan.to_text()} back to logical form")
+
+    # -- collapsing available subtrees ---------------------------------------------------
+    def simplify(self, plan: log.LogicalOp, base_env: Mapping[str, Any] | None = None) -> log.LogicalOp:
+        """Evaluate every submit-free subtree and replace it with its data."""
+        plan = self._distribute_over_union(plan)
+        if isinstance(plan, log.Submit):
+            # The whole submit stays a query: its argument belongs to the
+            # unavailable source and cannot be evaluated at the mediator.
+            return plan
+        if not plan.contains_submit():
+            values = self.evaluate_logical(plan, base_env=base_env)
+            return log.BagLiteral(tuple(values))
+        children = plan.children()
+        if not children:
+            return plan
+        simplified = [self.simplify(child, base_env=base_env) for child in children]
+        return plan.with_children(simplified)
+
+    def _distribute_over_union(self, plan: log.LogicalOp) -> log.LogicalOp:
+        """Distribute per-element operators over ``union``.
+
+        ``apply(f, union(q, data))`` becomes ``union(apply(f, q), apply(f,
+        data))`` so that the data branch collapses to plain values and the
+        answer keeps the paper's ``union(<query>, Bag(<data>))`` shape.
+        Cascades such as ``apply(project(union(...)))`` distribute fully.
+        """
+        if isinstance(plan, (log.Apply, log.Project, log.Select, log.Flatten, log.Distinct)):
+            child = self._distribute_over_union(plan.child)
+            if isinstance(child, log.Union):
+                distributed = tuple(
+                    self._distribute_over_union(plan.with_children([part]))
+                    for part in child.inputs
+                )
+                return log.Union(distributed)
+            return plan.with_children([child])
+        return plan
+
+    # -- logical evaluation over data (no submits) ------------------------------------------
+    def evaluate_logical(
+        self, plan: log.LogicalOp, base_env: Mapping[str, Any] | None = None
+    ) -> list[Any]:
+        """Evaluate a submit-free logical plan at the mediator."""
+        if isinstance(plan, log.BagLiteral):
+            return [ops.as_struct(value) for value in plan.values]
+        if isinstance(plan, log.Project):
+            return ops.project_rows(self.evaluate_logical(plan.child, base_env), plan.attributes)
+        if isinstance(plan, log.Select):
+            return ops.filter_rows(
+                self.evaluate_logical(plan.child, base_env),
+                plan.variable,
+                plan.predicate,
+                base_env=base_env,
+                subquery_evaluator=self._subquery_evaluator,
+            )
+        if isinstance(plan, log.Apply):
+            return ops.apply_rows(
+                self.evaluate_logical(plan.child, base_env),
+                plan.variable,
+                plan.expression,
+                base_env=base_env,
+                subquery_evaluator=self._subquery_evaluator,
+            )
+        if isinstance(plan, log.Join):
+            return ops.hash_join_rows(
+                self.evaluate_logical(plan.left, base_env),
+                self.evaluate_logical(plan.right, base_env),
+                plan.on,
+            )
+        if isinstance(plan, log.BindJoin):
+            return ops.bind_join_rows(
+                self.evaluate_logical(plan.left, base_env),
+                self.evaluate_logical(plan.right, base_env),
+                plan.left_variable,
+                plan.right_variable,
+                plan.condition,
+                base_env=base_env,
+                subquery_evaluator=self._subquery_evaluator,
+            )
+        if isinstance(plan, log.Union):
+            return ops.union_rows(
+                self.evaluate_logical(child, base_env) for child in plan.inputs
+            )
+        if isinstance(plan, log.Flatten):
+            return ops.flatten_rows(self.evaluate_logical(plan.child, base_env))
+        if isinstance(plan, log.Distinct):
+            return ops.distinct_rows(self.evaluate_logical(plan.child, base_env))
+        if isinstance(plan, log.Submit):
+            raise QueryExecutionError(
+                "cannot evaluate a submit at the mediator; partial evaluation should "
+                "have kept it as a query"
+            )
+        if isinstance(plan, log.Get):
+            raise QueryExecutionError(
+                f"get({plan.collection}) outside a submit cannot be evaluated at the mediator"
+            )
+        raise QueryExecutionError(f"cannot evaluate logical operator {plan.to_text()}")
+
+    # -- the public assembly step --------------------------------------------------------
+    def build(
+        self,
+        plan: phys.PhysicalOp,
+        outcomes: ExecOutcome,
+        base_env: Mapping[str, Any] | None = None,
+    ) -> log.LogicalOp:
+        """Physical plan + exec outcomes -> simplified partial-answer logical plan."""
+        logical = self.to_logical(plan, outcomes)
+        return self.simplify(logical, base_env=base_env)
+
+    def to_oql(self, partial_plan: log.LogicalOp) -> str:
+        """Render the partial answer as OQL text (the answer *is* a query)."""
+        return logical_to_oql(partial_plan)

@@ -1,0 +1,98 @@
+"""Simulated network behaviour: latency and availability.
+
+The two properties of 1995 wide-area data sources that DISCO's mechanisms
+react to are (a) how long a call takes -- which drives the learned cost model
+of Section 3.3 -- and (b) whether the source answers at all -- which drives
+the partial-evaluation semantics of Section 4.  Both are modelled explicitly
+and deterministically (seeded) so experiments are repeatable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import UnavailableSourceError
+
+
+@dataclass
+class NetworkProfile:
+    """Latency model for one source: ``base + per_row * rows`` seconds, plus jitter."""
+
+    base_latency: float = 0.0
+    per_row_latency: float = 0.0
+    jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def delay_for(self, row_count: int = 0) -> float:
+        """Return the simulated transfer delay for a reply of ``row_count`` rows."""
+        delay = self.base_latency + self.per_row_latency * max(row_count, 0)
+        if self.jitter > 0:
+            delay += self._rng.uniform(0, self.jitter)
+        return max(delay, 0.0)
+
+    @classmethod
+    def instant(cls) -> "NetworkProfile":
+        """A zero-latency profile (unit tests, logic-only experiments)."""
+        return cls()
+
+    @classmethod
+    def lan(cls, seed: int = 0) -> "NetworkProfile":
+        """A fast local-network profile."""
+        return cls(base_latency=0.0005, per_row_latency=0.000001, jitter=0.0002, seed=seed)
+
+    @classmethod
+    def wan(cls, seed: int = 0) -> "NetworkProfile":
+        """A slow wide-area profile, the setting the paper worries about."""
+        return cls(base_latency=0.005, per_row_latency=0.00001, jitter=0.002, seed=seed)
+
+
+@dataclass
+class AvailabilityModel:
+    """Whether a source answers a given request.
+
+    Three mechanisms, combinable:
+
+    * ``available`` -- a hard switch (the DBA took the source down);
+    * ``failure_probability`` -- each request independently fails with this
+      probability, drawn from a seeded generator;
+    * ``fail_next(n)`` -- force the next ``n`` requests to fail (failure
+      injection for tests and the partial-answer experiments).
+    """
+
+    available: bool = True
+    failure_probability: float = 0.0
+    seed: int = 0
+    _forced_failures: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.failure_probability <= 1.0:
+            raise ValueError("failure_probability must be within [0, 1]")
+        self._rng = random.Random(self.seed)
+
+    def fail_next(self, count: int = 1) -> None:
+        """Force the next ``count`` requests to be treated as unavailable."""
+        self._forced_failures += count
+
+    def set_available(self, available: bool) -> None:
+        """Flip the hard availability switch."""
+        self.available = available
+
+    def check(self, source_name: str) -> None:
+        """Raise :class:`UnavailableSourceError` when this request should fail."""
+        if self._forced_failures > 0:
+            self._forced_failures -= 1
+            raise UnavailableSourceError(source_name, f"{source_name!r}: injected failure")
+        if not self.available:
+            raise UnavailableSourceError(source_name)
+        if self.failure_probability and self._rng.random() < self.failure_probability:
+            raise UnavailableSourceError(
+                source_name, f"{source_name!r}: transient network failure"
+            )
+
+    def would_fail(self) -> bool:
+        """Non-destructive peek used by analytical availability models."""
+        return not self.available

@@ -1,0 +1,86 @@
+"""The simulated data-source server.
+
+A :class:`SimulatedServer` stands between a wrapper and the store it exposes:
+every call goes through the availability model (possibly raising
+:class:`~repro.errors.UnavailableSourceError`) and through the latency model
+(optionally really sleeping, always accounting the simulated time).  Wrappers
+never bypass it, so the mediator sees remote sources exactly as the paper's
+mediator does: as things that may be slow or silent.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.sources.network import AvailabilityModel, NetworkProfile
+
+
+@dataclass
+class ServerStatistics:
+    """Counters accumulated by one simulated server."""
+
+    requests: int = 0
+    failures: int = 0
+    rows_returned: int = 0
+    simulated_seconds: float = 0.0
+
+
+@dataclass
+class SimulatedServer:
+    """One remote host: a store plus network and availability behaviour."""
+
+    name: str
+    store: Any
+    network: NetworkProfile = field(default_factory=NetworkProfile.instant)
+    availability: AvailabilityModel = field(default_factory=AvailabilityModel)
+    real_sleep: bool = False
+    statistics: ServerStatistics = field(default_factory=ServerStatistics)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    # -- control -----------------------------------------------------------------
+    def take_down(self) -> None:
+        """Make the server unavailable (hard switch)."""
+        self.availability.set_available(False)
+
+    def bring_up(self) -> None:
+        """Make the server available again."""
+        self.availability.set_available(True)
+
+    def is_up(self) -> bool:
+        """Return True when the hard availability switch is on."""
+        return self.availability.available
+
+    # -- the request path -------------------------------------------------------------
+    def call(self, operation: Callable[[Any], Any]) -> Any:
+        """Run ``operation(store)`` as one remote request.
+
+        Applies the availability check first (an unavailable source never does
+        work), runs the operation, then charges the latency of shipping the
+        result back.  Returns the operation's result unchanged.
+        """
+        with self._lock:
+            self.statistics.requests += 1
+            try:
+                self.availability.check(self.name)
+            except Exception:
+                self.statistics.failures += 1
+                raise
+        result = operation(self.store)
+        row_count = len(result) if isinstance(result, (list, tuple)) else 0
+        delay = self.network.delay_for(row_count)
+        with self._lock:
+            self.statistics.rows_returned += row_count
+            self.statistics.simulated_seconds += delay
+        if self.real_sleep and delay > 0:
+            time.sleep(delay)
+        return result
+
+    def reset_statistics(self) -> None:
+        """Zero the accumulated counters."""
+        with self._lock:
+            self.statistics = ServerStatistics()

@@ -1,0 +1,113 @@
+"""Executor for the miniature SQL dialect.
+
+Evaluates a parsed :class:`~repro.sources.sql.parser.SelectStatement` against
+a :class:`~repro.sources.relational_engine.RelationalEngine`.  The engine is
+deliberately simple (nested hash joins, tuple-at-a-time predicates); it exists
+so that the SQL wrapper really translates mediator algebra into another
+language and gets rows back from a foreign executor.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import QueryExecutionError
+from repro.sources.relational_engine import RelationalEngine
+from repro.sources.sql.parser import (
+    BooleanExpr,
+    ColumnRef,
+    Comparison,
+    Literal,
+    SelectStatement,
+    SqlParser,
+)
+
+Row = dict[str, Any]
+
+
+class SqlEngine:
+    """Run miniature-SQL SELECT statements against a relational engine."""
+
+    def __init__(self, engine: RelationalEngine | None = None, name: str = "sqldb"):
+        self.name = name
+        self.engine = engine or RelationalEngine(name=f"{name}-storage")
+
+    # -- convenience passthroughs -----------------------------------------------------
+    def create_table(self, name: str, schema=None, rows=None):
+        """Create a table in the underlying storage engine."""
+        return self.engine.create_table(name, schema=schema, rows=rows)
+
+    def table_names(self) -> list[str]:
+        """Names of the tables this SQL engine can query."""
+        return self.engine.table_names()
+
+    def cardinality(self, table_name: str) -> int:
+        """Row count of ``table_name``."""
+        return self.engine.cardinality(table_name)
+
+    # -- execution --------------------------------------------------------------------
+    def execute(self, sql: str) -> list[Row]:
+        """Parse and execute ``sql``, returning a list of result rows."""
+        statement = SqlParser(sql).parse()
+        return self.execute_statement(statement)
+
+    def execute_statement(self, statement: SelectStatement) -> list[Row]:
+        """Execute an already-parsed SELECT statement."""
+        rows = self.engine.scan(statement.table)
+        for join in statement.joins:
+            right_rows = self.engine.scan(join.table)
+            rows = self.engine.join(
+                rows, right_rows, on=(join.left_column.name, join.right_column.name)
+            )
+        if statement.where is not None:
+            rows = [row for row in rows if self._evaluate(statement.where, row)]
+        if statement.columns is not None:
+            names = [column.name for column in statement.columns]
+            rows = self.engine.project(rows, names)
+        return rows
+
+    # -- predicate evaluation -------------------------------------------------------------
+    def _evaluate(self, expr: Any, row: Mapping[str, Any]) -> bool:
+        if isinstance(expr, Comparison):
+            return self._compare(expr, row)
+        if isinstance(expr, BooleanExpr):
+            if expr.op == "AND":
+                return all(self._evaluate(operand, row) for operand in expr.operands)
+            if expr.op == "OR":
+                return any(self._evaluate(operand, row) for operand in expr.operands)
+            if expr.op == "NOT":
+                return not self._evaluate(expr.operands[0], row)
+        raise QueryExecutionError(f"cannot evaluate SQL expression {expr!r}")
+
+    def _compare(self, comparison: Comparison, row: Mapping[str, Any]) -> bool:
+        left = self._operand_value(comparison.left, row)
+        right = self._operand_value(comparison.right, row)
+        op = comparison.op
+        if left is None or right is None:
+            # SQL three-valued logic collapsed to "unknown is false".
+            return False
+        try:
+            if op == "=":
+                return left == right
+            if op == "<>":
+                return left != right
+            if op == "<":
+                return left < right
+            if op == "<=":
+                return left <= right
+            if op == ">":
+                return left > right
+            if op == ">=":
+                return left >= right
+        except TypeError:
+            return False
+        raise QueryExecutionError(f"unknown comparison operator {op!r}")
+
+    def _operand_value(self, operand: Any, row: Mapping[str, Any]) -> Any:
+        if isinstance(operand, Literal):
+            return operand.value
+        if isinstance(operand, ColumnRef):
+            if operand.name not in row:
+                raise QueryExecutionError(f"unknown column {operand.render()!r}")
+            return row[operand.name]
+        raise QueryExecutionError(f"unknown operand {operand!r}")

@@ -1,0 +1,117 @@
+"""Tokenizer for the miniature SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "JOIN",
+    "ON",
+    "AND",
+    "OR",
+    "NOT",
+    "AS",
+    "TRUE",
+    "FALSE",
+    "NULL",
+}
+
+OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "*", ",", ".", "(", ")")
+
+
+@dataclass(frozen=True)
+class SqlToken:
+    """One lexical token: a kind, the source text and its position."""
+
+    kind: str  # KEYWORD, IDENT, NUMBER, STRING, OP, EOF
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        """Return True when this token is the keyword ``word``."""
+        return self.kind == "KEYWORD" and self.text == word.upper()
+
+
+class SqlLexer:
+    """Hand-written scanner producing :class:`SqlToken` objects."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.position = 0
+
+    def tokens(self) -> list[SqlToken]:
+        """Tokenize the whole input, ending with an EOF token."""
+        result: list[SqlToken] = []
+        while True:
+            token = self._next_token()
+            result.append(token)
+            if token.kind == "EOF":
+                return result
+
+    # -- internals --------------------------------------------------------------
+    def _next_token(self) -> SqlToken:
+        self._skip_whitespace()
+        if self.position >= len(self.text):
+            return SqlToken("EOF", "", self.position)
+        start = self.position
+        char = self.text[self.position]
+        if char == "'":
+            return self._string(start)
+        if char.isdigit() or (char == "-" and self._peek_is_digit()):
+            return self._number(start)
+        if char.isalpha() or char == "_":
+            return self._word(start)
+        for operator in OPERATORS:
+            if self.text.startswith(operator, self.position):
+                self.position += len(operator)
+                return SqlToken("OP", operator, start)
+        raise ParseError(f"unexpected character {char!r} in SQL", column=start)
+
+    def _skip_whitespace(self) -> None:
+        while self.position < len(self.text) and self.text[self.position].isspace():
+            self.position += 1
+
+    def _peek_is_digit(self) -> bool:
+        return (
+            self.position + 1 < len(self.text) and self.text[self.position + 1].isdigit()
+        )
+
+    def _string(self, start: int) -> SqlToken:
+        self.position += 1
+        chars: list[str] = []
+        while self.position < len(self.text):
+            char = self.text[self.position]
+            if char == "'":
+                # '' escapes a quote inside a string literal.
+                if self.text.startswith("''", self.position):
+                    chars.append("'")
+                    self.position += 2
+                    continue
+                self.position += 1
+                return SqlToken("STRING", "".join(chars), start)
+            chars.append(char)
+            self.position += 1
+        raise ParseError("unterminated SQL string literal", column=start)
+
+    def _number(self, start: int) -> SqlToken:
+        self.position += 1
+        while self.position < len(self.text) and (
+            self.text[self.position].isdigit() or self.text[self.position] == "."
+        ):
+            self.position += 1
+        return SqlToken("NUMBER", self.text[start : self.position], start)
+
+    def _word(self, start: int) -> SqlToken:
+        while self.position < len(self.text) and (
+            self.text[self.position].isalnum() or self.text[self.position] == "_"
+        ):
+            self.position += 1
+        text = self.text[start : self.position]
+        if text.upper() in KEYWORDS:
+            return SqlToken("KEYWORD", text.upper(), start)
+        return SqlToken("IDENT", text, start)

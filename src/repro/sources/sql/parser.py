@@ -1,0 +1,232 @@
+"""Recursive-descent parser for the miniature SQL dialect.
+
+Grammar (roughly)::
+
+    select    := SELECT projection FROM table (JOIN table ON column = column)*
+                 (WHERE expr)?
+    projection:= '*' | column (',' column)*
+    expr      := term (OR term)*
+    term      := factor (AND factor)*
+    factor    := NOT factor | '(' expr ')' | comparison
+    comparison:= operand cmp_op operand
+    operand   := column | NUMBER | STRING | TRUE | FALSE | NULL
+    column    := IDENT ('.' IDENT)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ParseError
+from repro.sources.sql.lexer import SqlLexer, SqlToken
+
+
+# -- AST ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ColumnRef:
+    """A column reference, optionally qualified by a table name."""
+
+    name: str
+    table: str | None = None
+
+    def render(self) -> str:
+        """Render back to SQL text."""
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant value in a predicate."""
+
+    value: Any
+
+    def render(self) -> str:
+        """Render back to SQL text."""
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left <op> right`` with op in =, <>, <, <=, >, >=."""
+
+    op: str
+    left: ColumnRef | Literal
+    right: ColumnRef | Literal
+
+
+@dataclass(frozen=True)
+class BooleanExpr:
+    """``AND`` / ``OR`` / ``NOT`` combination of predicates."""
+
+    op: str  # AND, OR, NOT
+    operands: tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """``JOIN <table> ON <left column> = <right column>``."""
+
+    table: str
+    left_column: ColumnRef
+    right_column: ColumnRef
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A parsed SELECT statement."""
+
+    columns: tuple[ColumnRef, ...] | None  # None means '*'
+    table: str
+    joins: tuple[JoinClause, ...] = ()
+    where: Any | None = None
+
+
+# -- parser -------------------------------------------------------------------------
+class SqlParser:
+    """Turn SQL text into a :class:`SelectStatement`."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self._tokens = SqlLexer(text).tokens()
+        self._index = 0
+
+    # -- token helpers -------------------------------------------------------------
+    def _peek(self) -> SqlToken:
+        return self._tokens[self._index]
+
+    def _advance(self) -> SqlToken:
+        token = self._tokens[self._index]
+        if token.kind != "EOF":
+            self._index += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> SqlToken:
+        token = self._advance()
+        if not token.is_keyword(word):
+            raise ParseError(f"expected {word}, got {token.text!r}", column=token.position)
+        return token
+
+    def _expect(self, kind: str, text: str | None = None) -> SqlToken:
+        token = self._advance()
+        if token.kind != kind or (text is not None and token.text != text):
+            raise ParseError(
+                f"expected {text or kind}, got {token.text!r}", column=token.position
+            )
+        return token
+
+    def _match_keyword(self, word: str) -> bool:
+        if self._peek().is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _match_op(self, text: str) -> bool:
+        token = self._peek()
+        if token.kind == "OP" and token.text == text:
+            self._advance()
+            return True
+        return False
+
+    # -- grammar ----------------------------------------------------------------------
+    def parse(self) -> SelectStatement:
+        """Parse one SELECT statement; trailing input is an error."""
+        self._expect_keyword("SELECT")
+        columns = self._projection()
+        self._expect_keyword("FROM")
+        table = self._expect("IDENT").text
+        joins: list[JoinClause] = []
+        while self._match_keyword("JOIN"):
+            join_table = self._expect("IDENT").text
+            self._expect_keyword("ON")
+            left = self._column()
+            self._expect("OP", "=")
+            right = self._column()
+            joins.append(JoinClause(table=join_table, left_column=left, right_column=right))
+        where = None
+        if self._match_keyword("WHERE"):
+            where = self._expression()
+        trailing = self._peek()
+        if trailing.kind != "EOF":
+            raise ParseError(
+                f"unexpected trailing input {trailing.text!r}", column=trailing.position
+            )
+        return SelectStatement(columns=columns, table=table, joins=tuple(joins), where=where)
+
+    def _projection(self) -> tuple[ColumnRef, ...] | None:
+        if self._match_op("*"):
+            return None
+        columns = [self._column()]
+        while self._match_op(","):
+            columns.append(self._column())
+        return tuple(columns)
+
+    def _column(self) -> ColumnRef:
+        first = self._expect("IDENT").text
+        if self._match_op("."):
+            second = self._expect("IDENT").text
+            return ColumnRef(name=second, table=first)
+        return ColumnRef(name=first)
+
+    def _expression(self) -> Any:
+        left = self._term()
+        operands = [left]
+        while self._match_keyword("OR"):
+            operands.append(self._term())
+        if len(operands) == 1:
+            return left
+        return BooleanExpr(op="OR", operands=tuple(operands))
+
+    def _term(self) -> Any:
+        left = self._factor()
+        operands = [left]
+        while self._match_keyword("AND"):
+            operands.append(self._factor())
+        if len(operands) == 1:
+            return left
+        return BooleanExpr(op="AND", operands=tuple(operands))
+
+    def _factor(self) -> Any:
+        if self._match_keyword("NOT"):
+            return BooleanExpr(op="NOT", operands=(self._factor(),))
+        if self._match_op("("):
+            inner = self._expression()
+            self._expect("OP", ")")
+            return inner
+        return self._comparison()
+
+    def _comparison(self) -> Comparison:
+        left = self._operand()
+        token = self._advance()
+        if token.kind != "OP" or token.text not in ("=", "<>", "!=", "<", "<=", ">", ">="):
+            raise ParseError(
+                f"expected comparison operator, got {token.text!r}", column=token.position
+            )
+        op = "<>" if token.text == "!=" else token.text
+        right = self._operand()
+        return Comparison(op=op, left=left, right=right)
+
+    def _operand(self) -> ColumnRef | Literal:
+        token = self._peek()
+        if token.kind == "IDENT":
+            return self._column()
+        token = self._advance()
+        if token.kind == "NUMBER":
+            text = token.text
+            return Literal(float(text) if "." in text else int(text))
+        if token.kind == "STRING":
+            return Literal(token.text)
+        if token.is_keyword("TRUE"):
+            return Literal(True)
+        if token.is_keyword("FALSE"):
+            return Literal(False)
+        if token.is_keyword("NULL"):
+            return Literal(None)
+        raise ParseError(f"expected operand, got {token.text!r}", column=token.position)

@@ -1,0 +1,147 @@
+"""In-memory tables: the storage layer under every simulated data source.
+
+Rows are plain dicts.  A :class:`TableSchema` carries column names and
+light-weight Python types so the engines can validate inserts and the
+wrappers can report the source-side type to the mediator (which is how the
+run-time type check of paper Section 2.1 is exercised).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from repro.errors import QueryExecutionError, SchemaError
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a table: a name and an optional Python type."""
+
+    name: str
+    py_type: type | None = None
+
+    def check(self, value: Any) -> None:
+        """Raise :class:`SchemaError` when ``value`` does not match the column type."""
+        if value is None or self.py_type is None:
+            return
+        if self.py_type is float and isinstance(value, int) and not isinstance(value, bool):
+            return
+        if not isinstance(value, self.py_type):
+            raise SchemaError(
+                f"column {self.name!r} expects {self.py_type.__name__}, got {value!r}"
+            )
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Ordered collection of columns."""
+
+    columns: tuple[Column, ...]
+
+    @classmethod
+    def of(cls, *specs: str | tuple[str, type]) -> "TableSchema":
+        """Build a schema from names or ``(name, type)`` pairs."""
+        columns = []
+        for spec in specs:
+            if isinstance(spec, tuple):
+                columns.append(Column(spec[0], spec[1]))
+            else:
+                columns.append(Column(spec))
+        return cls(tuple(columns))
+
+    def column_names(self) -> list[str]:
+        """Return column names in order."""
+        return [column.name for column in self.columns]
+
+    def has_column(self, name: str) -> bool:
+        """Return True when the schema declares ``name``."""
+        return any(column.name == name for column in self.columns)
+
+    def validate_row(self, row: Mapping[str, Any]) -> None:
+        """Raise when ``row`` is missing a column or has a badly typed value."""
+        for column in self.columns:
+            if column.name not in row:
+                raise SchemaError(f"row {dict(row)!r} is missing column {column.name!r}")
+            column.check(row[column.name])
+
+
+class Table:
+    """A named collection of rows with an optional schema.
+
+    This is the storage substrate shared by the relational engine, the SQL
+    engine and the CSV store; wrappers never see it directly.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: TableSchema | None = None,
+        rows: Iterable[Mapping[str, Any]] | None = None,
+    ):
+        if not name:
+            raise SchemaError("a table needs a non-empty name")
+        self.name = name
+        self.schema = schema
+        self._rows: list[dict[str, Any]] = []
+        for row in rows or ():
+            self.insert(row)
+
+    # -- mutation -------------------------------------------------------------
+    def insert(self, row: Mapping[str, Any]) -> None:
+        """Insert a row, validating against the schema when one is declared."""
+        materialised = dict(row)
+        if self.schema is not None:
+            self.schema.validate_row(materialised)
+        self._rows.append(materialised)
+
+    def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> int:
+        """Insert every row in ``rows``; return how many were inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def delete_where(self, predicate: Callable[[Mapping[str, Any]], bool]) -> int:
+        """Delete rows matching ``predicate``; return how many were removed."""
+        before = len(self._rows)
+        self._rows = [row for row in self._rows if not predicate(row)]
+        return before - len(self._rows)
+
+    def clear(self) -> None:
+        """Remove every row."""
+        self._rows.clear()
+
+    # -- access ----------------------------------------------------------------
+    def rows(self) -> Iterator[dict[str, Any]]:
+        """Iterate over copies of the rows (callers cannot corrupt storage)."""
+        for row in self._rows:
+            yield dict(row)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return self.rows()
+
+    def column_names(self) -> list[str]:
+        """Column names from the schema, or inferred from the first row."""
+        if self.schema is not None:
+            return self.schema.column_names()
+        if self._rows:
+            return list(self._rows[0])
+        return []
+
+    def column_values(self, name: str) -> list[Any]:
+        """Return every value of column ``name`` (for statistics and tests)."""
+        if self.column_names() and name not in self.column_names():
+            raise QueryExecutionError(f"table {self.name!r} has no column {name!r}")
+        return [row.get(name) for row in self._rows]
+
+    def cardinality(self) -> int:
+        """Number of rows (used by cost statistics exported by some wrappers)."""
+        return len(self._rows)
+
+    def __repr__(self) -> str:
+        return f"Table(name={self.name!r}, rows={len(self._rows)})"

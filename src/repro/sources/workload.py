@@ -1,0 +1,147 @@
+"""Synthetic workload generators.
+
+Two families of data:
+
+* **Persons** -- the running example of the paper (``Person`` with ``name`` and
+  ``salary``, plus ``Student`` subtypes, ``PersonPrime`` renamed variants and
+  ``PersonTwo`` with split salary fields);
+* **Water quality** -- the paper's motivating application: many geographically
+  distributed sources holding measurements *of the same type* taken at the
+  physical site of each database.
+
+All generators are seeded and deterministic so that experiments are
+repeatable and property tests can shrink.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from repro.sources.network import AvailabilityModel, NetworkProfile
+from repro.sources.relational_engine import RelationalEngine
+from repro.sources.server import SimulatedServer
+from repro.sources.table import TableSchema
+
+_FIRST_NAMES = [
+    "Mary", "Sam", "Anthony", "Louiqa", "Patrick", "Olga", "Nicolas", "Daniela",
+    "Eric", "Catherine", "Yannis", "Peter", "Victor", "Alexandre", "Sophie",
+    "Jean", "Robert", "Claire", "Marc", "Julie",
+]
+_SITES = [
+    "Seine", "Loire", "Rhone", "Garonne", "Marne", "Oise", "Somme", "Moselle",
+    "Charente", "Dordogne", "Allier", "Cher",
+]
+_PARAMETERS = ["ph", "nitrates", "turbidity", "oxygen", "temperature", "lead"]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters shared by the source-building helpers."""
+
+    sources: int = 4
+    rows_per_source: int = 100
+    seed: int = 7
+    base_latency: float = 0.0
+    per_row_latency: float = 0.0
+    failure_probability: float = 0.0
+    real_sleep: bool = False
+
+
+def generate_person_rows(count: int, seed: int = 0, id_offset: int = 0) -> list[dict[str, Any]]:
+    """Generate ``count`` person rows with ``id``, ``name`` and ``salary``."""
+    rng = random.Random(seed)
+    rows = []
+    for index in range(count):
+        rows.append(
+            {
+                "id": id_offset + index,
+                "name": rng.choice(_FIRST_NAMES) + f"_{id_offset + index}",
+                "salary": rng.randint(10, 500),
+            }
+        )
+    return rows
+
+
+def generate_student_rows(count: int, seed: int = 0, id_offset: int = 0) -> list[dict[str, Any]]:
+    """Generate student rows: person fields plus a ``university``."""
+    rng = random.Random(seed)
+    rows = generate_person_rows(count, seed=seed, id_offset=id_offset)
+    for row in rows:
+        row["university"] = rng.choice(["UMD", "Paris VI", "Stanford", "INRIA"])
+    return rows
+
+
+def generate_water_quality_rows(
+    count: int, site: str | None = None, seed: int = 0
+) -> list[dict[str, Any]]:
+    """Generate water-quality measurement rows for one site.
+
+    Every source has the *same* row type -- ``site``, ``day``, ``parameter``,
+    ``value`` -- which is precisely the property the paper exploits: adding a
+    new monitoring station is just one more extent of the same mediator type.
+    """
+    rng = random.Random(seed)
+    site = site or rng.choice(_SITES)
+    rows = []
+    for index in range(count):
+        parameter = rng.choice(_PARAMETERS)
+        rows.append(
+            {
+                "site": site,
+                "day": index % 365,
+                "parameter": parameter,
+                "value": round(rng.uniform(0.0, 14.0 if parameter == "ph" else 100.0), 3),
+            }
+        )
+    return rows
+
+
+def _server(name: str, engine: RelationalEngine, config: WorkloadConfig, index: int) -> SimulatedServer:
+    return SimulatedServer(
+        name=name,
+        store=engine,
+        network=NetworkProfile(
+            base_latency=config.base_latency,
+            per_row_latency=config.per_row_latency,
+            seed=config.seed + index,
+        ),
+        availability=AvailabilityModel(
+            failure_probability=config.failure_probability, seed=config.seed + index
+        ),
+        real_sleep=config.real_sleep,
+    )
+
+
+def build_person_sources(config: WorkloadConfig) -> list[SimulatedServer]:
+    """Build ``config.sources`` relational servers, each with one ``person<i>`` table."""
+    servers = []
+    for index in range(config.sources):
+        engine = RelationalEngine(name=f"persondb{index}")
+        engine.create_table(
+            f"person{index}",
+            schema=TableSchema.of(("id", int), ("name", str), ("salary", int)),
+            rows=generate_person_rows(
+                config.rows_per_source,
+                seed=config.seed + index,
+                id_offset=index * config.rows_per_source,
+            ),
+        )
+        servers.append(_server(f"person-host-{index}", engine, config, index))
+    return servers
+
+
+def build_water_quality_sources(config: WorkloadConfig) -> list[SimulatedServer]:
+    """Build ``config.sources`` relational servers of identical measurement type."""
+    servers = []
+    for index in range(config.sources):
+        site = _SITES[index % len(_SITES)] + (f"_{index // len(_SITES)}" if index >= len(_SITES) else "")
+        engine = RelationalEngine(name=f"waterdb{index}")
+        engine.create_table(
+            f"measurements{index}",
+            schema=TableSchema.of(("site", str), ("day", int), ("parameter", str), ("value", float)),
+            rows=generate_water_quality_rows(config.rows_per_source, site=site, seed=config.seed + index),
+        )
+        servers.append(_server(f"water-host-{index}", engine, config, index))
+    return servers

@@ -1,0 +1,146 @@
+"""The abstract wrapper interface and a shared algebra evaluator.
+
+The paper: "DISCO interfaces to wrappers at the level of an abstract algebraic
+machine of logical operators.  When the DBI implements a new wrapper, she
+chooses a (sub) set of logical operators to support.  The DBI implements the
+logical operators, and also implements a call in the wrapper interface which
+returns the set of supported logical operators."
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.algebra.capabilities import CapabilityGrammar, CapabilitySet
+from repro.algebra.logical import (
+    BagLiteral,
+    Flatten,
+    Get,
+    Join,
+    LogicalOp,
+    Project,
+    Select,
+    Union,
+)
+from repro.errors import CapabilityError, WrapperError
+
+Row = dict[str, Any]
+ScanFunction = Callable[[str], list[Row]]
+
+
+class Wrapper:
+    """Base class for every wrapper.
+
+    Subclasses implement :meth:`_execute` (how a legal expression is actually
+    evaluated at the source) and pass their capability set to ``__init__``.
+    """
+
+    def __init__(self, name: str, capabilities: CapabilitySet):
+        self.name = name
+        self.capabilities = capabilities
+        self._grammar = capabilities.to_grammar()
+
+    # -- the two calls of the wrapper interface ------------------------------------------
+    def submit_functionality(self) -> CapabilityGrammar:
+        """Return the grammar describing the supported logical operators."""
+        return self._grammar
+
+    def submit(self, expression: LogicalOp) -> list[Row]:
+        """Evaluate ``expression`` (in the source's name space) and return rows.
+
+        The expression is re-checked against the capability grammar: an
+        illegal expression indicates an optimizer bug or a hand-built plan, so
+        it fails loudly instead of silently changing query semantics.
+        """
+        if not self._grammar.accepts(expression):
+            raise CapabilityError(
+                f"wrapper {self.name!r} does not accept expression {expression.to_text()}"
+            )
+        return self._execute(expression)
+
+    # -- hooks for subclasses ------------------------------------------------------------
+    def _execute(self, expression: LogicalOp) -> list[Row]:
+        raise NotImplementedError
+
+    def source_collections(self) -> list[str]:
+        """Names of the collections the underlying source exposes."""
+        return []
+
+    def source_attributes(self, collection: str) -> list[str]:
+        """Attribute names of ``collection`` as seen by the data source.
+
+        Used for the run-time type check of Section 2.1: the mediator compares
+        these names with the mediator type (after applying the local
+        transformation map) and raises a type conflict on mismatch.
+        """
+        return []
+
+    def cardinality(self, collection: str) -> int | None:
+        """Row count of ``collection`` when the source exports it, else None."""
+        return None
+
+    def describe(self) -> dict[str, Any]:
+        """Catalog-friendly description of the wrapper."""
+        return {
+            "name": self.name,
+            "operators": sorted(self.capabilities.operators),
+            "compose": self.capabilities.compose,
+        }
+
+
+class AlgebraEvaluator:
+    """Evaluates pushable logical expressions given a ``scan`` function.
+
+    Wrappers whose sources expose row-level operations (relational engine,
+    key-value store, CSV files) use this evaluator to run the pushed
+    expression "at the source"; the only thing each wrapper provides is how a
+    named collection is scanned.
+    """
+
+    def __init__(self, scan: ScanFunction):
+        self.scan = scan
+
+    def evaluate(self, expression: LogicalOp) -> list[Row]:
+        """Evaluate ``expression`` and return rows."""
+        if isinstance(expression, Get):
+            return self.scan(expression.collection)
+        if isinstance(expression, BagLiteral):
+            return [dict(value) for value in expression.values]
+        if isinstance(expression, Project):
+            rows = self.evaluate(expression.child)
+            missing_ok = expression.attributes
+            return [{attr: row.get(attr) for attr in missing_ok} for row in rows]
+        if isinstance(expression, Select):
+            rows = self.evaluate(expression.child)
+            variable = expression.variable
+            predicate = expression.predicate
+            return [row for row in rows if predicate.evaluate({variable: row})]
+        if isinstance(expression, Join):
+            left_rows = self.evaluate(expression.left)
+            right_rows = self.evaluate(expression.right)
+            left_attr, right_attr = expression.join_attributes()
+            buckets: dict[Any, list[Row]] = {}
+            for row in right_rows:
+                buckets.setdefault(row.get(right_attr), []).append(row)
+            joined: list[Row] = []
+            for row in left_rows:
+                for match in buckets.get(row.get(left_attr), []):
+                    merged = dict(match)
+                    merged.update(row)
+                    joined.append(merged)
+            return joined
+        if isinstance(expression, Union):
+            result: list[Row] = []
+            for child in expression.inputs:
+                result.extend(self.evaluate(child))
+            return result
+        if isinstance(expression, Flatten):
+            rows = self.evaluate(expression.child)
+            flattened: list[Row] = []
+            for row in rows:
+                if isinstance(row, (list, tuple)):
+                    flattened.extend(row)
+                else:
+                    flattened.append(row)
+            return flattened
+        raise WrapperError(f"cannot evaluate {expression.to_text()} at a data source")

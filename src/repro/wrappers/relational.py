@@ -1,0 +1,58 @@
+"""Wrapper for relational-engine data sources.
+
+The whole pushed expression is evaluated inside one simulated server call,
+matching the RPC semantics of the ``submit`` operator: one ``exec`` equals one
+round trip to the source, however much work was pushed.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.algebra.capabilities import CapabilitySet
+from repro.algebra.logical import LogicalOp
+from repro.sources.relational_engine import RelationalEngine
+from repro.sources.server import SimulatedServer
+from repro.wrappers.base import AlgebraEvaluator, Row, Wrapper
+
+
+class RelationalWrapper(Wrapper):
+    """Wrapper over a :class:`RelationalEngine` hosted by a simulated server.
+
+    The capability set is configurable, which is how the experiments model
+    servers of different querying power backed by the same storage engine.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        server: SimulatedServer,
+        capabilities: CapabilitySet | None = None,
+    ):
+        super().__init__(name, capabilities or CapabilitySet.full())
+        self.server = server
+
+    # -- execution -----------------------------------------------------------------------
+    def _execute(self, expression: LogicalOp) -> list[Row]:
+        def run(engine: RelationalEngine) -> list[Row]:
+            evaluator = AlgebraEvaluator(scan=engine.scan)
+            return evaluator.evaluate(expression)
+
+        return self.server.call(run)
+
+    # -- meta-data ------------------------------------------------------------------------
+    def source_collections(self) -> list[str]:
+        engine: RelationalEngine = self.server.store
+        return engine.table_names()
+
+    def source_attributes(self, collection: str) -> list[str]:
+        engine: RelationalEngine = self.server.store
+        if not engine.has_table(collection):
+            return []
+        return engine.table(collection).column_names()
+
+    def cardinality(self, collection: str) -> int | None:
+        engine: RelationalEngine = self.server.store
+        if not engine.has_table(collection):
+            return None
+        return engine.cardinality(collection)

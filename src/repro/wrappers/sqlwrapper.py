@@ -1,0 +1,126 @@
+"""Wrapper that translates the mediator algebra into the miniature SQL dialect.
+
+This is the reproduction's ``WrapperPostgres``: the pushed logical expression
+is rendered as SQL text, shipped to the SQL engine through the simulated
+server, parsed and executed there.  Only the operators that have an SQL
+rendering are advertised (``get``, ``project``, ``select``, ``join``), and
+only predicates built from comparisons of attributes and constants can cross
+the boundary -- richer predicates raise :class:`WrapperError` so the optimizer
+keeps them at the mediator.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.algebra.capabilities import CapabilitySet
+from repro.algebra.expressions import (
+    BooleanExpr,
+    Comparison,
+    Const,
+    Expr,
+    Path,
+    Var,
+)
+from repro.algebra.logical import Get, Join, LogicalOp, Project, Select
+from repro.errors import WrapperError
+from repro.sources.server import SimulatedServer
+from repro.sources.sql.engine import SqlEngine
+from repro.wrappers.base import Row, Wrapper
+
+
+class SqlWrapper(Wrapper):
+    """Wrapper over a :class:`SqlEngine` hosted by a simulated server."""
+
+    def __init__(self, name: str, server: SimulatedServer, capabilities: CapabilitySet | None = None):
+        super().__init__(
+            name, capabilities or CapabilitySet.of("get", "project", "select", "join")
+        )
+        self.server = server
+
+    # -- execution -----------------------------------------------------------------------
+    def _execute(self, expression: LogicalOp) -> list[Row]:
+        sql = self.to_sql(expression)
+
+        def run(engine: SqlEngine) -> list[Row]:
+            return engine.execute(sql)
+
+        return self.server.call(run)
+
+    # -- SQL generation ---------------------------------------------------------------------
+    def to_sql(self, expression: LogicalOp) -> str:
+        """Render a pushed logical expression as one SELECT statement."""
+        columns, table, joins, predicates = self._decompose(expression)
+        select_clause = ", ".join(columns) if columns else "*"
+        sql = f"SELECT {select_clause} FROM {table}"
+        for join_table, left_column, right_column in joins:
+            sql += f" JOIN {join_table} ON {left_column} = {right_column}"
+        if predicates:
+            sql += " WHERE " + " AND ".join(predicates)
+        return sql
+
+    def _decompose(
+        self, expression: LogicalOp
+    ) -> tuple[list[str], str, list[tuple[str, str, str]], list[str]]:
+        if isinstance(expression, Get):
+            return [], expression.collection, [], []
+        if isinstance(expression, Project):
+            columns, table, joins, predicates = self._decompose(expression.child)
+            return list(expression.attributes), table, joins, predicates
+        if isinstance(expression, Select):
+            columns, table, joins, predicates = self._decompose(expression.child)
+            predicates = predicates + [self._predicate_sql(expression.predicate)]
+            return columns, table, joins, predicates
+        if isinstance(expression, Join):
+            left_cols, left_table, left_joins, left_preds = self._decompose(expression.left)
+            right_cols, right_table, right_joins, right_preds = self._decompose(expression.right)
+            if right_joins:
+                raise WrapperError("SQL wrapper supports only left-deep join chains")
+            left_attr, right_attr = expression.join_attributes()
+            joins = left_joins + [(right_table, left_attr, right_attr)]
+            columns = left_cols + right_cols
+            return columns, left_table, joins, left_preds + right_preds
+        raise WrapperError(f"cannot translate {expression.to_text()} to SQL")
+
+    def _predicate_sql(self, predicate: Expr) -> str:
+        if isinstance(predicate, Comparison):
+            op = "<>" if predicate.op == "!=" else predicate.op
+            return f"{self._operand_sql(predicate.left)} {op} {self._operand_sql(predicate.right)}"
+        if isinstance(predicate, BooleanExpr):
+            if predicate.op == "not":
+                return f"NOT ({self._predicate_sql(predicate.operands[0])})"
+            joiner = f" {predicate.op.upper()} "
+            return "(" + joiner.join(self._predicate_sql(p) for p in predicate.operands) + ")"
+        raise WrapperError(f"cannot translate predicate {predicate.to_oql()} to SQL")
+
+    def _operand_sql(self, operand: Expr) -> str:
+        if isinstance(operand, Path) and isinstance(operand.base, Var):
+            return operand.attribute
+        if isinstance(operand, Const):
+            value = operand.value
+            if isinstance(value, str):
+                escaped = value.replace("'", "''")
+                return f"'{escaped}'"
+            if isinstance(value, bool):
+                return "TRUE" if value else "FALSE"
+            if value is None:
+                return "NULL"
+            return repr(value)
+        raise WrapperError(f"cannot translate operand {operand.to_oql()} to SQL")
+
+    # -- meta-data ----------------------------------------------------------------------------
+    def source_collections(self) -> list[str]:
+        engine: SqlEngine = self.server.store
+        return engine.table_names()
+
+    def source_attributes(self, collection: str) -> list[str]:
+        engine: SqlEngine = self.server.store
+        if collection not in engine.table_names():
+            return []
+        return engine.engine.table(collection).column_names()
+
+    def cardinality(self, collection: str) -> int | None:
+        engine: SqlEngine = self.server.store
+        if collection not in engine.table_names():
+            return None
+        return engine.cardinality(collection)

@@ -1,0 +1,59 @@
+"""Shared fixtures: the paper's running example and workload builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Mediator, RelationalWrapper
+from repro.sources import RelationalEngine, SimulatedServer, TableSchema
+
+
+def build_person_engine(index: int, rows: list[dict]) -> tuple[RelationalEngine, SimulatedServer]:
+    """One relational source holding a ``person<index>`` table."""
+    engine = RelationalEngine(name=f"persondb{index}")
+    engine.create_table(
+        f"person{index}",
+        schema=TableSchema.of(("id", int), ("name", str), ("salary", int)),
+        rows=rows,
+    )
+    server = SimulatedServer(name=f"host{index}", store=engine)
+    return engine, server
+
+
+def build_paper_mediator(**mediator_kwargs):
+    """The running example of the paper.
+
+    Two repositories: r0 holds Mary (salary 200), r1 holds Sam (salary 50);
+    one relational wrapper per source; a Person interface with implicit extent
+    ``person`` and member extents ``person0`` / ``person1``.
+
+    Returns (mediator, servers) so tests can take sources down.
+    """
+    _, server0 = build_person_engine(0, [{"id": 1, "name": "Mary", "salary": 200}])
+    _, server1 = build_person_engine(1, [{"id": 1, "name": "Sam", "salary": 50}])
+    mediator = Mediator(name="paper", **mediator_kwargs)
+    mediator.register_wrapper("w0", RelationalWrapper("w0", server0))
+    mediator.register_wrapper("w1", RelationalWrapper("w1", server1))
+    mediator.create_repository("r0", host="rodin", address="123.45.6.7")
+    mediator.create_repository("r1", host="umiacs")
+    mediator.define_interface(
+        "Person",
+        [("id", "Long"), ("name", "String"), ("salary", "Short")],
+        extent_name="person",
+    )
+    mediator.add_extent("person0", "Person", "w0", "r0")
+    mediator.add_extent("person1", "Person", "w1", "r1")
+    return mediator, [server0, server1]
+
+
+@pytest.fixture
+def paper_mediator():
+    """The paper's two-source Person mediator."""
+    mediator, _servers = build_paper_mediator()
+    return mediator
+
+
+@pytest.fixture
+def paper_mediator_with_servers():
+    """The paper mediator plus its servers (for availability experiments)."""
+    return build_paper_mediator()

@@ -1,0 +1,88 @@
+"""Tests for wrapper capability sets and grammars (paper Section 3.2)."""
+
+import pytest
+
+from repro.algebra.capabilities import CapabilityGrammar, CapabilitySet, grammar_for
+from repro.algebra.expressions import Comparison, Const, Path, Var
+from repro.algebra.logical import Flatten, Get, Join, Project, Select, Union
+
+
+def project_of_get() -> Project:
+    return Project(("name",), Get("person0"))
+
+
+def select_of_get() -> Select:
+    return Select("x", Comparison(">", Path(Var("x"), "salary"), Const(10)), Get("person0"))
+
+
+class TestCapabilitySet:
+    def test_of_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            CapabilitySet.of("teleport")
+
+    def test_presets(self):
+        assert CapabilitySet.get_only().operators == frozenset({"get"})
+        assert CapabilitySet.full().supports("join")
+
+    def test_supports(self):
+        caps = CapabilitySet.of("get", "project")
+        assert caps.supports("project")
+        assert not caps.supports("join")
+
+
+class TestGrammarConstruction:
+    def test_get_is_always_included(self):
+        grammar = grammar_for({"project"})
+        assert grammar.supports("get")
+
+    def test_paper_non_composing_grammar(self):
+        """The paper's wrapper that understands get and project but not composition."""
+        grammar = grammar_for({"get", "project"}, compose=False)
+        assert grammar.accepts(Get("person0"))
+        assert grammar.accepts(project_of_get())
+        # project over project requires composition
+        assert not grammar.accepts(Project(("name",), project_of_get()))
+        # select is not supported at all
+        assert not grammar.accepts(select_of_get())
+
+    def test_paper_composing_grammar(self):
+        """The paper's wrapper that understands get, project and their composition."""
+        grammar = grammar_for({"get", "project"}, compose=True)
+        assert grammar.accepts(project_of_get())
+        assert grammar.accepts(Project(("salary",), project_of_get()))
+
+    def test_join_grammar(self):
+        grammar = grammar_for({"get", "join"})
+        join = Join(Get("employee0"), Get("manager0"), "dept")
+        assert grammar.accepts(join)
+        assert not grammar_for({"get"}).accepts(join)
+
+    def test_select_project_composition(self):
+        grammar = grammar_for({"get", "project", "select"})
+        assert grammar.accepts(Project(("name",), select_of_get()))
+        assert grammar.accepts(Select("x", Comparison(">", Path(Var("x"), "salary"), Const(10)), project_of_get()))
+
+    def test_union_and_flatten(self):
+        grammar = grammar_for({"get", "union", "flatten"})
+        assert grammar.accepts(Union((Get("a"), Get("b"))))
+        assert grammar.accepts(Flatten(Get("a")))
+        assert not grammar.accepts(Union((project_of_get(), Get("b"))))
+
+    def test_capability_set_to_grammar_round_trip(self):
+        caps = CapabilitySet.of("get", "project", "select", compose=True)
+        grammar = caps.to_grammar()
+        assert grammar.supported_operators() == {"get", "project", "select"}
+
+    def test_render_produces_paper_style_productions(self):
+        rendered = grammar_for({"get", "project"}, compose=False).render()
+        assert "get OPEN SOURCE CLOSE" in rendered
+        assert "project OPEN ATTRIBUTE COMMA SOURCE CLOSE" in rendered
+
+    def test_render_composing_grammar_mentions_nonterminal(self):
+        rendered = grammar_for({"get", "project"}, compose=True).render()
+        assert "project OPEN ATTRIBUTE COMMA s CLOSE" in rendered
+        assert "s :- SOURCE" in rendered
+
+    def test_empty_grammar_rejects_everything(self):
+        grammar = CapabilityGrammar(start="a", productions=())
+        assert not grammar.accepts(Get("person0"))

@@ -1,0 +1,70 @@
+"""Tests for local transformation maps (paper Section 2.2.2)."""
+
+import pytest
+
+from repro.datamodel.mapping import LocalTransformationMap
+from repro.datamodel.values import Struct
+from repro.errors import SchemaError
+
+
+def personprime_map():
+    """The paper's map: ((person0=personprime0), (name=n), (salary=s))."""
+    return LocalTransformationMap.from_pairs(
+        [("person0", "personprime0"), ("name", "n"), ("salary", "s")]
+    )
+
+
+class TestLocalTransformationMap:
+    def test_identity_map_is_identity(self):
+        identity = LocalTransformationMap.identity()
+        assert identity.is_identity()
+        assert identity.attribute_to_source("name") == "name"
+        assert identity.source_collection_name("person0") == "person0"
+
+    def test_paper_map_relation_equivalence(self):
+        mapping = personprime_map()
+        assert mapping.source_collection_name("personprime0") == "person0"
+
+    def test_paper_map_attribute_directions(self):
+        mapping = personprime_map()
+        assert mapping.attribute_to_source("n") == "name"
+        assert mapping.attribute_to_source("s") == "salary"
+        assert mapping.attribute_to_mediator("name") == "n"
+        assert mapping.attribute_to_mediator("salary") == "s"
+
+    def test_unmapped_attributes_pass_through(self):
+        mapping = personprime_map()
+        assert mapping.attribute_to_source("id") == "id"
+        assert mapping.attribute_to_mediator("id") == "id"
+
+    def test_row_to_mediator_renames_fields(self):
+        mapping = personprime_map()
+        row = mapping.row_to_mediator({"name": "Mary", "salary": 200})
+        assert row == Struct({"n": "Mary", "s": 200})
+
+    def test_from_pairs_empty_is_identity(self):
+        assert LocalTransformationMap.from_pairs([]).is_identity()
+
+    def test_duplicate_source_attribute_is_rejected(self):
+        mapping = LocalTransformationMap.from_pairs(
+            [("t", "e"), ("name", "a"), ("name", "b")]
+        )
+        with pytest.raises(SchemaError):
+            mapping.validate()
+
+    def test_duplicate_mediator_attribute_is_rejected(self):
+        mapping = LocalTransformationMap.from_pairs(
+            [("t", "e"), ("name", "a"), ("salary", "a")]
+        )
+        with pytest.raises(SchemaError):
+            mapping.validate()
+
+    def test_describe_round_trips_the_paper_syntax(self):
+        assert personprime_map().describe() == [
+            "(person0=personprime0)",
+            "(name=n)",
+            "(salary=s)",
+        ]
+
+    def test_describe_identity_is_empty(self):
+        assert LocalTransformationMap.identity().describe() == []

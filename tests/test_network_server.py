@@ -1,0 +1,115 @@
+"""Tests for the simulated network, availability model and server."""
+
+import pytest
+
+from repro.errors import UnavailableSourceError
+from repro.sources.network import AvailabilityModel, NetworkProfile
+from repro.sources.relational_engine import RelationalEngine
+from repro.sources.server import SimulatedServer
+
+
+class TestNetworkProfile:
+    def test_instant_profile_has_no_delay(self):
+        assert NetworkProfile.instant().delay_for(1000) == 0.0
+
+    def test_delay_scales_with_rows(self):
+        profile = NetworkProfile(base_latency=0.001, per_row_latency=0.0001)
+        assert profile.delay_for(0) == pytest.approx(0.001)
+        assert profile.delay_for(100) == pytest.approx(0.011)
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        profile_a = NetworkProfile(base_latency=0.0, jitter=0.01, seed=42)
+        profile_b = NetworkProfile(base_latency=0.0, jitter=0.01, seed=42)
+        delays_a = [profile_a.delay_for(0) for _ in range(5)]
+        delays_b = [profile_b.delay_for(0) for _ in range(5)]
+        assert delays_a == delays_b
+        assert all(0 <= delay <= 0.01 for delay in delays_a)
+
+    def test_lan_and_wan_presets(self):
+        assert NetworkProfile.wan().base_latency > NetworkProfile.lan().base_latency
+
+
+class TestAvailabilityModel:
+    def test_available_by_default(self):
+        AvailabilityModel().check("r0")
+
+    def test_hard_switch(self):
+        model = AvailabilityModel()
+        model.set_available(False)
+        with pytest.raises(UnavailableSourceError):
+            model.check("r0")
+        model.set_available(True)
+        model.check("r0")
+
+    def test_fail_next_injects_exactly_n_failures(self):
+        model = AvailabilityModel()
+        model.fail_next(2)
+        for _ in range(2):
+            with pytest.raises(UnavailableSourceError):
+                model.check("r0")
+        model.check("r0")
+
+    def test_probabilistic_failures_are_seeded(self):
+        outcomes = []
+        for _ in range(2):
+            model = AvailabilityModel(failure_probability=0.5, seed=7)
+            run = []
+            for _ in range(20):
+                try:
+                    model.check("r0")
+                    run.append(True)
+                except UnavailableSourceError:
+                    run.append(False)
+            outcomes.append(run)
+        assert outcomes[0] == outcomes[1]
+        assert not all(outcomes[0]) and any(outcomes[0])
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            AvailabilityModel(failure_probability=1.5)
+
+    def test_error_carries_source_name(self):
+        model = AvailabilityModel(available=False)
+        with pytest.raises(UnavailableSourceError) as excinfo:
+            model.check("r42")
+        assert excinfo.value.source_name == "r42"
+
+
+class TestSimulatedServer:
+    def make_server(self, **kwargs) -> SimulatedServer:
+        engine = RelationalEngine("db")
+        engine.create_table("t", rows=[{"x": i} for i in range(5)])
+        return SimulatedServer(name="host", store=engine, **kwargs)
+
+    def test_call_runs_operation_against_store(self):
+        server = self.make_server()
+        rows = server.call(lambda engine: engine.scan("t"))
+        assert len(rows) == 5
+
+    def test_statistics_accumulate(self):
+        server = self.make_server(network=NetworkProfile(base_latency=0.001))
+        server.call(lambda engine: engine.scan("t"))
+        server.call(lambda engine: engine.scan("t"))
+        assert server.statistics.requests == 2
+        assert server.statistics.rows_returned == 10
+        assert server.statistics.simulated_seconds > 0
+        server.reset_statistics()
+        assert server.statistics.requests == 0
+
+    def test_take_down_and_bring_up(self):
+        server = self.make_server()
+        server.take_down()
+        assert not server.is_up()
+        with pytest.raises(UnavailableSourceError):
+            server.call(lambda engine: engine.scan("t"))
+        assert server.statistics.failures == 1
+        server.bring_up()
+        assert server.call(lambda engine: engine.scan("t"))
+
+    def test_unavailable_server_does_no_work(self):
+        server = self.make_server()
+        server.take_down()
+        calls = []
+        with pytest.raises(UnavailableSourceError):
+            server.call(lambda engine: calls.append(1))
+        assert calls == []

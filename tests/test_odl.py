@@ -1,0 +1,174 @@
+"""Tests for the ODL parser and loader, driven by the paper's declarations."""
+
+import pytest
+
+from repro.core.registry import Registry
+from repro.datamodel.repository import Repository
+from repro.errors import ParseError, SchemaError
+from repro.odl.ast import DefineDecl, ExtentDecl, InterfaceDecl, RepositoryDecl
+from repro.odl.loader import OdlLoader
+from repro.odl.parser import parse_odl
+
+PAPER_ODL = """
+interface Person (extent person) {
+    attribute String name;
+    attribute Short salary;
+}
+
+interface Student : Person { }
+
+interface PersonPrime {
+    attribute String n;
+    attribute Short s;
+}
+
+repository r0 (host="rodin", name="db", address="123.45.6.7");
+repository r1 (host="umiacs");
+
+extent person0 of Person wrapper w0 repository r0;
+extent person1 of Person wrapper w0 repository r1;
+extent personprime0 of PersonPrime wrapper w0 repository r0
+    map ((person0=personprime0), (name=n), (salary=s));
+
+define double as
+    select struct(name: x.name, salary: x.salary + y.salary)
+    from x in person0 and y in person1
+    where x.id = y.id;
+"""
+
+
+class TestOdlParser:
+    def test_parses_every_declaration_kind(self):
+        declarations = parse_odl(PAPER_ODL)
+        kinds = [type(d).__name__ for d in declarations]
+        assert kinds == [
+            "InterfaceDecl",
+            "InterfaceDecl",
+            "InterfaceDecl",
+            "RepositoryDecl",
+            "RepositoryDecl",
+            "ExtentDecl",
+            "ExtentDecl",
+            "ExtentDecl",
+            "DefineDecl",
+        ]
+
+    def test_interface_with_extent_and_attributes(self):
+        person = parse_odl(PAPER_ODL)[0]
+        assert isinstance(person, InterfaceDecl)
+        assert person.name == "Person"
+        assert person.extent_name == "person"
+        assert [(a.type_name, a.name) for a in person.attributes] == [
+            ("String", "name"),
+            ("Short", "salary"),
+        ]
+
+    def test_interface_with_supertype(self):
+        student = parse_odl(PAPER_ODL)[1]
+        assert student.supertype == "Person"
+        assert student.attributes == ()
+
+    def test_extent_declaration(self):
+        extent = parse_odl(PAPER_ODL)[5]
+        assert isinstance(extent, ExtentDecl)
+        assert (extent.name, extent.interface, extent.wrapper, extent.repository) == (
+            "person0",
+            "Person",
+            "w0",
+            "r0",
+        )
+        assert extent.map_pairs == ()
+
+    def test_extent_with_map(self):
+        extent = parse_odl(PAPER_ODL)[7]
+        assert extent.map_pairs == (
+            ("person0", "personprime0"),
+            ("name", "n"),
+            ("salary", "s"),
+        )
+
+    def test_define_keeps_raw_query_text(self):
+        define = parse_odl(PAPER_ODL)[8]
+        assert isinstance(define, DefineDecl)
+        assert define.name == "double"
+        assert define.query_text.startswith("select struct(name: x.name")
+        assert define.query_text.endswith("x.id = y.id")
+
+    def test_repository_properties(self):
+        repository = parse_odl(PAPER_ODL)[3]
+        assert isinstance(repository, RepositoryDecl)
+        assert repository.property_dict() == {
+            "host": "rodin",
+            "name": "db",
+            "address": "123.45.6.7",
+        }
+
+    def test_comments_are_ignored(self):
+        declarations = parse_odl("// a comment\ninterface T { attribute Long x; }")
+        assert declarations[0].name == "T"
+
+    def test_unknown_declaration_raises(self):
+        with pytest.raises(ParseError):
+            parse_odl("table person (name);")
+
+    def test_unterminated_define_raises(self):
+        with pytest.raises(ParseError):
+            parse_odl("define v as select x from x in person")
+
+    def test_missing_semicolon_raises(self):
+        with pytest.raises(ParseError):
+            parse_odl("extent e0 of T wrapper w repository r")
+
+
+class TestOdlLoader:
+    class FakeWrapper:
+        def submit_functionality(self):  # pragma: no cover - never called here
+            raise NotImplementedError
+
+    def load(self):
+        registry = Registry()
+        registry.add_wrapper("w0", self.FakeWrapper())
+        OdlLoader(registry).load(PAPER_ODL)
+        return registry
+
+    def test_interfaces_are_defined(self):
+        registry = self.load()
+        assert registry.schema.interface("Person").extent_name == "person"
+        assert registry.schema.interface("Student").supertype == "Person"
+
+    def test_repositories_are_created(self):
+        registry = self.load()
+        assert registry.schema.repository("r0").host == "rodin"
+        assert registry.schema.repository("r0").address == "123.45.6.7"
+
+    def test_extents_create_metaextent_objects(self):
+        registry = self.load()
+        assert {meta.name for meta in registry.schema.extents()} == {
+            "person0",
+            "person1",
+            "personprime0",
+        }
+
+    def test_map_is_attached_to_extent(self):
+        registry = self.load()
+        meta = registry.extent("personprime0")
+        assert meta.map.attribute_to_source("n") == "name"
+        assert meta.e.source_name() == "person0"
+
+    def test_view_is_registered(self):
+        registry = self.load()
+        assert registry.schema.has_view("double")
+
+    def test_unknown_attribute_types_are_accepted_as_any(self):
+        registry = Registry()
+        OdlLoader(registry).load("interface T { attribute Whatever x; };")
+        assert registry.schema.interface("T").has_attribute("x")
+
+    def test_extent_for_unknown_wrapper_fails(self):
+        registry = Registry()
+        loader = OdlLoader(registry)
+        with pytest.raises(SchemaError):
+            loader.load(
+                "interface T { attribute Long x; } repository r0; "
+                "extent t0 of T wrapper missing repository r0;"
+            )

@@ -1,0 +1,272 @@
+"""Tests for the optimizer: history, cost model, implementation rules, search, plan cache."""
+
+import pytest
+
+from repro.algebra import physical as phys
+from repro.algebra.capabilities import grammar_for
+from repro.algebra.expressions import Comparison, Const, Path, Var
+from repro.algebra.logical import (
+    Apply,
+    BagLiteral,
+    BindJoin,
+    Distinct,
+    Flatten,
+    Get,
+    Join,
+    Project,
+    Select,
+    Submit,
+    Union,
+)
+from repro.algebra.rewriter import Rewriter
+from repro.errors import OptimizationError
+from repro.optimizer.cost import CostModel
+from repro.optimizer.history import ExecCallHistory, close_signature, exact_signature
+from repro.optimizer.implementation import implement, implementation_alternatives
+from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.plancache import PlanCache
+
+
+def salary_filter(threshold=10):
+    return Comparison(">", Path(Var("x"), "salary"), Const(threshold))
+
+
+def submit(extent="person0", source="r0", expression=None):
+    return Submit(source, expression or Get(extent), extent_name=extent)
+
+
+class TestExecCallHistory:
+    def test_default_estimate_is_paper_zero_one(self):
+        history = ExecCallHistory()
+        estimate = history.estimate("person0", Get("person0"))
+        assert estimate.kind == "default"
+        assert estimate.time == 0.0
+        assert estimate.rows == 1.0
+
+    def test_exact_match_after_recording(self):
+        history = ExecCallHistory()
+        history.record("person0", Get("person0"), elapsed=0.5, rows=100)
+        estimate = history.estimate("person0", Get("person0"))
+        assert estimate.kind == "exact"
+        assert estimate.time == pytest.approx(0.5)
+        assert estimate.rows == pytest.approx(100)
+
+    def test_smoothing_combines_observations(self):
+        history = ExecCallHistory(smoothing=0.5)
+        history.record("person0", Get("person0"), elapsed=1.0, rows=100)
+        history.record("person0", Get("person0"), elapsed=0.0, rows=0)
+        estimate = history.estimate("person0", Get("person0"))
+        assert 0.0 < estimate.time < 1.0
+        assert 0 < estimate.rows < 100
+
+    def test_window_bounds_the_number_of_observations(self):
+        history = ExecCallHistory(window=4)
+        for index in range(20):
+            history.record("person0", Get("person0"), elapsed=float(index), rows=index)
+        estimate = history.estimate("person0", Get("person0"))
+        # Only the last four observations (16..19) survive.
+        assert estimate.time >= 16.0
+
+    def test_close_match_ignores_constants(self):
+        """The paper's close match: comparison operators match, constants do not."""
+        history = ExecCallHistory()
+        expr_10 = Select("x", salary_filter(10), Get("person0"))
+        expr_99 = Select("x", salary_filter(99), Get("person0"))
+        history.record("person0", expr_10, elapsed=0.2, rows=40)
+        estimate = history.estimate("person0", expr_99)
+        assert estimate.kind == "close"
+        assert estimate.rows == pytest.approx(40)
+
+    def test_different_operator_is_not_a_close_match(self):
+        history = ExecCallHistory()
+        history.record("person0", Select("x", salary_filter(10), Get("person0")), 0.2, 40)
+        other = Select("x", Comparison("<", Path(Var("x"), "salary"), Const(10)), Get("person0"))
+        assert history.estimate("person0", other).kind == "default"
+
+    def test_histories_are_per_extent(self):
+        history = ExecCallHistory()
+        history.record("person0", Get("person0"), 0.2, 40)
+        assert history.estimate("person1", Get("person1")).kind == "default"
+
+    def test_signatures(self):
+        expr = Select("x", salary_filter(10), Get("person0"))
+        assert exact_signature("person0", expr) != exact_signature("person1", expr)
+        assert close_signature("person0", expr) == close_signature(
+            "person0", Select("x", salary_filter(77), Get("person0"))
+        )
+
+    def test_clear_and_recorded_calls(self):
+        history = ExecCallHistory()
+        history.record("person0", Get("person0"), 0.2, 40)
+        assert history.recorded_calls() == 1
+        history.clear()
+        assert history.recorded_calls() == 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ExecCallHistory(window=0)
+        with pytest.raises(ValueError):
+            ExecCallHistory(smoothing=0.0)
+
+
+class TestImplementationRules:
+    def test_each_logical_operator_has_a_physical_algorithm(self):
+        predicate = salary_filter()
+        plan = Distinct(
+            Flatten(
+                Union(
+                    (
+                        Apply("x", Path(Var("x"), "name"), Project(("name",), Select("x", predicate, submit()))),
+                        BagLiteral(("Sam",)),
+                    )
+                )
+            )
+        )
+        physical = implement(plan)
+        names = {node.algo_name for node in phys.walk(physical)}
+        assert {"mkdistinct", "mkflatten", "mkunion", "mkapply", "mkproj", "filter", "exec", "mkbag"} <= names
+
+    def test_submit_becomes_exec_with_logical_argument(self):
+        physical = implement(submit(expression=Project(("name",), Get("person0"))))
+        assert isinstance(physical, phys.Exec)
+        assert physical.expression.to_text() == "project(name, get(person0))"
+        assert physical.extent_name == "person0"
+
+    def test_join_has_two_physical_alternatives(self):
+        join = Join(submit("a", "r0"), submit("b", "r1"), "id")
+        alternatives = implementation_alternatives(join)
+        names = {type(plan).__name__ for plan in alternatives}
+        assert names == {"HashJoin", "NestedLoopJoin"}
+
+    def test_bindjoin_is_implemented(self):
+        bind = BindJoin(submit("a", "r0"), submit("b", "r1"), "x", "y")
+        assert isinstance(implement(bind), phys.MkBindJoin)
+
+    def test_bare_get_outside_submit_is_an_error(self):
+        with pytest.raises(OptimizationError):
+            implement(Get("person0"))
+
+
+class TestCostModel:
+    def model(self, history=None):
+        return CostModel(history=history or ExecCallHistory())
+
+    def test_default_cost_prefers_pushdown(self):
+        """The paper: with no cost information, push the maximum work to the source."""
+        model = self.model()
+        pushed = implement(submit(expression=Project(("name",), Select("x", salary_filter(), Get("person0")))))
+        unpushed = implement(
+            Project(("name",), Select("x", salary_filter(), submit()))
+        )
+        assert model.estimate(pushed).total() < model.estimate(unpushed).total()
+
+    def test_recorded_history_feeds_exec_estimates(self):
+        history = ExecCallHistory()
+        history.record("person0", Get("person0"), elapsed=2.0, rows=10_000)
+        model = self.model(history)
+        expensive = model.estimate(implement(submit()))
+        cheap = model.estimate(implement(submit("person1", "r1")))
+        assert expensive.total() > cheap.total()
+        assert expensive.rows == pytest.approx(10_000)
+
+    def test_hash_join_estimated_cheaper_than_nested_loop_on_large_inputs(self):
+        history = ExecCallHistory()
+        history.record("a", Get("a"), elapsed=0.0, rows=1000)
+        history.record("b", Get("b"), elapsed=0.0, rows=1000)
+        model = self.model(history)
+        left = implement(submit("a", "r0"))
+        right = implement(submit("b", "r1"))
+        hash_cost = model.estimate(phys.HashJoin(left, right, "id")).total()
+        loop_cost = model.estimate(phys.NestedLoopJoin(left, right, "id")).total()
+        assert hash_cost < loop_cost
+
+    def test_union_cost_adds_children(self):
+        model = self.model()
+        single = model.estimate(implement(submit()))
+        double = model.estimate(implement(Union((submit(), submit("person1", "r1")))))
+        assert double.total() == pytest.approx(2 * single.total())
+
+    def test_unknown_operator_raises(self):
+        class Weird(phys.PhysicalOp):
+            algo_name = "weird"
+
+            def to_text(self):
+                return "weird()"
+
+        with pytest.raises(OptimizationError):
+            self.model().estimate(Weird())
+
+
+class TestOptimizerSearch:
+    def optimizer(self, history=None):
+        capabilities = lambda submit_node: grammar_for(
+            {"get", "project", "select", "join", "union", "flatten"}
+        )
+        history = history or ExecCallHistory()
+        return Optimizer(Rewriter(capabilities), CostModel(history=history))
+
+    def paper_plan(self):
+        union = Union((submit(), submit("person1", "r1")))
+        return Apply(
+            "x",
+            Path(Var("x"), "name"),
+            Project(("name",), Select("x", salary_filter(), union)),
+        )
+
+    def test_optimize_chooses_full_pushdown_with_default_costs(self):
+        plan = self.optimizer().optimize(self.paper_plan())
+        text = plan.logical.to_text()
+        assert "submit(r0, project(name, select" in text
+        assert "submit(r1, project(name, select" in text
+        assert plan.cost.total() > 0
+
+    def test_optimize_reports_search_space_size(self):
+        plan = self.optimizer().optimize(self.paper_plan())
+        assert plan.logical_alternatives > 1
+        assert plan.physical_alternatives >= plan.logical_alternatives
+
+    def test_optimize_greedy_matches_search_on_simple_plans(self):
+        optimizer = self.optimizer()
+        searched = optimizer.optimize(self.paper_plan())
+        greedy = optimizer.optimize_greedy(self.paper_plan())
+        assert greedy.logical == searched.logical
+
+    def test_join_algorithm_choice_uses_history(self):
+        history = ExecCallHistory()
+        history.record("a", Get("a"), elapsed=0.0, rows=2000)
+        history.record("b", Get("b"), elapsed=0.0, rows=2000)
+        optimizer = self.optimizer(history)
+        join = Join(submit("a", "r0"), submit("b", "r1"), "id")
+        plan = optimizer.optimize(join)
+        assert isinstance(plan.physical, phys.HashJoin)
+
+
+class TestPlanCache:
+    def test_hit_and_miss(self):
+        cache = PlanCache()
+        assert cache.get("q", schema_version=1) is None
+        cache.put("q", schema_version=1, plan="PLAN")
+        assert cache.get("q", schema_version=1) == "PLAN"
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_schema_change_invalidates(self):
+        """The paper: cached plans must be recomputed when extents change."""
+        cache = PlanCache()
+        cache.put("q", schema_version=1, plan="PLAN")
+        assert cache.get("q", schema_version=2) is None
+        assert cache.invalidations == 1
+        assert len(cache) == 0
+
+    def test_capacity_is_bounded(self):
+        cache = PlanCache(capacity=2)
+        cache.put("a", 1, "A")
+        cache.put("b", 1, "B")
+        cache.put("c", 1, "C")
+        assert len(cache) == 2
+        assert cache.get("a", 1) is None
+
+    def test_clear(self):
+        cache = PlanCache()
+        cache.put("a", 1, "A")
+        cache.clear()
+        assert len(cache) == 0

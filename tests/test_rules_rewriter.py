@@ -1,0 +1,171 @@
+"""Tests for the transformation rules and the rewrite engine."""
+
+from repro.algebra.capabilities import grammar_for
+from repro.algebra.expressions import Comparison, Const, Path, Subquery, Var
+from repro.algebra.logical import Get, Join, Project, Select, Submit, Union
+from repro.algebra.rewriter import Rewriter
+from repro.algebra.rules import (
+    CommuteSelectProject,
+    PushJoinIntoSubmit,
+    PushProjectIntoSubmit,
+    PushProjectThroughUnion,
+    PushSelectIntoSubmit,
+    PushSelectThroughUnion,
+)
+
+
+def full_capabilities(submit):
+    return grammar_for({"get", "project", "select", "join", "union", "flatten"})
+
+
+def get_only_capabilities(submit):
+    return grammar_for({"get"})
+
+
+def submit0() -> Submit:
+    return Submit("r0", Get("person0"), extent_name="person0")
+
+
+def salary_predicate():
+    return Comparison(">", Path(Var("x"), "salary"), Const(10))
+
+
+class TestPushdownRules:
+    def test_push_project_into_submit_when_supported(self):
+        node = Project(("name",), submit0())
+        results = PushProjectIntoSubmit().apply(node, full_capabilities)
+        assert len(results) == 1
+        assert results[0].to_text() == "submit(r0, project(name, get(person0)))"
+
+    def test_push_project_refused_for_get_only_wrapper(self):
+        node = Project(("name",), submit0())
+        assert PushProjectIntoSubmit().apply(node, get_only_capabilities) == []
+
+    def test_push_select_into_submit_when_supported(self):
+        node = Select("x", salary_predicate(), submit0())
+        results = PushSelectIntoSubmit().apply(node, full_capabilities)
+        assert results[0].to_text() == "submit(r0, select(x: x.salary > 10, get(person0)))"
+
+    def test_push_select_refused_when_predicate_references_other_variables(self):
+        predicate = Comparison("=", Path(Var("x"), "id"), Path(Var("y"), "id"))
+        node = Select("x", predicate, submit0())
+        assert PushSelectIntoSubmit().apply(node, full_capabilities) == []
+
+    def test_push_select_refused_when_predicate_contains_subquery(self):
+        predicate = Comparison(">", Path(Var("x"), "salary"), Subquery(object()))
+        node = Select("x", predicate, submit0())
+        assert PushSelectIntoSubmit().apply(node, full_capabilities) == []
+
+    def test_push_join_into_submit_same_source(self):
+        """The paper's employee/manager example."""
+        join = Join(
+            Submit("r0", Get("employee0"), extent_name="employee0"),
+            Submit("r0", Get("manager0"), extent_name="manager0"),
+            "dept",
+        )
+        results = PushJoinIntoSubmit().apply(join, full_capabilities)
+        assert results[0].to_text() == "submit(r0, join(get(employee0), get(manager0), dept))"
+
+    def test_push_join_refused_across_sources(self):
+        join = Join(
+            Submit("r0", Get("employee0"), extent_name="employee0"),
+            Submit("r1", Get("manager0"), extent_name="manager0"),
+            "dept",
+        )
+        assert PushJoinIntoSubmit().apply(join, full_capabilities) == []
+
+    def test_push_join_refused_without_join_capability(self):
+        join = Join(
+            Submit("r0", Get("employee0"), extent_name="employee0"),
+            Submit("r0", Get("manager0"), extent_name="manager0"),
+            "dept",
+        )
+
+        def caps(submit):
+            return grammar_for({"get", "project"})
+
+        assert PushJoinIntoSubmit().apply(join, caps) == []
+
+    def test_push_project_and_select_through_union(self):
+        union = Union((submit0(), Submit("r1", Get("person1"), extent_name="person1")))
+        projected = Project(("name",), union)
+        distributed = PushProjectThroughUnion().apply(projected, full_capabilities)[0]
+        assert isinstance(distributed, Union)
+        assert all(child.op_name == "project" for child in distributed.children())
+        selected = Select("x", salary_predicate(), union)
+        distributed = PushSelectThroughUnion().apply(selected, full_capabilities)[0]
+        assert all(child.op_name == "select" for child in distributed.children())
+
+    def test_commute_select_project_requires_surviving_attributes(self):
+        inner = Project(("name", "salary"), Get("person0"))
+        node = Select("x", salary_predicate(), inner)
+        results = CommuteSelectProject().apply(node, full_capabilities)
+        assert results and results[0].op_name == "project"
+        narrow = Select("x", salary_predicate(), Project(("name",), Get("person0")))
+        assert CommuteSelectProject().apply(narrow, full_capabilities) == []
+
+
+class TestRewriter:
+    def paper_query_plan(self):
+        """project over select over union of two submits (the translated query)."""
+        union = Union(
+            (
+                Submit("r0", Get("person0"), extent_name="person0"),
+                Submit("r1", Get("person1"), extent_name="person1"),
+            )
+        )
+        return Project(("name",), Select("x", salary_predicate(), union))
+
+    def test_greedy_rewrite_reaches_full_pushdown(self):
+        rewriter = Rewriter(full_capabilities)
+        result = rewriter.rewrite_greedy(self.paper_query_plan())
+        assert result.to_text() == (
+            "union(submit(r0, project(name, select(x: x.salary > 10, get(person0)))), "
+            "submit(r1, project(name, select(x: x.salary > 10, get(person1)))))"
+        )
+
+    def test_greedy_rewrite_respects_get_only_wrappers(self):
+        rewriter = Rewriter(get_only_capabilities)
+        result = rewriter.rewrite_greedy(self.paper_query_plan())
+        # The work distributes over the union but stays at the mediator.
+        assert result.to_text().count("submit(r0, get(person0))") == 1
+        assert "submit(r0, project" not in result.to_text()
+        assert "submit(r0, select" not in result.to_text()
+
+    def test_mixed_capabilities_paper_example(self):
+        """r0 supports {get, project, compose} while r1 supports only {get}."""
+
+        def caps(submit):
+            if submit.source == "r0":
+                return grammar_for({"get", "project"})
+            return grammar_for({"get"})
+
+        plan = Union(
+            (
+                Project(("name",), Submit("r0", Get("person0"), extent_name="person0")),
+                Project(("name",), Submit("r1", Get("person1"), extent_name="person1")),
+            )
+        )
+        result = Rewriter(caps).rewrite_greedy(plan)
+        assert result.to_text() == (
+            "union(submit(r0, project(name, get(person0))), "
+            "project(name, submit(r1, get(person1))))"
+        )
+
+    def test_alternatives_contains_original_and_rewrites(self):
+        rewriter = Rewriter(full_capabilities)
+        plan = self.paper_query_plan()
+        alternatives = rewriter.alternatives(plan)
+        texts = {alt.to_text() for alt in alternatives}
+        assert plan.to_text() in texts
+        assert len(alternatives) > 1
+
+    def test_alternatives_is_bounded(self):
+        rewriter = Rewriter(full_capabilities, max_alternatives=4)
+        assert len(rewriter.alternatives(self.paper_query_plan())) <= 4
+
+    def test_alternatives_are_unique(self):
+        rewriter = Rewriter(full_capabilities)
+        alternatives = rewriter.alternatives(self.paper_query_plan())
+        texts = [alt.to_text() for alt in alternatives]
+        assert len(texts) == len(set(texts))

@@ -1,0 +1,185 @@
+"""Tests for the run-time system: executor, maps, parallelism, partial evaluation."""
+
+import time
+
+import pytest
+
+from repro import Bag, LocalTransformationMap, RelationalWrapper, Struct
+from repro.algebra.expressions import Comparison, Const, Path, Var
+from repro.algebra.logical import Get, Project, Select, Submit, Union
+from repro.algebra.physical import Exec, Field, MkUnion
+from repro.optimizer.implementation import implement
+from repro.runtime.operators import (
+    Env,
+    bind_join_rows,
+    distinct_rows,
+    element_environment,
+    filter_rows,
+    flatten_rows,
+    hash_join_rows,
+    nested_loop_join_rows,
+    project_rows,
+)
+from repro.runtime.partial_eval import UNAVAILABLE, PartialAnswerBuilder
+from repro.sources import RelationalEngine, SimulatedServer
+from repro.sources.network import NetworkProfile
+from tests.conftest import build_paper_mediator
+
+
+def salary_filter(var="x", threshold=10):
+    return Comparison(">", Path(Var(var), "salary"), Const(threshold))
+
+
+class TestRowOperators:
+    ROWS = [
+        Struct({"id": 1, "name": "Mary", "salary": 200}),
+        Struct({"id": 2, "name": "Sam", "salary": 50}),
+    ]
+
+    def test_project_rows_keeps_records(self):
+        projected = project_rows(self.ROWS, ("name",))
+        assert projected == [Struct({"name": "Mary"}), Struct({"name": "Sam"})]
+
+    def test_filter_rows_binds_the_variable(self):
+        assert filter_rows(self.ROWS, "x", salary_filter(threshold=100)) == [self.ROWS[0]]
+
+    def test_filter_rows_with_env_elements(self):
+        envs = [Env({"x": self.ROWS[0], "y": self.ROWS[1]})]
+        predicate = Comparison("=", Path(Var("x"), "id"), Const(1))
+        assert filter_rows(envs, "_env", predicate) == envs
+
+    def test_element_environment_merges_base_env(self):
+        env = element_environment(self.ROWS[0], "x", {"outer": 42})
+        assert env["outer"] == 42 and env["x"] == self.ROWS[0]
+
+    def test_hash_and_nested_loop_joins_agree(self):
+        left = [{"id": 1, "a": "x"}, {"id": 2, "a": "y"}]
+        right = [{"id": 1, "b": "z"}]
+        assert hash_join_rows(left, right, "id") == nested_loop_join_rows(left, right, "id")
+
+    def test_bind_join_uses_equi_condition(self):
+        left = [Struct({"id": 1, "name": "Mary"})]
+        right = [Struct({"id": 1, "name": "Sam"}), Struct({"id": 2, "name": "Ana"})]
+        condition = Comparison("=", Path(Var("x"), "id"), Path(Var("y"), "id"))
+        result = bind_join_rows(left, right, "x", "y", condition)
+        assert len(result) == 1
+        assert result[0]["y"]["name"] == "Sam"
+
+    def test_bind_join_without_condition_is_cross_product(self):
+        result = bind_join_rows([1, 2], ["a", "b"], "x", "y", None)
+        assert len(result) == 4
+
+    def test_flatten_and_distinct(self):
+        assert flatten_rows([[1, 2], 3, Bag([4])]) == [1, 2, 3, 4]
+        assert distinct_rows([1, 1, 2]) == [1, 2]
+
+
+class TestExecutor:
+    def test_map_is_applied_in_both_directions(self):
+        """Queries go out in source vocabulary, rows come back in mediator vocabulary."""
+        mediator, _ = build_paper_mediator()
+        mediator.define_interface(
+            "PersonPrime", [("n", "String"), ("s", "Short")], extent_name="personprime"
+        )
+        mapping = LocalTransformationMap.from_pairs(
+            [("person0", "personprime0"), ("name", "n"), ("salary", "s")]
+        )
+        mediator.add_extent("personprime0", "PersonPrime", "w0", "r0", map=mapping)
+        meta = mediator.registry.extent("personprime0")
+        expression = Project(("n",), Select("x", Comparison(">", Path(Var("x"), "s"), Const(10)), Get("personprime0")))
+        translated = mediator.executor.to_source_namespace(expression, meta)
+        assert translated.to_text() == (
+            "project(name, select(x: x.salary > 10, get(person0)))"
+        )
+
+    def test_exec_reports_and_history_are_recorded(self):
+        mediator, _ = build_paper_mediator()
+        result = mediator.query("select x.name from x in person")
+        assert len(result.reports) == 2
+        assert all(report.available for report in result.reports)
+        assert mediator.history.recorded_calls() == 2
+
+    def test_exec_calls_run_in_parallel(self):
+        """Two slow sources should not take twice the single-source latency."""
+        mediator, servers = build_paper_mediator()
+        for server in servers:
+            server.network = NetworkProfile(base_latency=0.15)
+            server.real_sleep = True
+        started = time.monotonic()
+        mediator.query("select x.name from x in person")
+        elapsed = time.monotonic() - started
+        assert elapsed < 0.28  # sequential would be >= 0.30
+
+    def test_timeout_declares_slow_sources_unavailable(self):
+        mediator, servers = build_paper_mediator()
+        servers[0].network = NetworkProfile(base_latency=0.5)
+        servers[0].real_sleep = True
+        result = mediator.query(
+            "select x.name from x in person where x.salary > 10", timeout=0.1
+        )
+        assert result.is_partial
+        assert result.unavailable_sources == ("person0",)
+
+    def test_type_check_runs_once_per_extent(self):
+        mediator, servers = build_paper_mediator()
+        mediator.query("select x.name from x in person0")
+        requests_after_first = servers[0].statistics.requests
+        mediator.query("select x.salary from x in person0")
+        # one exec per query; the type check does not add extra server calls
+        assert servers[0].statistics.requests == requests_after_first + 1
+
+
+class TestPartialAnswerBuilder:
+    def physical_plan(self):
+        return MkUnion(
+            (
+                Exec(Field("r0"), Project(("name",), Get("person0")), extent_name="person0"),
+                Exec(Field("r1"), Project(("name",), Get("person1")), extent_name="person1"),
+            )
+        )
+
+    def test_to_logical_replaces_available_exec_with_data(self):
+        builder = PartialAnswerBuilder()
+        plan = self.physical_plan()
+        execs = plan.inputs
+        outcomes = {id(execs[0]): UNAVAILABLE, id(execs[1]): [Struct({"name": "Sam"})]}
+        logical = builder.to_logical(plan, outcomes)
+        assert "submit(r0" in logical.to_text()
+        assert "Bag" in logical.to_text()
+
+    def test_build_collapses_available_branches(self):
+        builder = PartialAnswerBuilder()
+        plan = self.physical_plan()
+        execs = plan.inputs
+        outcomes = {id(execs[0]): UNAVAILABLE, id(execs[1]): [Struct({"name": "Sam"})]}
+        partial = builder.build(plan, outcomes)
+        text = builder.to_oql(partial)
+        assert text == 'union(select x0.name from x0 in person0, Bag(struct(name: "Sam")))'
+
+    def test_fully_available_plan_collapses_to_data(self):
+        builder = PartialAnswerBuilder()
+        plan = self.physical_plan()
+        execs = plan.inputs
+        outcomes = {
+            id(execs[0]): [Struct({"name": "Mary"})],
+            id(execs[1]): [Struct({"name": "Sam"})],
+        }
+        partial = builder.build(plan, outcomes)
+        assert not partial.contains_submit()
+
+    def test_evaluate_logical_refuses_submit(self):
+        builder = PartialAnswerBuilder()
+        with pytest.raises(Exception):
+            builder.evaluate_logical(Submit("r0", Get("person0")))
+
+    def test_round_trip_physical_to_logical_for_every_operator(self):
+        builder = PartialAnswerBuilder()
+        logical = Union(
+            (
+                Project(("name",), Select("x", salary_filter(), Submit("r0", Get("person0"), extent_name="person0"))),
+                Submit("r1", Get("person1"), extent_name="person1"),
+            )
+        )
+        physical = implement(logical)
+        back = builder.to_logical(physical, {})
+        assert back == logical

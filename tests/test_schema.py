@@ -1,0 +1,152 @@
+"""Tests for extents, MetaExtent, repositories and the schema container."""
+
+import pytest
+
+from repro.datamodel.extent import Extent, MetaExtent
+from repro.datamodel.mapping import LocalTransformationMap
+from repro.datamodel.repository import Repository
+from repro.datamodel.schema import Schema, ViewDefinition, interfaces_from_pairs
+from repro.datamodel.types import InterfaceType
+from repro.errors import RepositoryError, SchemaError, ViewDefinitionError
+
+
+class FakeWrapper:
+    """A stand-in wrapper object; the schema only stores it."""
+
+
+def base_schema():
+    schema = Schema()
+    for interface in interfaces_from_pairs(
+        [("Person", [("name", "String"), ("salary", "Short")])]
+    ):
+        schema.define_interface(interface)
+    schema.define_interface(InterfaceType(name="Student", supertype="Person"))
+    schema.add_repository(Repository(name="r0", host="rodin"))
+    schema.add_repository(Repository(name="r1"))
+    schema.add_wrapper("w0", FakeWrapper())
+    return schema
+
+
+class TestRepository:
+    def test_requires_a_name(self):
+        with pytest.raises(RepositoryError):
+            Repository(name="")
+
+    def test_describe_includes_properties(self):
+        repo = Repository(name="r0", host="rodin", properties={"cost": "low"})
+        assert repo.describe()["cost"] == "low"
+        assert repo.describe()["host"] == "rodin"
+
+    def test_bind_attaches_a_server(self):
+        repo = Repository(name="r0")
+        assert not repo.is_bound()
+        repo.bind(object())
+        assert repo.is_bound()
+
+
+class TestExtent:
+    def test_source_name_defaults_to_extent_name(self):
+        extent = Extent("person0", "Person", "w0", Repository(name="r0"))
+        assert extent.source_name() == "person0"
+
+    def test_source_name_uses_map(self):
+        mapping = LocalTransformationMap.from_pairs([("person0", "personprime0")])
+        extent = Extent("personprime0", "PersonPrime", "w0", Repository(name="r0"), map=mapping)
+        assert extent.source_name() == "person0"
+
+    def test_metaextent_mirrors_extent(self):
+        extent = Extent("person0", "Person", "w0", Repository(name="r0"))
+        meta = MetaExtent.from_extent(extent)
+        assert meta.name == "person0"
+        assert meta.interface == "Person"
+        assert meta.wrapper == "w0"
+        assert meta.describe()["repository"] == "r0"
+
+
+class TestSchema:
+    def test_add_extent_records_metaextent(self):
+        schema = base_schema()
+        meta = schema.add_extent("person0", "Person", "w0", "r0")
+        assert schema.extent("person0") is meta
+        assert schema.has_extent("person0")
+        assert [m.name for m in schema.extents()] == ["person0"]
+
+    def test_add_extent_unknown_interface_raises(self):
+        schema = base_schema()
+        with pytest.raises(SchemaError):
+            schema.add_extent("x0", "Nope", "w0", "r0")
+
+    def test_add_extent_unknown_wrapper_raises(self):
+        schema = base_schema()
+        with pytest.raises(SchemaError):
+            schema.add_extent("x0", "Person", "nope", "r0")
+
+    def test_add_extent_unknown_repository_raises(self):
+        schema = base_schema()
+        with pytest.raises(SchemaError):
+            schema.add_extent("x0", "Person", "w0", "nope")
+
+    def test_duplicate_extent_raises(self):
+        schema = base_schema()
+        schema.add_extent("person0", "Person", "w0", "r0")
+        with pytest.raises(SchemaError):
+            schema.add_extent("person0", "Person", "w0", "r1")
+
+    def test_drop_extent(self):
+        schema = base_schema()
+        schema.add_extent("person0", "Person", "w0", "r0")
+        schema.drop_extent("person0")
+        assert not schema.has_extent("person0")
+        with pytest.raises(SchemaError):
+            schema.drop_extent("person0")
+
+    def test_extents_of_interface_non_recursive(self):
+        schema = base_schema()
+        schema.add_extent("person0", "Person", "w0", "r0")
+        schema.add_extent("student0", "Student", "w0", "r1")
+        names = [m.name for m in schema.extents_of_interface("Person")]
+        assert names == ["person0"]
+
+    def test_extents_of_interface_recursive_includes_subtypes(self):
+        schema = base_schema()
+        schema.add_extent("person0", "Person", "w0", "r0")
+        schema.add_extent("student0", "Student", "w0", "r1")
+        names = {m.name for m in schema.extents_of_interface("Person", recursive=True)}
+        assert names == {"person0", "student0"}
+
+    def test_views_are_registered_and_unique(self):
+        schema = base_schema()
+        schema.define_view(ViewDefinition(name="rich", query_text="select x from x in person"))
+        assert schema.has_view("rich")
+        with pytest.raises(SchemaError):
+            schema.define_view(ViewDefinition(name="rich", query_text="select 1 from x in person"))
+
+    def test_view_name_may_not_collide_with_extent(self):
+        schema = base_schema()
+        schema.add_extent("person0", "Person", "w0", "r0")
+        with pytest.raises(SchemaError):
+            schema.define_view(ViewDefinition(name="person0", query_text="select x from x in person"))
+
+    def test_empty_view_body_rejected(self):
+        with pytest.raises(ViewDefinitionError):
+            ViewDefinition(name="v", query_text="   ")
+
+    def test_drop_view(self):
+        schema = base_schema()
+        schema.define_view(ViewDefinition(name="rich", query_text="select x from x in person"))
+        schema.drop_view("rich")
+        assert not schema.has_view("rich")
+
+    def test_statement_count_tracks_definitions(self):
+        schema = base_schema()
+        before = schema.statement_count()
+        schema.add_extent("person0", "Person", "w0", "r0")
+        assert schema.statement_count() == before + 1
+
+    def test_describe_summarises_everything(self):
+        schema = base_schema()
+        schema.add_extent("person0", "Person", "w0", "r0")
+        description = schema.describe()
+        assert "Person" in description["interfaces"]
+        assert description["extents"][0]["name"] == "person0"
+        assert "w0" in description["wrappers"]

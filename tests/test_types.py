@@ -1,0 +1,135 @@
+"""Tests for the ODMG type system: interfaces, attributes, subtyping."""
+
+import pytest
+
+from repro.datamodel.types import AttributeSpec, InterfaceType, PrimitiveType, TypeSystem
+from repro.errors import SchemaError, TypeConflictError
+
+
+def person_interface(extent_name=None):
+    return InterfaceType(
+        name="Person",
+        attributes=(
+            AttributeSpec("name", PrimitiveType.STRING),
+            AttributeSpec("salary", PrimitiveType.SHORT),
+        ),
+        extent_name=extent_name,
+    )
+
+
+class TestPrimitiveType:
+    def test_from_name_is_case_insensitive(self):
+        assert PrimitiveType.from_name("string") is PrimitiveType.STRING
+        assert PrimitiveType.from_name("Short") is PrimitiveType.SHORT
+
+    def test_from_name_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            PrimitiveType.from_name("Blob")
+
+    def test_accepts_matching_values(self):
+        assert PrimitiveType.STRING.accepts("Mary")
+        assert PrimitiveType.SHORT.accepts(200)
+        assert PrimitiveType.FLOAT.accepts(1.5)
+        assert PrimitiveType.FLOAT.accepts(3)
+        assert PrimitiveType.BOOLEAN.accepts(True)
+        assert PrimitiveType.ANY.accepts(object())
+
+    def test_rejects_mismatched_values(self):
+        assert not PrimitiveType.STRING.accepts(42)
+        assert not PrimitiveType.SHORT.accepts("x")
+        assert not PrimitiveType.SHORT.accepts(True)
+
+    def test_none_is_always_accepted(self):
+        assert PrimitiveType.SHORT.accepts(None)
+
+
+class TestInterfaceType:
+    def test_attribute_lookup(self):
+        person = person_interface()
+        assert person.attribute("name").type is PrimitiveType.STRING
+        assert person.attribute_names() == ["name", "salary"]
+        assert person.has_attribute("salary")
+        assert not person.has_attribute("age")
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(SchemaError):
+            person_interface().attribute("age")
+
+    def test_validate_instance_accepts_good_row(self):
+        person_interface().validate_instance({"name": "Mary", "salary": 200})
+
+    def test_validate_instance_rejects_missing_attribute(self):
+        with pytest.raises(TypeConflictError):
+            person_interface().validate_instance({"name": "Mary"})
+
+    def test_validate_instance_rejects_bad_type(self):
+        with pytest.raises(TypeConflictError):
+            person_interface().validate_instance({"name": "Mary", "salary": "lots"})
+
+
+class TestTypeSystem:
+    def test_define_and_get(self):
+        ts = TypeSystem()
+        ts.define(person_interface())
+        assert ts.get("Person").name == "Person"
+        assert "Person" in ts
+
+    def test_duplicate_definition_raises(self):
+        ts = TypeSystem()
+        ts.define(person_interface())
+        with pytest.raises(SchemaError):
+            ts.define(person_interface())
+
+    def test_unknown_supertype_raises(self):
+        ts = TypeSystem()
+        with pytest.raises(SchemaError):
+            ts.define(InterfaceType(name="Student", supertype="Person"))
+
+    def test_subtype_inherits_attributes(self):
+        ts = TypeSystem()
+        ts.define(person_interface())
+        student = ts.define(InterfaceType(name="Student", supertype="Person"))
+        assert student.has_attribute("name")
+        assert student.has_attribute("salary")
+
+    def test_subtype_can_add_attributes(self):
+        ts = TypeSystem()
+        ts.define(person_interface())
+        student = ts.define(
+            InterfaceType(
+                name="Student",
+                supertype="Person",
+                attributes=(AttributeSpec("university", PrimitiveType.STRING),),
+            )
+        )
+        assert set(student.attribute_names()) == {"name", "salary", "university"}
+
+    def test_is_subtype_is_reflexive_and_transitive(self):
+        ts = TypeSystem()
+        ts.define(person_interface())
+        ts.define(InterfaceType(name="Student", supertype="Person"))
+        ts.define(InterfaceType(name="PhdStudent", supertype="Student"))
+        assert ts.is_subtype("Person", "Person")
+        assert ts.is_subtype("Student", "Person")
+        assert ts.is_subtype("PhdStudent", "Person")
+        assert not ts.is_subtype("Person", "Student")
+
+    def test_subtypes_enumerates_transitive_closure(self):
+        ts = TypeSystem()
+        ts.define(person_interface())
+        ts.define(InterfaceType(name="Student", supertype="Person"))
+        ts.define(InterfaceType(name="PhdStudent", supertype="Student"))
+        ts.define(InterfaceType(name="Robot"))
+        assert set(ts.subtypes("Person")) == {"Person", "Student", "PhdStudent"}
+        assert set(ts.subtypes("Person", include_self=False)) == {"Student", "PhdStudent"}
+
+    def test_direct_subtypes(self):
+        ts = TypeSystem()
+        ts.define(person_interface())
+        ts.define(InterfaceType(name="Student", supertype="Person"))
+        ts.define(InterfaceType(name="PhdStudent", supertype="Student"))
+        assert ts.direct_subtypes("Person") == ["Student"]
+
+    def test_unknown_interface_raises(self):
+        with pytest.raises(SchemaError):
+            TypeSystem().get("Nope")

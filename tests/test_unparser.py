@@ -1,0 +1,103 @@
+"""Tests for rendering logical plans back to OQL (needed for partial answers)."""
+
+import pytest
+
+from repro.algebra.expressions import Comparison, Const, Path, Var
+from repro.algebra.logical import (
+    Apply,
+    BagLiteral,
+    Flatten,
+    Get,
+    Join,
+    Project,
+    Select,
+    Submit,
+    Union,
+)
+from repro.algebra.unparser import logical_to_oql
+from repro.datamodel.values import Struct
+from repro.errors import QueryExecutionError
+from repro.oql.parser import parse_query
+
+
+def salary_predicate(var="x"):
+    return Comparison(">", Path(Var(var), "salary"), Const(10))
+
+
+class TestUnparser:
+    def test_get_renders_as_trivial_select(self):
+        assert logical_to_oql(Get("person0")) == "select x0 from x0 in person0"
+
+    def test_submit_is_transparent(self):
+        text = logical_to_oql(Submit("r0", Get("person0"), extent_name="person0"))
+        assert text == "select x0 from x0 in person0"
+
+    def test_project_single_attribute(self):
+        text = logical_to_oql(Project(("name",), Get("person0")))
+        assert text == "select x0.name from x0 in person0"
+
+    def test_project_multiple_attributes_uses_struct(self):
+        text = logical_to_oql(Project(("name", "salary"), Get("person0")))
+        assert "struct(name: x0.name, salary: x0.salary)" in text
+
+    def test_select_becomes_where_clause(self):
+        text = logical_to_oql(Select("x", salary_predicate(), Get("person0")))
+        assert text == "select x0 from x0 in person0 where x0.salary > 10"
+
+    def test_paper_partial_answer_shape(self):
+        """union(select ..., Bag("Sam")) -- the paper's Section 1.3 answer."""
+        plan = Union(
+            (
+                Project(
+                    ("name",),
+                    Select("y", salary_predicate("y"), Submit("r0", Get("person0"))),
+                ),
+                BagLiteral(("Sam",)),
+            )
+        )
+        text = logical_to_oql(plan)
+        assert text == (
+            'union(select x0.name from x0 in person0 where x0.salary > 10, Bag("Sam"))'
+        )
+
+    def test_partial_answer_text_is_parseable(self):
+        plan = Union(
+            (
+                Project(("name",), Select("y", salary_predicate("y"), Submit("r0", Get("person0")))),
+                BagLiteral(("Sam",)),
+            )
+        )
+        parse_query(logical_to_oql(plan))
+
+    def test_bag_literal_with_structs_is_parseable(self):
+        plan = BagLiteral((Struct({"name": "Sam", "salary": 50}),))
+        text = logical_to_oql(plan)
+        assert text == 'Bag(struct(name: "Sam", salary: 50))'
+        parse_query(text)
+
+    def test_apply_renders_expression(self):
+        plan = Apply("x", Path(Var("x"), "name"), Get("person0"))
+        assert logical_to_oql(plan) == "select x0.name from x0 in person0"
+
+    def test_join_renders_two_sources_and_condition(self):
+        plan = Join(Get("employee0"), Get("manager0"), "dept")
+        text = logical_to_oql(plan)
+        assert "from x0 in employee0, x1 in manager0" in text
+        assert "x0.dept = x1.dept" in text
+
+    def test_flatten_and_nested_union(self):
+        plan = Flatten(Union((Get("a"), Get("b"))))
+        text = logical_to_oql(plan)
+        assert text.startswith("flatten(union(")
+
+    def test_union_as_from_source(self):
+        plan = Project(("name",), Union((Get("a"), BagLiteral(("Sam",)))))
+        text = logical_to_oql(plan)
+        assert "in (union(" in text
+        parse_query(text)
+
+    def test_unsupported_operator_raises(self):
+        from repro.algebra.logical import Distinct
+
+        with pytest.raises(QueryExecutionError):
+            logical_to_oql(Distinct(Get("person0")))

@@ -1,0 +1,62 @@
+"""Tests for the synthetic workload generators."""
+
+from repro.sources.workload import (
+    WorkloadConfig,
+    build_person_sources,
+    build_water_quality_sources,
+    generate_person_rows,
+    generate_student_rows,
+    generate_water_quality_rows,
+)
+
+
+class TestGenerators:
+    def test_person_rows_are_deterministic(self):
+        assert generate_person_rows(10, seed=3) == generate_person_rows(10, seed=3)
+        assert generate_person_rows(10, seed=3) != generate_person_rows(10, seed=4)
+
+    def test_person_rows_have_unique_ids_with_offset(self):
+        first = generate_person_rows(5, seed=1, id_offset=0)
+        second = generate_person_rows(5, seed=1, id_offset=5)
+        ids = [row["id"] for row in first + second]
+        assert len(set(ids)) == 10
+
+    def test_student_rows_extend_person_rows(self):
+        rows = generate_student_rows(3, seed=2)
+        assert all({"id", "name", "salary", "university"} <= set(row) for row in rows)
+
+    def test_water_quality_rows_share_one_type(self):
+        rows = generate_water_quality_rows(20, site="Seine", seed=5)
+        assert all(set(row) == {"site", "day", "parameter", "value"} for row in rows)
+        assert all(row["site"] == "Seine" for row in rows)
+
+
+class TestSourceBuilders:
+    def test_build_person_sources_creates_one_table_per_server(self):
+        servers = build_person_sources(WorkloadConfig(sources=3, rows_per_source=10))
+        assert len(servers) == 3
+        for index, server in enumerate(servers):
+            assert server.store.table_names() == [f"person{index}"]
+            assert server.store.cardinality(f"person{index}") == 10
+
+    def test_build_water_quality_sources_have_identical_schema(self):
+        servers = build_water_quality_sources(WorkloadConfig(sources=4, rows_per_source=5))
+        columns = {
+            tuple(sorted(server.store.table(server.store.table_names()[0]).column_names()))
+            for server in servers
+        }
+        assert len(columns) == 1
+
+    def test_failure_probability_is_wired_through(self):
+        servers = build_person_sources(
+            WorkloadConfig(sources=2, rows_per_source=1, failure_probability=0.5)
+        )
+        assert all(server.availability.failure_probability == 0.5 for server in servers)
+
+    def test_sites_are_distinct_across_sources(self):
+        servers = build_water_quality_sources(WorkloadConfig(sources=6, rows_per_source=1))
+        sites = set()
+        for server in servers:
+            table = server.store.table(server.store.table_names()[0])
+            sites.add(next(iter(table.rows()))["site"])
+        assert len(sites) == 6
