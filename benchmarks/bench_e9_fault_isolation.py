@@ -1,0 +1,91 @@
+"""E9: fault isolation -- wall clock is bounded by the deadline, not the sum of latencies.
+
+The fault-isolating exec engine makes two claims beyond E2's availability
+numbers:
+
+* a query over N available sources plus one *crashing* wrapper returns a
+  partial answer (with the crash recorded on the result), never an exception;
+* a query over N available sources plus one *slow* source costs at most the
+  global deadline, because results are collected in completion order under a
+  single deadline -- the slow source never serializes the others.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import build_person_federation
+from repro.sources.network import NetworkProfile
+
+QUERY = "select x.name from x in person where x.salary > 250"
+SOURCES = 4  # available sources; one extra source is made slow or crashy
+DEADLINE = 0.25
+
+
+def _server(mediator, index):
+    return mediator.registry.wrapper_object(f"w{index}").server
+
+
+def test_e9_crashing_wrapper_yields_partial_answer(benchmark):
+    """N healthy sources + 1 wrapper that raises a generic exception."""
+    mediator = build_person_federation(sources=SOURCES + 1, rows_per_source=20)
+    crashy = _server(mediator, SOURCES)
+    rounds = 5
+    crashy.availability.crash_next(RuntimeError("connection reset by peer"), count=rounds)
+
+    def run():
+        return mediator.query(QUERY)
+
+    result = benchmark.pedantic(run, rounds=rounds, iterations=1)
+    assert result.is_partial
+    assert result.unavailable_sources == (f"person{SOURCES}",)
+    assert "RuntimeError" in result.errors()[f"person{SOURCES}"]
+    benchmark.extra_info["healthy_sources"] = SOURCES
+    benchmark.extra_info["partial_query_length"] = len(result.partial_query)
+
+
+def test_e9_slow_source_bounded_by_deadline(benchmark):
+    """N healthy sources + 1 source slower than the deadline: cost <= deadline + eps."""
+    mediator = build_person_federation(sources=SOURCES + 1, rows_per_source=20)
+    slow = _server(mediator, SOURCES)
+    slow.network = NetworkProfile(base_latency=4 * DEADLINE)
+    slow.real_sleep = True
+
+    def run():
+        started = time.monotonic()
+        result = mediator.query(QUERY, timeout=DEADLINE)
+        return result, time.monotonic() - started
+
+    result, elapsed = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.is_partial
+    assert result.unavailable_sources == (f"person{SOURCES}",)
+    assert "timed out" in result.errors()[f"person{SOURCES}"]
+    # Bounded by the deadline (plus scheduling slack), nowhere near the 1s sleep.
+    assert elapsed <= DEADLINE + 0.15
+    benchmark.extra_info["deadline_s"] = DEADLINE
+    benchmark.extra_info["slow_source_latency_s"] = 4 * DEADLINE
+    benchmark.extra_info["observed_wall_clock_s"] = round(elapsed, 4)
+
+
+@pytest.mark.parametrize("latency", [0.05])
+def test_e9_parallel_collection_beats_latency_sum(benchmark, latency):
+    """All sources equally slow: wall clock ~ one latency, not sources * latency."""
+    mediator = build_person_federation(sources=SOURCES, rows_per_source=20)
+    for index in range(SOURCES):
+        server = _server(mediator, index)
+        server.network = NetworkProfile(base_latency=latency)
+        server.real_sleep = True
+
+    def run():
+        started = time.monotonic()
+        result = mediator.query(QUERY)
+        return result, time.monotonic() - started
+
+    result, elapsed = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert not result.is_partial
+    assert elapsed < SOURCES * latency  # sequential collection would pay the sum
+    benchmark.extra_info["sources"] = SOURCES
+    benchmark.extra_info["latency_sum_s"] = SOURCES * latency
+    benchmark.extra_info["observed_wall_clock_s"] = round(elapsed, 4)

@@ -35,6 +35,8 @@ class Mediator:
         timeout: float | None = 5.0,
         type_check: bool = True,
         use_plan_cache: bool = True,
+        max_parallel_calls: int = 16,
+        max_retries: int = 0,
     ):
         self.name = name
         self.registry = Registry()
@@ -45,10 +47,31 @@ class Mediator:
         self.executor = Executor(
             self.registry,
             history=self.history,
-            config=ExecutorConfig(timeout=timeout, type_check=type_check),
+            config=ExecutorConfig(
+                timeout=timeout,
+                type_check=type_check,
+                max_parallel_calls=max_parallel_calls,
+                max_retries=max_retries,
+            ),
             subquery_planner=self.planner.logical_for_bound,
         )
         self.odl_loader = OdlLoader(self.registry)
+
+    # -- lifecycle ----------------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the executor's shared thread pool.
+
+        A mediator remains usable after ``close()`` -- the next query simply
+        recreates the pool -- so this is safe to call from ``finally`` blocks
+        and context-manager exits.
+        """
+        self.executor.close()
+
+    def __enter__(self) -> "Mediator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- DBA interface: definitions -----------------------------------------------------------
     def load_odl(self, text: str) -> list[object]:
@@ -183,7 +206,7 @@ class Mediator:
         bound = planned.bound
         if not isinstance(bound, ExprQuery):
             raise QueryExecutionError(f"scalar query {planned.text!r} did not bind to an expression")
-        value = bound.expression.evaluate({}, self.executor._evaluate_subquery)
+        value = bound.expression.evaluate({}, self.executor.evaluate_subquery)
         return QueryResult(query_text=planned.text, data=value)
 
     # -- catalog support --------------------------------------------------------------------------------

@@ -14,7 +14,7 @@ from typing import Any
 
 from repro.algebra.logical import LogicalOp
 from repro.datamodel.values import Bag
-from repro.runtime.executor import ExecReport
+from repro.runtime.executor import ExecReport, collect_errors
 
 
 @dataclass
@@ -40,6 +40,14 @@ class QueryResult:
     def complete(self) -> bool:
         """True when every referenced data source answered."""
         return not self.is_partial
+
+    def errors(self) -> dict[str, str]:
+        """Why each unavailable source failed, keyed by extent name.
+
+        Timeouts read "timed out after ...s"; wrapper crashes carry the
+        exception type and message.  Empty for complete answers.
+        """
+        return collect_errors(self.reports)
 
     def rows(self) -> list[Any]:
         """The data as a list (empty for partial answers)."""

@@ -23,6 +23,16 @@ from repro.datamodel.values import Struct
 from repro.errors import SchemaError
 
 
+def rename_row(row: Mapping, renames: Mapping[str, str]) -> Struct:
+    """Rename the fields of ``row`` according to ``renames``.
+
+    The shared primitive behind :meth:`LocalTransformationMap.row_to_mediator`
+    and the executor's multi-extent reverse mapping (a pushed-down join merges
+    the rename maps of every extent it references).
+    """
+    return Struct({renames.get(key, key): value for key, value in dict(row).items()})
+
+
 @dataclass(frozen=True)
 class LocalTransformationMap:
     """Bidirectional flat renaming between a data source and a mediator type.
@@ -93,8 +103,7 @@ class LocalTransformationMap:
 
     def row_to_mediator(self, row: Mapping) -> Struct:
         """Rename the fields of a source row into mediator vocabulary."""
-        renames = self.source_to_mediator
-        return Struct({renames.get(key, key): value for key, value in dict(row).items()})
+        return rename_row(row, self.source_to_mediator)
 
     def validate(self) -> None:
         """Check the map is well formed (no duplicate or conflicting entries)."""

@@ -16,6 +16,7 @@ stripping constants from the expression signature.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque
@@ -125,6 +126,10 @@ class ExecCallHistory:
         self.smoothing = smoothing
         self._exact: dict[str, Deque[_Observation]] = {}
         self._close: dict[str, Deque[_Observation]] = {}
+        #: total number of failed or timed-out calls recorded
+        self.failures = 0
+        # Exec calls are recorded from concurrent worker threads.
+        self._lock = threading.Lock()
 
     # -- recording -----------------------------------------------------------------------
     def record(
@@ -132,8 +137,23 @@ class ExecCallHistory:
     ) -> None:
         """Record the outcome of one exec call."""
         observation = _Observation(elapsed=max(elapsed, 0.0), rows=max(rows, 0))
-        self._append(self._exact, exact_signature(extent_name, expression), observation)
-        self._append(self._close, close_signature(extent_name, expression), observation)
+        with self._lock:
+            self._append(self._exact, exact_signature(extent_name, expression), observation)
+            self._append(self._close, close_signature(extent_name, expression), observation)
+
+    def record_failure(
+        self, extent_name: str, expression: LogicalOp, elapsed: float
+    ) -> None:
+        """Record a failed or timed-out exec call with its true elapsed time.
+
+        The call still cost ``elapsed`` seconds of wall clock before it
+        failed, so it enters the same observation stream (with zero rows):
+        the cost model learns that this source is slow or flaky instead of
+        seeing the attempt as free.
+        """
+        with self._lock:
+            self.failures += 1
+        self.record(extent_name, expression, elapsed, 0)
 
     def _append(self, store: dict[str, Deque[_Observation]], key: str, observation: _Observation) -> None:
         queue = store.setdefault(key, deque(maxlen=self.window))
@@ -176,3 +196,4 @@ class ExecCallHistory:
         """Forget everything (used between experiment runs)."""
         self._exact.clear()
         self._close.clear()
+        self.failures = 0

@@ -5,10 +5,16 @@ updates to extents, and modify or recompute plans that are affected by updates
 to the extents understood by the mediator."  The registry bumps a schema
 version every time an extent is added or dropped; cached plans remember the
 version they were built under and are discarded when it moves.
+
+Eviction is least-recently-*used*: ``get`` refreshes an entry's recency, so a
+hot query is never pushed out by a stream of one-off queries.  Keys are the
+query text with runs of whitespace collapsed, so a trivially reformatted query
+(extra spaces, newlines) hits the same entry.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -19,37 +25,74 @@ class _CachedPlan:
     schema_version: int
 
 
+def _normalize(query_text: str) -> str:
+    """Collapse whitespace runs so reformatted query text keys the same slot.
+
+    Quoted string literals are kept verbatim -- whitespace inside them is
+    semantically significant, so ``x = "Mary  Smith"`` and ``x = "Mary Smith"``
+    must key *different* cache slots.
+    """
+    out: list[str] = []
+    i, n = 0, len(query_text)
+    while i < n:
+        ch = query_text[i]
+        if ch in "\"'":
+            end = i + 1
+            while end < n:
+                if query_text[end] == "\\":
+                    end += 2
+                    continue
+                if query_text[end] == ch:
+                    end += 1
+                    break
+                end += 1
+            out.append(query_text[i:end])
+            i = end
+        elif ch.isspace():
+            while i < n and query_text[i].isspace():
+                i += 1
+            out.append(" ")
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out).strip()
+
+
 @dataclass
 class PlanCache:
-    """A small query-text -> optimized-plan cache."""
+    """A small query-text -> optimized-plan LRU cache."""
 
     capacity: int = 128
-    _entries: dict[str, _CachedPlan] = field(default_factory=dict)
+    _entries: OrderedDict[str, _CachedPlan] = field(default_factory=OrderedDict)
     hits: int = 0
     misses: int = 0
     invalidations: int = 0
 
     def get(self, query_text: str, schema_version: int) -> Any | None:
         """Return the cached plan, or None when absent or stale."""
-        entry = self._entries.get(query_text)
+        key = _normalize(query_text)
+        entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
             return None
         if entry.schema_version != schema_version:
-            del self._entries[query_text]
+            del self._entries[key]
             self.invalidations += 1
             self.misses += 1
             return None
+        self._entries.move_to_end(key)
         self.hits += 1
         return entry.plan
 
     def put(self, query_text: str, schema_version: int, plan: Any) -> None:
         """Store a plan built under ``schema_version``."""
-        if len(self._entries) >= self.capacity and query_text not in self._entries:
-            # Drop the oldest entry (insertion order) to stay within capacity.
-            oldest = next(iter(self._entries))
-            del self._entries[oldest]
-        self._entries[query_text] = _CachedPlan(plan=plan, schema_version=schema_version)
+        key = _normalize(query_text)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        elif len(self._entries) >= self.capacity:
+            # Evict the least recently used entry to stay within capacity.
+            self._entries.popitem(last=False)
+        self._entries[key] = _CachedPlan(plan=plan, schema_version=schema_version)
 
     def clear(self) -> None:
         """Drop every cached plan."""

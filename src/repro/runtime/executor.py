@@ -9,26 +9,47 @@ answer.
 The executor also implements the ``exec`` bookkeeping of Section 3.3: the
 arguments, elapsed time and amount of data of every call are recorded in the
 :class:`~repro.optimizer.history.ExecCallHistory` used by the cost model.
+Failed and timed-out calls are recorded too, with their true elapsed time, so
+the cost model learns from failures instead of seeing them as free.
+
+Dispatch semantics (the fault-isolating exec engine):
+
+* every exec call of a plan is submitted to one long-lived thread pool shared
+  by all queries of this executor (sized by
+  :attr:`ExecutorConfig.max_parallel_calls`, released by :meth:`Executor.close`);
+* results are collected in *completion* order under a single global deadline
+  (:attr:`ExecutorConfig.timeout` is a budget for the whole batch, not per
+  call), so one slow source never serializes the collection of the others;
+* *any* exception escaping a wrapper -- a clean
+  :class:`~repro.errors.UnavailableSourceError`, a network hiccup, a crash on
+  a bad row -- is treated as source unavailability: the query degrades into a
+  partial answer instead of failing, and the error text is carried on the
+  :class:`ExecReport` (mediator-side planning errors such as a failed type
+  check still raise, as before);
+* each call may be retried with exponential backoff
+  (:attr:`ExecutorConfig.max_retries`, off by default;
+  :attr:`ExecutorConfig.retry_backoff` is the first sleep, doubled per
+  attempt).
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from concurrent.futures import ThreadPoolExecutor, TimeoutError as FutureTimeoutError
-from dataclasses import dataclass, field
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from dataclasses import dataclass
 from typing import Any, Mapping, Protocol
 
 from repro.algebra import logical as log
 from repro.algebra import physical as phys
-from repro.algebra.expressions import Expr
-from repro.algebra.logical import transform_bottom_up
 from repro.datamodel.extent import MetaExtent
+from repro.datamodel.mapping import rename_row
 from repro.datamodel.values import Bag
 from repro.errors import QueryExecutionError, TypeConflictError, UnavailableSourceError
 from repro.optimizer.history import ExecCallHistory
 from repro.optimizer.implementation import implement
 from repro.runtime import operators as ops
-from repro.runtime.partial_eval import UNAVAILABLE, PartialAnswerBuilder
+from repro.runtime.partial_eval import UNAVAILABLE, PartialAnswerBuilder, Unavailable
 
 
 class RuntimeRegistry(Protocol):
@@ -41,16 +62,39 @@ class RuntimeRegistry(Protocol):
     def interface_attributes(self, interface_name: str) -> list[str]: ...
 
 
+def collect_errors(reports) -> dict[str, str]:
+    """Failure reasons keyed by extent name, aggregated over ``reports``.
+
+    An extent can be the target of several exec calls in one plan; distinct
+    failure reasons are joined with "; " rather than silently dropped.
+    """
+    reasons_by_extent: dict[str, list[str]] = {}
+    for report in reports:
+        if report.error is None:
+            continue
+        reasons = reasons_by_extent.setdefault(report.extent_name, [])
+        if report.error not in reasons:
+            reasons.append(report.error)
+    return {extent: "; ".join(reasons) for extent, reasons in reasons_by_extent.items()}
+
+
 @dataclass
 class ExecReport:
-    """Outcome of one exec call (one wrapper round trip)."""
+    """Outcome of one exec call (one wrapper round trip, retries included)."""
 
     extent_name: str
     source: str
     expression: str
+    #: user-facing wall clock of the whole call, retries and backoff sleeps
+    #: included (the cost-model history records per-attempt latencies).
     elapsed: float
     rows: int
     available: bool
+    #: ``None`` on success; otherwise why the call failed ("timed out after
+    #: 0.1s", "RuntimeError: connection reset", ...).
+    error: str | None = None
+    #: how many times the wrapper was actually called (> 1 under retry).
+    attempts: int = 1
 
 
 @dataclass
@@ -68,19 +112,51 @@ class ExecutionResult:
         """The user-facing answer: data when complete, OQL text when partial."""
         return self.partial_query if self.is_partial else self.data
 
+    def errors(self) -> dict[str, str]:
+        """Why each unavailable source failed, keyed by extent name."""
+        return collect_errors(self.reports)
+
 
 @dataclass
 class ExecutorConfig:
-    """Execution knobs."""
+    """Execution knobs.
 
-    #: the paper's "designated time period" before sources are declared
-    #: unavailable; None waits indefinitely.
+    ``timeout``
+        The paper's "designated time period": one *global* deadline, in
+        seconds, for the whole batch of exec calls a query issues.  Sources
+        that have not answered when it expires are declared unavailable and
+        the query degrades into a partial answer.  ``None`` waits
+        indefinitely.
+    ``max_parallel_calls``
+        Size of the long-lived thread pool shared by every query this
+        executor runs; also the maximum number of wrapper round trips in
+        flight at once.
+    ``max_retries``
+        Extra wrapper calls attempted after a failure before the source is
+        declared unavailable.  ``0`` (the default) fails fast.
+    ``retry_backoff``
+        Sleep before the first retry, in seconds; doubled for each further
+        attempt.
+    ``type_check``
+        Whether the mediator checks source attribute names against the
+        mediator interface (the run-time type check of Section 2.1).
+    """
+
     timeout: float | None = 5.0
-    #: maximum number of concurrent exec calls
     max_parallel_calls: int = 16
-    #: whether the mediator checks source attribute names against the
-    #: mediator interface (the run-time type check of Section 2.1)
+    max_retries: int = 0
+    retry_backoff: float = 0.05
     type_check: bool = True
+
+
+@dataclass
+class _CallOutcome:
+    """What one worker-thread exec call produced (never an exception)."""
+
+    rows: list[Any] | None
+    elapsed: float
+    attempts: int
+    error: str | None = None
 
 
 class Executor:
@@ -98,7 +174,27 @@ class Executor:
         self.config = config or ExecutorConfig()
         self._subquery_planner = subquery_planner
         self._type_checked_extents: set[str] = set()
-        self.partial_builder = PartialAnswerBuilder(subquery_evaluator=self._evaluate_subquery)
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        self.partial_builder = PartialAnswerBuilder(subquery_evaluator=self.evaluate_subquery)
+
+    # -- pool lifecycle ----------------------------------------------------------------------
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        """Return the shared pool, creating it on first use (and after close)."""
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=max(1, self.config.max_parallel_calls),
+                    thread_name_prefix="disco-exec",
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Shut the shared pool down; a later query transparently recreates it."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
 
     # -- public entry point ------------------------------------------------------------------
     def execute(
@@ -107,7 +203,7 @@ class Executor:
         base_env: Mapping[str, Any] | None = None,
         timeout: float | None = None,
     ) -> ExecutionResult:
-        """Execute ``plan``; unavailable sources yield a partial answer."""
+        """Execute ``plan``; unavailable or failing sources yield a partial answer."""
         timeout = self.config.timeout if timeout is None else timeout
         exec_nodes = phys.execs_in(plan)
         outcomes, reports = self._dispatch(exec_nodes, timeout)
@@ -132,95 +228,264 @@ class Executor:
         self, exec_nodes: list[phys.Exec], timeout: float | None
     ) -> tuple[dict[int, Any], list[ExecReport]]:
         outcomes: dict[int, Any] = {}
-        reports: list[ExecReport] = []
         if not exec_nodes:
-            return outcomes, reports
-        workers = min(self.config.max_parallel_calls, len(exec_nodes))
-        pool = ThreadPoolExecutor(max_workers=workers, thread_name_prefix="disco-exec")
+            return outcomes, []
+        pool = self._ensure_pool()
+        started_at: dict[int, float] = {}
+        abandoned: set[int] = set()
+        recorded: set[int] = set()
+        # Serializes the abandoned/recorded sets against worker-side history
+        # recording: a call's terminal observation comes from its worker or
+        # from the dispatcher's write-off, never both.
+        guard = threading.Lock()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        futures = {
+            pool.submit(self._run_exec, node, started_at, abandoned, recorded, guard): node
+            for node in exec_nodes
+        }
+        by_node: dict[int, ExecReport] = {}
+        pending = set(futures)
         try:
-            futures = {
-                pool.submit(self._run_exec, node): node for node in exec_nodes
-            }
-            deadline = None if timeout is None else time.monotonic() + timeout
-            for future, node in futures.items():
-                remaining = None
-                if deadline is not None:
-                    remaining = max(deadline - time.monotonic(), 0.0)
-                try:
-                    rows, elapsed = future.result(timeout=remaining)
-                    outcomes[id(node)] = rows
-                    reports.append(
-                        ExecReport(
-                            extent_name=node.extent_name,
-                            source=node.source.name,
-                            expression=node.expression.to_text(),
-                            elapsed=elapsed,
-                            rows=len(rows),
-                            available=True,
-                        )
-                    )
-                except (UnavailableSourceError, FutureTimeoutError) as exc:
-                    outcomes[id(node)] = UNAVAILABLE
-                    reports.append(
-                        ExecReport(
-                            extent_name=node.extent_name,
-                            source=node.source.name,
-                            expression=node.expression.to_text(),
-                            elapsed=0.0,
-                            rows=0,
-                            available=False,
-                        )
-                    )
-                    if isinstance(exc, FutureTimeoutError):
-                        future.cancel()
-        finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+            while pending:
+                remaining = None if deadline is None else max(deadline - time.monotonic(), 0.0)
+                done, pending = wait(pending, timeout=remaining, return_when=FIRST_COMPLETED)
+                if not done:
+                    break  # global deadline expired with calls still in flight
+                for future in done:
+                    node = futures[future]
+                    self._note_outcome(node, future.result(), outcomes, by_node)
+        except BaseException:
+            # A mediator-side error (e.g. a failed type check) aborts the
+            # query; write off the surviving calls so their workers stop
+            # retrying and stop recording, and free the shared pool's queue.
+            with guard:
+                for future in pending:
+                    abandoned.add(id(futures[future]))
+            for future in pending:
+                future.cancel()
+            raise
+        now = time.monotonic()
+        for future in pending:
+            future.cancel()
+            node = futures[future]
+            error = f"timed out after {timeout:.4g}s"
+            with guard:
+                # Mark the call abandoned and record its failure atomically,
+                # so the zombie worker neither keeps retrying nor adds a
+                # second observation for it when it finally returns.  A call
+                # whose worker beat us to a terminal record (finished in the
+                # instant after the deadline) is taken as completed instead.
+                finished_late = id(node) in recorded
+                if not finished_late:
+                    abandoned.add(id(node))
+                    started = started_at.get(id(node))
+                    elapsed = 0.0 if started is None else now - started
+                    if started is not None:
+                        # The call really ran for this long before the
+                        # deadline cut it off; let the cost model see it.
+                        self.history.record_failure(node.extent_name, node.expression, elapsed)
+            if finished_late:
+                self._note_outcome(node, future.result(), outcomes, by_node)
+                continue
+            outcomes[id(node)] = Unavailable(error)
+            by_node[id(node)] = ExecReport(
+                extent_name=node.extent_name,
+                source=node.source.name,
+                expression=node.expression.to_text(),
+                elapsed=elapsed,
+                rows=0,
+                available=False,
+                error=error,
+            )
+        # Reports in submission order, whatever order the calls finished in.
+        reports = [by_node[id(node)] for node in exec_nodes]
         return outcomes, reports
 
-    def _run_exec(self, node: phys.Exec) -> tuple[list[Any], float]:
-        """One wrapper round trip: map, submit, reverse-map, record cost."""
+    def _note_outcome(
+        self,
+        node: phys.Exec,
+        outcome: _CallOutcome,
+        outcomes: dict[int, Any],
+        by_node: dict[int, ExecReport],
+    ) -> None:
+        """Fold one completed call's outcome into the outcome map and reports."""
+        if outcome.error is None and outcome.rows is not None:
+            outcomes[id(node)] = outcome.rows
+            by_node[id(node)] = ExecReport(
+                extent_name=node.extent_name,
+                source=node.source.name,
+                expression=node.expression.to_text(),
+                elapsed=outcome.elapsed,
+                rows=len(outcome.rows),
+                available=True,
+                attempts=outcome.attempts,
+            )
+        else:
+            outcomes[id(node)] = Unavailable(outcome.error)
+            by_node[id(node)] = ExecReport(
+                extent_name=node.extent_name,
+                source=node.source.name,
+                expression=node.expression.to_text(),
+                elapsed=outcome.elapsed,
+                rows=0,
+                available=False,
+                error=outcome.error,
+                attempts=outcome.attempts,
+            )
+
+    def _run_exec(
+        self,
+        node: phys.Exec,
+        started_at: dict[int, float],
+        abandoned: set[int],
+        recorded: set[int],
+        guard: threading.Lock,
+    ) -> _CallOutcome:
+        """One exec call with retries.  Wrapper failures become outcomes, not raises.
+
+        ``abandoned`` holds ids of exec nodes the dispatcher already wrote
+        off (deadline expired, or the query aborted): a zombie worker must
+        neither keep retrying nor add further history observations for its
+        call.  ``recorded`` holds ids whose worker reached a *terminal*
+        outcome, so the dispatcher's write-off can tell a just-finished call
+        from a still-running one.  ``guard`` makes every check-and-record
+        atomic against the write-off.
+        """
         meta = self.registry.extent(node.extent_name)
         wrapper = self.registry.wrapper_object(meta.wrapper)
         self._check_types(meta, wrapper)
         source_expression = self.to_source_namespace(node.expression, meta)
-        started = time.monotonic()
-        raw_rows = wrapper.submit(source_expression)
-        elapsed = time.monotonic() - started
-        rows = [ops.as_struct(meta.map.row_to_mediator(row)) if isinstance(row, Mapping) else row
-                for row in raw_rows]
-        self.history.record(node.extent_name, node.expression, elapsed, len(rows))
-        return rows, elapsed
+        reverse_renames = self._reverse_renames(node.expression, meta)
+        started_at[id(node)] = time.monotonic()
+        attempts = max(1, self.config.max_retries + 1)
+        attempt = 0
+        while True:
+            started = time.monotonic()
+            try:
+                raw_rows = wrapper.submit(source_expression)
+                # Materialize and rename inside the try: a lazy result that
+                # raises mid-iteration, or a malformed row, is a source
+                # failure too, not a query crash.
+                rows = [
+                    ops.as_struct(rename_row(row, reverse_renames))
+                    if isinstance(row, Mapping)
+                    else row
+                    for row in raw_rows
+                ]
+            except Exception as exc:
+                call_elapsed = time.monotonic() - started
+                attempt += 1
+                with guard:
+                    written_off = id(node) in abandoned
+                    terminal = written_off or attempt >= attempts
+                    if not written_off:
+                        self.history.record_failure(
+                            node.extent_name, node.expression, call_elapsed
+                        )
+                        if terminal:
+                            recorded.add(id(node))
+                if not terminal:
+                    time.sleep(self.config.retry_backoff * (2 ** (attempt - 1)))
+                    with guard:
+                        written_off = id(node) in abandoned
+                    if not written_off:
+                        continue
+                return _CallOutcome(
+                    rows=None,
+                    elapsed=time.monotonic() - started_at[id(node)],
+                    attempts=attempt,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            call_elapsed = time.monotonic() - started
+            with guard:
+                if id(node) not in abandoned:
+                    # Per-attempt latency for the cost model; the report below
+                    # carries the user-facing total including retries.
+                    self.history.record(
+                        node.extent_name, node.expression, call_elapsed, len(rows)
+                    )
+                    recorded.add(id(node))
+            return _CallOutcome(
+                rows=rows,
+                elapsed=time.monotonic() - started_at[id(node)],
+                attempts=attempt + 1,
+            )
 
     # -- name-space translation (the local transformation map) ---------------------------------
-    def to_source_namespace(self, expression: log.LogicalOp, meta: MetaExtent) -> log.LogicalOp:
-        """Rename collections and attributes from mediator to source vocabulary."""
-        renames = meta.map.mediator_to_source
+    def _meta_for_collection(self, name: str, default: MetaExtent) -> MetaExtent | None:
+        """The MetaExtent a ``get(name)`` refers to, or None for a non-extent name."""
+        if name == default.name:
+            return default
+        try:
+            return self.registry.extent(name)
+        except Exception:
+            return None
 
-        def visit(node: log.LogicalOp) -> log.LogicalOp:
+    def to_source_namespace(self, expression: log.LogicalOp, meta: MetaExtent) -> log.LogicalOp:
+        """Rename collections and attributes from mediator to source vocabulary.
+
+        A pushed-down expression may reference several extents of the same
+        wrapper (e.g. a join pushed to one source); each subtree is renamed
+        with the map of the extent(s) *it* references, so the two sides of a
+        join can carry different local transformation maps.
+        """
+
+        def visit(node: log.LogicalOp) -> tuple[log.LogicalOp, dict[str, str]]:
+            """Translate ``node``; also return the renames its subtree is under."""
             if isinstance(node, log.Get):
-                if node.collection == meta.name:
-                    return log.Get(meta.e.source_name())
-                return node
+                node_meta = self._meta_for_collection(node.collection, meta)
+                if node_meta is None:
+                    return node, {}
+                return log.Get(node_meta.e.source_name()), dict(node_meta.map.mediator_to_source)
+            visited = [visit(child) for child in node.children()]
+            children = [translated for translated, _ in visited]
+            if isinstance(node, log.Join):
+                (left, left_renames), (right, right_renames) = visited
+                left_attr, right_attr = node.join_attributes()
+                return (
+                    log.Join(
+                        left,
+                        right,
+                        (
+                            left_renames.get(left_attr, left_attr),
+                            right_renames.get(right_attr, right_attr),
+                        ),
+                        left_variable=node.left_variable,
+                        right_variable=node.right_variable,
+                    ),
+                    {**left_renames, **right_renames},
+                )
+            renames: dict[str, str] = {}
+            for _, child_renames in visited:
+                renames.update(child_renames)
             if isinstance(node, log.Project):
-                return log.Project(
-                    tuple(renames.get(attr, attr) for attr in node.attributes), node.child
+                return (
+                    log.Project(
+                        tuple(renames.get(attr, attr) for attr in node.attributes), children[0]
+                    ),
+                    renames,
                 )
             if isinstance(node, log.Select):
-                return log.Select(
-                    node.variable, node.predicate.rename_attributes(renames), node.child
+                return (
+                    log.Select(node.variable, node.predicate.rename_attributes(renames), children[0]),
+                    renames,
                 )
-            if isinstance(node, log.Join):
-                left_attr, right_attr = node.join_attributes()
-                return log.Join(
-                    node.left,
-                    node.right,
-                    (renames.get(left_attr, left_attr), renames.get(right_attr, right_attr)),
-                    left_variable=node.left_variable,
-                    right_variable=node.right_variable,
-                )
-            return node
+            if not children:
+                return node, renames
+            return node.with_children(children), renames
 
-        return transform_bottom_up(expression, visit)
+        translated, _ = visit(expression)
+        return translated
+
+    def _reverse_renames(self, expression: log.LogicalOp, meta: MetaExtent) -> dict[str, str]:
+        """Source-to-mediator attribute renames for every extent in ``expression``."""
+        renames = dict(meta.map.source_to_mediator)
+        for node in log.walk(expression):
+            if isinstance(node, log.Get):
+                node_meta = self._meta_for_collection(node.collection, meta)
+                if node_meta is not None:
+                    renames.update(node_meta.map.source_to_mediator)
+        return renames
 
     def _check_types(self, meta: MetaExtent, wrapper: Any) -> None:
         """Run-time type check: source attributes must cover the mediator type."""
@@ -253,7 +518,7 @@ class Executor:
     ) -> list[Any]:
         if isinstance(plan, phys.Exec):
             rows = outcomes.get(id(plan), UNAVAILABLE)
-            if rows is UNAVAILABLE:
+            if isinstance(rows, Unavailable):
                 raise QueryExecutionError(
                     f"exec for extent {plan.extent_name!r} has no outcome"
                 )
@@ -268,7 +533,7 @@ class Executor:
                 plan.variable,
                 plan.predicate,
                 base_env=base_env,
-                subquery_evaluator=self._evaluate_subquery,
+                subquery_evaluator=self.evaluate_subquery,
             )
         if isinstance(plan, phys.MkApply):
             return ops.apply_rows(
@@ -276,7 +541,7 @@ class Executor:
                 plan.variable,
                 plan.expression,
                 base_env=base_env,
-                subquery_evaluator=self._evaluate_subquery,
+                subquery_evaluator=self.evaluate_subquery,
             )
         if isinstance(plan, phys.HashJoin):
             return ops.hash_join_rows(
@@ -298,7 +563,7 @@ class Executor:
                 plan.right_variable,
                 plan.condition,
                 base_env=base_env,
-                subquery_evaluator=self._evaluate_subquery,
+                subquery_evaluator=self.evaluate_subquery,
             )
         if isinstance(plan, phys.MkUnion):
             return ops.union_rows(
@@ -311,12 +576,12 @@ class Executor:
         raise QueryExecutionError(f"cannot evaluate physical operator {plan.to_text()}")
 
     # -- nested subqueries -------------------------------------------------------------------------
-    def _evaluate_subquery(self, query: Any, env: Mapping[str, Any]) -> Any:
+    def evaluate_subquery(self, query: Any, env: Mapping[str, Any]) -> Any:
         """Evaluate a nested (bound) subquery with the enclosing environment."""
         from repro.oql.ast import ExprQuery  # local import to avoid a cycle
 
         if isinstance(query, ExprQuery):
-            return query.expression.evaluate(dict(env), self._evaluate_subquery)
+            return query.expression.evaluate(dict(env), self.evaluate_subquery)
         if self._subquery_planner is None:
             raise QueryExecutionError("no subquery planner configured")
         logical = self._subquery_planner(query)
@@ -328,3 +593,6 @@ class Executor:
                 "a nested subquery touched an unavailable data source",
             )
         return result.data
+
+    # Backwards-compatible alias for the pre-1.x private name.
+    _evaluate_subquery = evaluate_subquery

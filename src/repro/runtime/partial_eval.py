@@ -29,10 +29,29 @@ from repro.datamodel.values import Struct
 from repro.errors import QueryExecutionError
 from repro.runtime import operators as ops
 
-ExecOutcome = dict[int, Any]  # id(Exec node) -> list of rows, or UNAVAILABLE marker
+ExecOutcome = dict[int, Any]  # id(Exec node) -> list of rows, or an Unavailable marker
 
-#: marker stored in the outcome map for execs that did not respond
-UNAVAILABLE = object()
+
+class Unavailable:
+    """Marker stored in the outcome map for an exec that produced no rows.
+
+    Carries the failure reason (timeout text, wrapper exception, ...) so the
+    partial answer can say *why* a source branch stayed a query, not just that
+    it did.
+    """
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: str | None = None):
+        self.error = error
+
+    def __repr__(self) -> str:
+        return f"Unavailable({self.error!r})" if self.error else "UNAVAILABLE"
+
+
+#: the anonymous marker (no recorded reason); kept for tests and callers that
+#: build outcome maps by hand.
+UNAVAILABLE = Unavailable()
 
 
 class PartialAnswerBuilder:
@@ -46,7 +65,7 @@ class PartialAnswerBuilder:
         """Convert a partially executed physical plan back to a logical plan."""
         if isinstance(plan, phys.Exec):
             outcome = outcomes.get(id(plan), UNAVAILABLE)
-            if outcome is UNAVAILABLE:
+            if isinstance(outcome, Unavailable):
                 return log.Submit(
                     plan.source.name, plan.expression, extent_name=plan.extent_name
                 )

@@ -60,13 +60,19 @@ class AvailabilityModel:
     * ``failure_probability`` -- each request independently fails with this
       probability, drawn from a seeded generator;
     * ``fail_next(n)`` -- force the next ``n`` requests to fail (failure
-      injection for tests and the partial-answer experiments).
+      injection for tests and the partial-answer experiments);
+    * ``crash_next(exc, n)`` -- force the next ``n`` requests to raise an
+      *arbitrary* exception instead of the clean
+      :class:`~repro.errors.UnavailableSourceError`, modelling sources that
+      die mid-flight (connection reset, bad row, wrapper bug) rather than
+      refusing service.
     """
 
     available: bool = True
     failure_probability: float = 0.0
     seed: int = 0
     _forced_failures: int = field(default=0, repr=False)
+    _forced_crashes: list = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.failure_probability <= 1.0:
@@ -77,12 +83,28 @@ class AvailabilityModel:
         """Force the next ``count`` requests to be treated as unavailable."""
         self._forced_failures += count
 
+    def crash_next(self, exception: BaseException | type, count: int = 1) -> None:
+        """Force the next ``count`` requests to raise ``exception``.
+
+        Accepts an exception instance (raised as-is) or an exception class
+        (instantiated with a descriptive message per request).  Unlike
+        :meth:`fail_next`, the raised error is *not* an
+        :class:`UnavailableSourceError` -- this is the hook for testing that
+        the mediator isolates generic wrapper crashes.
+        """
+        self._forced_crashes.extend([exception] * count)
+
     def set_available(self, available: bool) -> None:
         """Flip the hard availability switch."""
         self.available = available
 
     def check(self, source_name: str) -> None:
         """Raise :class:`UnavailableSourceError` when this request should fail."""
+        if self._forced_crashes:
+            crash = self._forced_crashes.pop(0)
+            if isinstance(crash, BaseException):
+                raise crash
+            raise crash(f"{source_name!r}: injected crash")
         if self._forced_failures > 0:
             self._forced_failures -= 1
             raise UnavailableSourceError(source_name, f"{source_name!r}: injected failure")

@@ -265,6 +265,41 @@ class TestPlanCache:
         assert len(cache) == 2
         assert cache.get("a", 1) is None
 
+    def test_get_refreshes_recency(self):
+        """True LRU: a recently *used* entry survives eviction."""
+        cache = PlanCache(capacity=2)
+        cache.put("a", 1, "A")
+        cache.put("b", 1, "B")
+        cache.get("a", 1)  # "a" becomes most recently used
+        cache.put("c", 1, "C")  # evicts "b", the least recently used
+        assert cache.get("a", 1) == "A"
+        assert cache.get("b", 1) is None
+
+    def test_put_refreshes_recency_of_existing_keys(self):
+        cache = PlanCache(capacity=2)
+        cache.put("a", 1, "A")
+        cache.put("b", 1, "B")
+        cache.put("a", 1, "A2")  # refresh, not insert: nothing is evicted
+        cache.put("c", 1, "C")
+        assert len(cache) == 2
+        assert cache.get("a", 1) == "A2"
+        assert cache.get("b", 1) is None
+
+    def test_reformatted_query_text_hits_the_cache(self):
+        cache = PlanCache()
+        cache.put("select x.name from x in person", 1, "PLAN")
+        assert cache.get("select  x.name\n  from x in person", 1) == "PLAN"
+        assert cache.hits == 1
+
+    def test_whitespace_inside_string_literals_is_significant(self):
+        """Regression: literals differing only in inner spaces must not collide."""
+        cache = PlanCache()
+        cache.put('select x from y where x.name = "Mary  Smith"', 1, "TWO-SPACES")
+        assert cache.get('select x from y where x.name = "Mary Smith"', 1) is None
+        cache.put('select x from y where x.name = "Mary Smith"', 1, "ONE-SPACE")
+        assert cache.get('select  x from y where x.name = "Mary  Smith"', 1) == "TWO-SPACES"
+        assert cache.get('select x from y  where x.name = "Mary Smith"', 1) == "ONE-SPACE"
+
     def test_clear(self):
         cache = PlanCache()
         cache.put("a", 1, "A")

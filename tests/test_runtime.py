@@ -4,9 +4,9 @@ import time
 
 import pytest
 
-from repro import Bag, LocalTransformationMap, RelationalWrapper, Struct
+from repro import Bag, LocalTransformationMap, Mediator, RelationalWrapper, Struct
 from repro.algebra.expressions import Comparison, Const, Path, Var
-from repro.algebra.logical import Get, Project, Select, Submit, Union
+from repro.algebra.logical import Get, Join, Project, Select, Submit, Union
 from repro.algebra.physical import Exec, Field, MkUnion
 from repro.optimizer.implementation import implement
 from repro.runtime.operators import (
@@ -91,6 +91,57 @@ class TestExecutor:
         assert translated.to_text() == (
             "project(name, select(x: x.salary > 10, get(person0)))"
         )
+
+    def build_hr_mediator(self):
+        """One wrapper exposing two tables; two extents with *different* maps."""
+        engine = RelationalEngine(name="hr")
+        engine.create_table("employees", rows=[{"ename": "Mary", "edept": "cs"}])
+        engine.create_table("departments", rows=[{"ddept": "cs", "dbudget": 100}])
+        server = SimulatedServer(name="hr-host", store=engine)
+        mediator = Mediator(name="hr-mediator")
+        mediator.register_wrapper("w0", RelationalWrapper("w0", server))
+        mediator.create_repository("r0")
+        mediator.define_interface(
+            "Emp", [("name", "String"), ("dept", "String")], extent_name="emp"
+        )
+        mediator.define_interface(
+            "Dept", [("dept", "String"), ("budget", "Long")], extent_name="dept"
+        )
+        mediator.add_extent(
+            "emp0", "Emp", "w0", "r0",
+            map=LocalTransformationMap.from_pairs(
+                [("employees", "emp0"), ("ename", "name"), ("edept", "dept")]
+            ),
+        )
+        mediator.add_extent(
+            "dept0", "Dept", "w0", "r0",
+            map=LocalTransformationMap.from_pairs(
+                [("departments", "dept0"), ("ddept", "dept"), ("dbudget", "budget")]
+            ),
+        )
+        return mediator
+
+    def test_pushed_down_join_renames_each_side_with_its_own_map(self):
+        """Regression: a join's sides must use their own extents' rename maps."""
+        mediator = self.build_hr_mediator()
+        meta = mediator.registry.extent("emp0")
+        expression = Join(Get("emp0"), Get("dept0"), ("dept", "dept"))
+        translated = mediator.executor.to_source_namespace(expression, meta)
+        assert translated.to_text() == (
+            "join(get(employees), get(departments), edept=ddept)"
+        )
+
+    def test_pushed_down_join_rows_come_back_in_mediator_vocabulary(self):
+        mediator = self.build_hr_mediator()
+        exec_node = Exec(
+            Field("r0"), Join(Get("emp0"), Get("dept0"), ("dept", "dept")), extent_name="emp0"
+        )
+        result = mediator.executor.execute(exec_node)
+        assert not result.is_partial
+        (row,) = result.data.to_list()
+        assert row["name"] == "Mary"
+        assert row["dept"] == "cs"
+        assert row["budget"] == 100
 
     def test_exec_reports_and_history_are_recorded(self):
         mediator, _ = build_paper_mediator()
