@@ -1,0 +1,163 @@
+"""E10: streaming execution -- bounded memory and early first rows.
+
+The streaming engine's two claims over the barrier executor:
+
+* **O(batch) intermediate allocation.**  A ``scan -> filter -> limit``
+  pipeline over a 100k-row cursor source pulls only the rows the limit
+  needs: the scan is never drained and peak allocation during consumption
+  stays orders of magnitude below full materialization.
+* **Time to first row tracks the fastest source, not the slowest.**  Under
+  ``LIMIT 10`` over a federation with one slow source, the streaming result
+  yields its first row while the slow source is still sleeping; the barrier
+  engine has to wait the full latency before returning anything.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+
+from benchmarks.conftest import SRC  # noqa: F401  (ensures src/ is importable)
+from repro import GeneratorWrapper, Mediator, RelationalWrapper
+from repro.sources import RelationalEngine, SimulatedServer
+from repro.sources.network import NetworkProfile
+
+ROWS = 100_000
+#: big enough that the >=5x first-row speedup assertion tolerates scheduler
+#: noise on loaded CI runners (time-to-first-row may be up to LATENCY/5).
+SLOW_LATENCY = 2.0
+LIMIT_QUERY = "select x.name from x in person where x.salary > 10 limit 10"
+
+
+class CountingScan:
+    """A 100k-row lazy cursor that records how far it was drained."""
+
+    def __init__(self, rows: int = ROWS):
+        self.rows = rows
+        self.yielded = 0
+
+    def __call__(self):
+        def generate():
+            for i in range(self.rows):
+                self.yielded += 1
+                yield {"id": i, "name": f"p{i}", "salary": i % 1000}
+
+        return generate()
+
+
+def build_cursor_mediator(scan: CountingScan) -> Mediator:
+    mediator = Mediator(name="e10-cursor")
+    mediator.define_interface(
+        "Person",
+        [("id", "Long"), ("name", "String"), ("salary", "Short")],
+        extent_name="person",
+    )
+    mediator.register_wrapper(
+        "w0",
+        GeneratorWrapper(
+            "w0", {"person0": scan}, attributes={"person0": ["id", "name", "salary"]}
+        ),
+    )
+    mediator.create_repository("r0")
+    mediator.add_extent("person0", "Person", "w0", "r0")
+    return mediator
+
+
+def build_fast_slow_federation() -> Mediator:
+    """person0 answers instantly; person1 sleeps SLOW_LATENCY per call."""
+    mediator = Mediator(name="e10-federation")
+    mediator.define_interface(
+        "Person",
+        [("id", "Long"), ("name", "String"), ("salary", "Short")],
+        extent_name="person",
+    )
+    for index, latency in enumerate([0.0, SLOW_LATENCY]):
+        engine = RelationalEngine(name=f"db{index}")
+        engine.create_table(
+            f"person{index}",
+            rows=[
+                {"id": i, "name": f"s{index}_{i}", "salary": 100 + i} for i in range(200)
+            ],
+        )
+        server = SimulatedServer(
+            name=f"host{index}",
+            store=engine,
+            network=NetworkProfile(base_latency=latency),
+            real_sleep=latency > 0,
+        )
+        mediator.register_wrapper(f"w{index}", RelationalWrapper(f"w{index}", server))
+        mediator.create_repository(f"r{index}", host=server.name)
+        mediator.add_extent(f"person{index}", "Person", f"w{index}", f"r{index}")
+    return mediator
+
+
+def _peak_allocation(run) -> tuple[int, object]:
+    tracemalloc.start()
+    try:
+        result = run()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak, result
+
+
+def test_e10_limit_does_not_materialize_the_scan(benchmark):
+    """LIMIT 10 over a 100k-row cursor: O(batch) rows pulled, O(batch) memory."""
+    streaming_scan = CountingScan()
+    streaming_mediator = build_cursor_mediator(streaming_scan)
+    materializing_scan = CountingScan()
+    materializing_mediator = build_cursor_mediator(materializing_scan)
+
+    def streamed():
+        result = streaming_mediator.query_stream(LIMIT_QUERY)
+        return list(result.iter_rows())
+
+    streaming_peak, rows = _peak_allocation(lambda: benchmark.pedantic(streamed, rounds=3))
+    assert len(rows) == 10
+    # The barrier engine drains the wrapper before evaluating, the streaming
+    # engine stops the cursor after the limit (plus pipeline lookahead).
+    materialized_peak, materialized_rows = _peak_allocation(
+        lambda: materializing_mediator.query(LIMIT_QUERY).rows()
+    )
+    assert len(materialized_rows) == 10
+    assert streaming_scan.yielded < 1_000 < ROWS  # scan abandoned, not drained
+    assert materializing_scan.yielded >= ROWS  # the barrier engine drains it
+    assert streaming_peak * 10 < materialized_peak
+    benchmark.extra_info["rows_in_source"] = ROWS
+    benchmark.extra_info["rows_pulled_streaming"] = streaming_scan.yielded
+    benchmark.extra_info["rows_pulled_materialized"] = materializing_scan.yielded
+    benchmark.extra_info["peak_bytes_streaming"] = streaming_peak
+    benchmark.extra_info["peak_bytes_materialized"] = materialized_peak
+    streaming_mediator.close()
+    materializing_mediator.close()
+
+
+def test_e10_time_to_first_row_beats_materialization(benchmark):
+    """LIMIT 10 with a slow source: first row ~instant, barrier waits the latency."""
+    mediator = build_fast_slow_federation()
+
+    def first_row_streamed():
+        started = time.monotonic()
+        result = mediator.query_stream(LIMIT_QUERY, timeout=10.0)
+        iterator = result.iter_rows()
+        first = next(iterator)
+        ttfr = time.monotonic() - started
+        rest = list(iterator)
+        result.close()
+        return first, 1 + len(rest), ttfr
+
+    first, count, ttfr = benchmark.pedantic(first_row_streamed, rounds=3, iterations=1)
+    assert first.startswith("s0_")  # the fast source fed the pipeline first
+    assert count == 10
+
+    started = time.monotonic()
+    materialized = mediator.query(LIMIT_QUERY, timeout=10.0)
+    rows = materialized.rows()
+    full_time = time.monotonic() - started
+    assert len(rows) == 10
+    assert full_time >= SLOW_LATENCY  # the barrier waits for the slow source
+    assert ttfr * 5 <= full_time  # acceptance: >= 5x faster to the first row
+    benchmark.extra_info["time_to_first_row_s"] = round(ttfr, 4)
+    benchmark.extra_info["full_materialization_s"] = round(full_time, 4)
+    benchmark.extra_info["speedup_x"] = round(full_time / max(ttfr, 1e-9), 1)
+    mediator.close()

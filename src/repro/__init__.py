@@ -35,6 +35,7 @@ from repro.errors import (
 )
 from repro.wrappers import (
     CsvWrapper,
+    GeneratorWrapper,
     KeyValueWrapper,
     MediatorWrapper,
     RelationalWrapper,
@@ -56,6 +57,7 @@ __all__ = [
     "make_bag",
     "make_struct",
     "RelationalWrapper",
+    "GeneratorWrapper",
     "SqlWrapper",
     "KeyValueWrapper",
     "TextSearchWrapper",

@@ -302,6 +302,32 @@ class Distinct(LogicalOp):
 
 
 @dataclass(eq=False)
+class Limit(LogicalOp):
+    """``limit(n, child)``: keep at most the first ``n`` elements.
+
+    Bags are unordered, so "first" means "first produced by the child" --
+    any ``n`` elements are a correct answer.  Limit is a mediator-side
+    operator (it is not part of the pushable wrapper vocabulary), but the
+    rewrite rules push it through projections and unions so that, under the
+    streaming engine, early termination cancels upstream work.
+    """
+
+    count: int
+    child: LogicalOp
+    op_name = "limit"
+
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "Limit":
+        (child,) = children
+        return Limit(self.count, child)
+
+    def to_text(self) -> str:
+        return f"limit({self.count}, {self.child.to_text()})"
+
+
+@dataclass(eq=False)
 class BagLiteral(LogicalOp):
     """Literal data inside a plan (the second argument of a partial answer)."""
 

@@ -279,6 +279,30 @@ class MkDistinct(PhysicalOp):
 
 
 @dataclass(eq=False)
+class MkLimit(PhysicalOp):
+    """``mklimit(n, child)``: stop after ``n`` elements (implements ``limit``).
+
+    Under the streaming engine this is an early-termination point: once the
+    count is reached the child pipeline is closed and in-flight exec calls
+    are cancelled.
+    """
+
+    count: int
+    child: PhysicalOp
+    algo_name = "mklimit"
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[PhysicalOp]) -> "MkLimit":
+        (child,) = children
+        return MkLimit(self.count, child)
+
+    def to_text(self) -> str:
+        return f"mklimit({self.count}, {self.child.to_text()})"
+
+
+@dataclass(eq=False)
 class MkBag(PhysicalOp):
     """``mkbag(values)``: literal data in a physical plan."""
 

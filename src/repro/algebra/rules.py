@@ -18,7 +18,9 @@ from typing import Callable, Protocol
 from repro.algebra.capabilities import CapabilityGrammar
 from repro.algebra.expressions import Subquery, walk_expr_for_subqueries
 from repro.algebra.logical import (
+    Apply,
     Join,
+    Limit,
     LogicalOp,
     Project,
     Select,
@@ -168,6 +170,94 @@ class CommuteSelectProject:
         return [Project(project.attributes, Select(node.variable, node.predicate, project.child))]
 
 
+class PushLimitThroughProject:
+    """``limit(n, project(attrs, e))`` -> ``project(attrs, limit(n, e))``.
+
+    A projection is one-to-one per element, so truncating before or after it
+    yields the same bag; truncating first lets the streaming engine stop the
+    child pipeline (and cancel exec calls) earlier.
+    """
+
+    name = "push-limit-through-project"
+
+    def apply(self, node: LogicalOp, capabilities: CapabilityResolver) -> list[LogicalOp]:
+        if not isinstance(node, Limit) or not isinstance(node.child, Project):
+            return []
+        project = node.child
+        return [Project(project.attributes, Limit(node.count, project.child))]
+
+
+class PushLimitThroughApply:
+    """``limit(n, apply(v: e, child))`` -> ``apply(v: e, limit(n, child))``.
+
+    Apply computes one output element per input element, so the truncation
+    commutes; pushing it below saves per-element computation and, under the
+    streaming engine, stops the child pipeline earlier.  (Select and
+    distinct change cardinality, so limit never crosses those.)
+    """
+
+    name = "push-limit-through-apply"
+
+    def apply(self, node: LogicalOp, capabilities: CapabilityResolver) -> list[LogicalOp]:
+        if not isinstance(node, Limit) or not isinstance(node.child, Apply):
+            return []
+        inner = node.child
+        return [Apply(inner.variable, inner.expression, Limit(node.count, inner.child))]
+
+
+def _effectively_limited(node: LogicalOp, count: int) -> bool:
+    """True when ``node`` already produces at most ``count`` elements.
+
+    Looks through the one-to-one operators (project/apply) that the other
+    limit rules push a limit below, so a branch rewritten to
+    ``project(a, limit(n, e))`` is recognized as limited and not re-wrapped
+    -- otherwise PushLimitThroughUnion and PushLimitThroughProject would feed
+    each other nested limits forever.
+    """
+    while isinstance(node, (Project, Apply)):
+        node = node.child
+    return isinstance(node, Limit) and node.count <= count
+
+
+class PushLimitThroughUnion:
+    """``limit(n, union(e1, ..., ek))`` -> ``limit(n, union(limit(n, e1), ...))``.
+
+    No single union branch needs to produce more than ``n`` elements; the
+    outer limit is kept because the branches together may still exceed it.
+    Branches already (effectively) limited to ``n`` or less are left alone,
+    and the rule declines entirely when every branch is -- that is what makes
+    the rewrite fixpoint terminate.
+    """
+
+    name = "push-limit-through-union"
+
+    def apply(self, node: LogicalOp, capabilities: CapabilityResolver) -> list[LogicalOp]:
+        if not isinstance(node, Limit) or not isinstance(node.child, Union):
+            return []
+        union = node.child
+        if all(_effectively_limited(child, node.count) for child in union.inputs):
+            return []
+        limited = tuple(
+            child
+            if _effectively_limited(child, node.count)
+            else Limit(node.count, child)
+            for child in union.inputs
+        )
+        return [Limit(node.count, Union(limited))]
+
+
+class CollapseNestedLimits:
+    """``limit(a, limit(b, e))`` -> ``limit(min(a, b), e)``."""
+
+    name = "collapse-nested-limits"
+
+    def apply(self, node: LogicalOp, capabilities: CapabilityResolver) -> list[LogicalOp]:
+        if not isinstance(node, Limit) or not isinstance(node.child, Limit):
+            return []
+        inner = node.child
+        return [Limit(min(node.count, inner.count), inner.child)]
+
+
 DEFAULT_RULES: tuple[TransformationRule, ...] = (
     PushSelectThroughUnion(),
     PushProjectThroughUnion(),
@@ -175,4 +265,8 @@ DEFAULT_RULES: tuple[TransformationRule, ...] = (
     PushProjectIntoSubmit(),
     PushJoinIntoSubmit(),
     CommuteSelectProject(),
+    CollapseNestedLimits(),
+    PushLimitThroughProject(),
+    PushLimitThroughApply(),
+    PushLimitThroughUnion(),
 )

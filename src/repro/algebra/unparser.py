@@ -16,9 +16,11 @@ from repro.algebra.expressions import Const, Expr, Path, Var
 from repro.algebra.logical import (
     Apply,
     BagLiteral,
+    Distinct,
     Flatten,
     Get,
     Join,
+    Limit,
     LogicalOp,
     Project,
     Select,
@@ -68,6 +70,28 @@ class _Unparser:
             return "union(" + ", ".join(self.unparse(child) for child in node.inputs) + ")"
         if isinstance(node, Flatten):
             return f"flatten({self.unparse(node.child)})"
+        if isinstance(node, Limit):
+            if isinstance(node.child, (Get, Submit, Project, Select, Apply, Join, Distinct)):
+                return self.unparse(node.child) + f" limit {node.count}"
+            # A limited union/flatten/literal becomes a select block so the
+            # "limit" clause has a select to attach to.
+            variable = self.fresh_variable()
+            return (
+                f"select {variable} from {variable} in "
+                f"({self.unparse(node.child)}) limit {node.count}"
+            )
+        if isinstance(node, Distinct):
+            child = node.child
+            while isinstance(child, Distinct):  # distinct is idempotent
+                child = child.child
+            inner = self.unparse(child)
+            if inner.startswith("select distinct "):
+                return inner
+            if inner.startswith("select "):
+                return "select distinct " + inner[len("select "):]
+            # distinct over a union/flatten/literal becomes its own block.
+            variable = self.fresh_variable()
+            return f"select distinct {variable} from {variable} in ({inner})"
         if isinstance(node, (Get, Submit, Project, Select, Apply, Join)):
             return self._render_select(node)
         raise QueryExecutionError(f"cannot render {node.to_text()} as OQL")
@@ -124,7 +148,7 @@ class _Unparser:
                 f"{left_var}.{left_attr} = {right_var}.{right_attr}"
             ]
             return item, left_sources + right_sources, predicates
-        if isinstance(node, (Union, Flatten, BagLiteral)):
+        if isinstance(node, (Union, Flatten, BagLiteral, Limit, Distinct)):
             # A nested collection expression becomes an inline from-source.
             variable = self.fresh_variable()
             return variable, [(variable, f"({self.unparse(node)})")], []

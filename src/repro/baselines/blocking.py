@@ -38,21 +38,36 @@ class BlockingSemantics:
     def query(self, text: str, timeout: float | None = None) -> QueryResult:
         """Run ``text``; an unavailable source means no answer at all."""
         result = self.mediator.query(text, timeout=timeout)
-        if result.is_partial:
-            if self.raise_on_unavailable:
-                raise UnavailableSourceError(
-                    ",".join(result.unavailable_sources),
-                    "blocking semantics: query aborted because "
-                    f"{len(result.unavailable_sources)} source(s) did not respond",
-                )
-            return QueryResult(
-                query_text=text,
-                data=None,
-                is_partial=True,
-                unavailable_sources=result.unavailable_sources,
-                reports=result.reports,
+        return self._enforce(text, result)
+
+    def query_stream(self, text: str, timeout: float | None = None) -> QueryResult:
+        """Run ``text`` with the streaming engine, still all-or-nothing.
+
+        Blocking semantics cannot deliver rows before knowing every source
+        answered, so the stream is drained first -- which is exactly the
+        point of the comparison: the DISCO result streams, this one cannot.
+        """
+        result = self.mediator.query_stream(text, timeout=timeout)
+        result.rows()  # drain; failures surface on the result afterwards
+        return self._enforce(text, result)
+
+    def _enforce(self, text: str, result: QueryResult) -> QueryResult:
+        """Apply the all-or-nothing rule to a settled result."""
+        if not result.is_partial:
+            return result
+        if self.raise_on_unavailable:
+            raise UnavailableSourceError(
+                ",".join(result.unavailable_sources),
+                "blocking semantics: query aborted because "
+                f"{len(result.unavailable_sources)} source(s) did not respond",
             )
-        return result
+        return QueryResult(
+            query_text=text,
+            data=None,
+            is_partial=True,
+            unavailable_sources=result.unavailable_sources,
+            reports=result.reports,
+        )
 
     def answered(self, text: str, timeout: float | None = None) -> bool:
         """True when the query completed, False when any source was unavailable."""

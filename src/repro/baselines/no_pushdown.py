@@ -29,6 +29,14 @@ class GetOnlyWrapper(Wrapper):
             )
         return self.inner.submit(expression)
 
+    def _execute_stream(self, expression: LogicalOp):
+        """Preserve the inner source's laziness under the streaming engine."""
+        if not isinstance(expression, Get):
+            raise WrapperError(
+                f"{self.name!r} only evaluates get(collection); got {expression.to_text()}"
+            )
+        return self.inner.submit_stream(expression)
+
     def source_collections(self) -> list[str]:
         return self.inner.source_collections()
 

@@ -154,6 +154,41 @@ class Mediator:
         planned = self.planner.plan(text)
         return self._run(planned, timeout=timeout)
 
+    def query_stream(self, text: str, timeout: float | None = None) -> QueryResult:
+        """Evaluate an OQL query with the streaming engine.
+
+        Returns immediately; the result's :meth:`~QueryResult.iter_rows`
+        yields rows incrementally as sources answer (union branches stream
+        in completion order, so the first row tracks the fastest source).
+        A satisfied ``limit`` -- or an explicit ``result.close()`` -- cancels
+        the in-flight source calls cooperatively; merely pausing the
+        iteration leaves the stream open and resumable.  The materialized
+        surface (``rows()``, ``answer()``) still works: it drains the stream
+        first.
+
+        Failures degrade per source, as always: a source that times out or
+        dies mid-stream contributes no further rows and is reported through
+        ``errors()`` / ``unavailable_sources`` once the stream ends.  Unlike
+        :meth:`query`, no resubmittable partial query is built -- rows
+        already delivered cannot be embedded back into one.
+
+        Scalar queries have no row pipeline and are returned materialized.
+        """
+        planned = self.planner.plan(text)
+        if planned.is_scalar:
+            return self._run_scalar(planned, timeout=timeout)
+        if planned.optimized is None or planned.logical is None:
+            raise QueryExecutionError(f"query {planned.text!r} produced no plan")
+        stream = self.executor.execute_stream(planned.optimized.physical, timeout=timeout)
+        return QueryResult(
+            query_text=planned.text,
+            stream=stream,
+            estimated_cost=planned.optimized.cost.total(),
+            logical_plan=planned.optimized.logical.to_text(),
+            physical_plan=planned.optimized.physical.to_text(),
+            from_plan_cache=planned.from_cache,
+        )
+
     def explain(self, text: str) -> PlannedQuery:
         """Return the planner's output without executing anything."""
         return self.planner.plan(text, use_cache=False)

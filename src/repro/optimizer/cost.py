@@ -48,6 +48,11 @@ class CostModel:
     exec_call_overhead: float = 1e-4
     mediator_operator_overhead: float = 1e-5
     default_selectivity: float = 0.33
+    #: how hard a flaky source is penalized: the exec time estimate is
+    #: multiplied by ``1 + penalty * (1 - availability)``, so a source whose
+    #: availability EWMA has dropped to 0.5 looks ~2x as expensive (with the
+    #: default 2.0) and the optimizer prefers plans that avoid it.
+    unavailability_penalty: float = 2.0
 
     def estimate(self, plan: phys.PhysicalOp) -> Cost:
         """Estimate the cost of executing ``plan``."""
@@ -72,6 +77,13 @@ class CostModel:
             child = self.estimate(plan.child)
             time = child.time + self.mediator_operator_overhead + child.rows * self.mediator_row_cost
             return Cost(time, child.rows)
+        if isinstance(plan, phys.MkLimit):
+            child = self.estimate(plan.child)
+            rows = min(child.rows, float(plan.count))
+            # The cap on output rows is what makes pushed-down limits pay off:
+            # every operator above a limit is costed on at most `count` rows.
+            time = child.time + self.mediator_operator_overhead + rows * self.mediator_row_cost
+            return Cost(time, rows)
         if isinstance(plan, phys.MkFlatten):
             child = self.estimate(plan.child)
             time = child.time + self.mediator_operator_overhead + child.rows * self.mediator_row_cost
@@ -120,4 +132,9 @@ class CostModel:
             + estimate.time
             + estimate.rows * self.transfer_row_cost
         )
+        availability = self.history.availability(plan.extent_name)
+        if availability < 1.0:
+            # Expected retries/timeouts on a flaky source make its calls more
+            # expensive than the happy-path history alone suggests.
+            time *= 1.0 + self.unavailability_penalty * (1.0 - availability)
         return Cost(time=time, rows=max(estimate.rows, 0.0))

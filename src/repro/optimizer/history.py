@@ -115,17 +115,31 @@ def close_signature(extent_name: str, expression: LogicalOp) -> str:
 
 
 class ExecCallHistory:
-    """Fixed-size history of exec calls, per exact and per close signature."""
+    """Fixed-size history of exec calls, per exact and per close signature.
 
-    def __init__(self, window: int = 16, smoothing: float = 0.5):
+    Besides the per-signature (time, rows) observations, the history keeps a
+    per-*extent* availability estimate: an exponentially weighted moving
+    average of call success (1.0) and failure (0.0).  The cost model uses it
+    to penalize plans that depend on flaky sources -- a failure is not just
+    lost time, it turns the whole answer partial.
+    """
+
+    def __init__(
+        self, window: int = 16, smoothing: float = 0.5, availability_smoothing: float = 0.3
+    ):
         if window <= 0:
             raise ValueError("window must be positive")
         if not 0.0 < smoothing <= 1.0:
             raise ValueError("smoothing must be in (0, 1]")
+        if not 0.0 < availability_smoothing <= 1.0:
+            raise ValueError("availability_smoothing must be in (0, 1]")
         self.window = window
         self.smoothing = smoothing
+        self.availability_smoothing = availability_smoothing
         self._exact: dict[str, Deque[_Observation]] = {}
         self._close: dict[str, Deque[_Observation]] = {}
+        #: EWMA of call success per extent; absent means "never observed".
+        self._availability: dict[str, float] = {}
         #: total number of failed or timed-out calls recorded
         self.failures = 0
         # Exec calls are recorded from concurrent worker threads.
@@ -135,11 +149,12 @@ class ExecCallHistory:
     def record(
         self, extent_name: str, expression: LogicalOp, elapsed: float, rows: int
     ) -> None:
-        """Record the outcome of one exec call."""
+        """Record the outcome of one successful exec call."""
         observation = _Observation(elapsed=max(elapsed, 0.0), rows=max(rows, 0))
         with self._lock:
             self._append(self._exact, exact_signature(extent_name, expression), observation)
             self._append(self._close, close_signature(extent_name, expression), observation)
+            self._observe_availability(extent_name, succeeded=True)
 
     def record_failure(
         self, extent_name: str, expression: LogicalOp, elapsed: float
@@ -149,11 +164,29 @@ class ExecCallHistory:
         The call still cost ``elapsed`` seconds of wall clock before it
         failed, so it enters the same observation stream (with zero rows):
         the cost model learns that this source is slow or flaky instead of
-        seeing the attempt as free.
+        seeing the attempt as free.  The extent's availability estimate moves
+        towards 0.
         """
+        observation = _Observation(elapsed=max(elapsed, 0.0), rows=0)
         with self._lock:
             self.failures += 1
-        self.record(extent_name, expression, elapsed, 0)
+            self._append(self._exact, exact_signature(extent_name, expression), observation)
+            self._append(self._close, close_signature(extent_name, expression), observation)
+            self._observe_availability(extent_name, succeeded=False)
+
+    def _observe_availability(self, extent_name: str, succeeded: bool) -> None:
+        previous = self._availability.get(extent_name, 1.0)
+        alpha = self.availability_smoothing
+        self._availability[extent_name] = (
+            alpha * (1.0 if succeeded else 0.0) + (1.0 - alpha) * previous
+        )
+
+    def availability(self, extent_name: str) -> float:
+        """Estimated probability (EWMA) that a call to ``extent_name`` succeeds.
+
+        1.0 for extents never observed -- the paper's optimistic default.
+        """
+        return self._availability.get(extent_name, 1.0)
 
     def _append(self, store: dict[str, Deque[_Observation]], key: str, observation: _Observation) -> None:
         queue = store.setdefault(key, deque(maxlen=self.window))
@@ -196,4 +229,5 @@ class ExecCallHistory:
         """Forget everything (used between experiment runs)."""
         self._exact.clear()
         self._close.clear()
+        self._availability.clear()
         self.failures = 0

@@ -8,8 +8,12 @@ version they were built under and are discarded when it moves.
 
 Eviction is least-recently-*used*: ``get`` refreshes an entry's recency, so a
 hot query is never pushed out by a stream of one-off queries.  Keys are the
-query text with runs of whitespace collapsed, so a trivially reformatted query
-(extra spaces, newlines) hits the same entry.
+query's *parsed* canonical form (``parse_query(text).to_oql()``), so comment,
+case-of-keyword and formatting variants all hit the same entry; text that
+does not parse falls back to whitespace collapsing, so a malformed query
+still produces a stable key (and its ParseError is raised by the planner,
+not here).  Normalization results are memoized per text, so a cache hit
+costs one dict lookup, not a parse.
 """
 
 from __future__ import annotations
@@ -17,6 +21,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
+
+from repro.errors import ParseError
 
 
 @dataclass
@@ -26,6 +32,23 @@ class _CachedPlan:
 
 
 def _normalize(query_text: str) -> str:
+    """Canonical cache key for ``query_text``: the parsed AST printed back.
+
+    Parsing strips comments, collapses formatting and lowercases keywords
+    while preserving the semantics (string literals, identifier case), so
+    ``SELECT x FROM x IN person // hot path`` and ``select x from x in
+    person`` key the same slot.  Unparseable text falls back to whitespace
+    normalization.
+    """
+    from repro.oql.parser import parse_query  # local: oql must not depend on optimizer
+
+    try:
+        return parse_query(query_text).to_oql()
+    except ParseError:
+        return _normalize_whitespace(query_text)
+
+
+def _normalize_whitespace(query_text: str) -> str:
     """Collapse whitespace runs so reformatted query text keys the same slot.
 
     Quoted string literals are kept verbatim -- whitespace inside them is
@@ -64,13 +87,24 @@ class PlanCache:
 
     capacity: int = 128
     _entries: OrderedDict[str, _CachedPlan] = field(default_factory=OrderedDict)
+    #: memo of text -> canonical key, so repeated queries skip the parse
+    _keys: dict[str, str] = field(default_factory=dict)
     hits: int = 0
     misses: int = 0
     invalidations: int = 0
 
+    def _key_for(self, query_text: str) -> str:
+        key = self._keys.get(query_text)
+        if key is None:
+            if len(self._keys) >= 4 * self.capacity:
+                self._keys.clear()
+            key = _normalize(query_text)
+            self._keys[query_text] = key
+        return key
+
     def get(self, query_text: str, schema_version: int) -> Any | None:
         """Return the cached plan, or None when absent or stale."""
-        key = _normalize(query_text)
+        key = self._key_for(query_text)
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
@@ -86,7 +120,7 @@ class PlanCache:
 
     def put(self, query_text: str, schema_version: int, plan: Any) -> None:
         """Store a plan built under ``schema_version``."""
-        key = _normalize(query_text)
+        key = self._key_for(query_text)
         if key in self._entries:
             self._entries.move_to_end(key)
         elif len(self._entries) >= self.capacity:
@@ -97,6 +131,7 @@ class PlanCache:
     def clear(self) -> None:
         """Drop every cached plan."""
         self._entries.clear()
+        self._keys.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -83,12 +83,13 @@ class Binding:
 
 @dataclass(eq=False)
 class SelectQuery(QueryNode):
-    """``select [distinct] <item> from <bindings> [where <predicate>]``."""
+    """``select [distinct] <item> from <bindings> [where <predicate>] [limit <n>]``."""
 
     item: Expr
     bindings: tuple[Binding, ...]
     where: Expr | None = None
     distinct: bool = False
+    limit: int | None = None
 
     def to_oql(self) -> str:
         parts = ["select"]
@@ -98,6 +99,8 @@ class SelectQuery(QueryNode):
         parts.append("from " + ", ".join(binding.to_oql() for binding in self.bindings))
         if self.where is not None:
             parts.append("where " + self.where.to_oql())
+        if self.limit is not None:
+            parts.append(f"limit {self.limit}")
         return " ".join(parts)
 
     def bound_variables(self) -> set[str]:

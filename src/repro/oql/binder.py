@@ -103,7 +103,13 @@ class Binder:
                 self._bind_expr(query.where, _expanding) if query.where is not None else None
             )
             item = self._bind_expr(query.item, _expanding)
-            return SelectQuery(item=item, bindings=bindings, where=where, distinct=query.distinct)
+            return SelectQuery(
+                item=item,
+                bindings=bindings,
+                where=where,
+                distinct=query.distinct,
+                limit=query.limit,
+            )
         raise NameResolutionError(f"cannot bind query node {query!r}")
 
     # -- collections ---------------------------------------------------------------------

@@ -21,6 +21,9 @@ KEYWORDS = {
     "define",
     "as",
     "distinct",
+    # NOTE: "limit" is deliberately NOT reserved -- it is a *soft* keyword
+    # recognized positionally by the parser, so schemas with an attribute or
+    # collection called "limit" (x.limit, rate limits, ...) stay queryable.
     "true",
     "false",
     "nil",

@@ -191,7 +191,27 @@ class OqlParser:
         where = None
         if self._match_keyword("where"):
             where = self._expression()
-        return SelectQuery(item=item, bindings=tuple(bindings), where=where, distinct=distinct)
+        limit = self._limit_clause()
+        return SelectQuery(
+            item=item, bindings=tuple(bindings), where=where, distinct=distinct, limit=limit
+        )
+
+    def _limit_clause(self) -> int | None:
+        # "limit" is a soft keyword: only the identifier "limit" in clause
+        # position (after from/where) starts the clause, so attributes and
+        # collections named "limit" keep working everywhere else.
+        token = self._peek()
+        if not (token.kind == "IDENT" and token.text.lower() == "limit"):
+            return None
+        self._advance()
+        token = self._expect("NUMBER")
+        if "." in token.text:
+            raise ParseError(
+                f"limit takes a non-negative integer, got {token.text!r}",
+                line=token.line,
+                column=token.column,
+            )
+        return int(token.text)
 
     def _looks_like_binding(self, offset: int) -> bool:
         return self._peek(offset).kind == "IDENT" and self._peek(offset + 1).is_keyword("in")

@@ -29,6 +29,8 @@ def pretty(query: QueryNode, indent: int = 0) -> str:
         lines.append(pad + "from " + ", ".join(_binding_text(b) for b in query.bindings))
         if query.where is not None:
             lines.append(pad + "where " + query.where.to_oql())
+        if query.limit is not None:
+            lines.append(pad + f"limit {query.limit}")
         return "\n".join(lines)
     if isinstance(query, UnionQuery):
         parts = [pretty(part, indent + 6) for part in query.parts]

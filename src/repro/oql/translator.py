@@ -29,6 +29,7 @@ from repro.algebra.logical import (
     Distinct,
     Flatten,
     Get,
+    Limit,
     LogicalOp,
     Project,
     Select,
@@ -117,6 +118,10 @@ class Translator:
             plan = self._multi_binding_select(query)
         if query.distinct:
             plan = Distinct(plan)
+        if query.limit is not None:
+            # Outermost: the limit applies to the final answer; the rewrite
+            # rules then push it through projections/applies/unions.
+            plan = Limit(query.limit, plan)
         return plan
 
     def _single_binding_select(self, query: SelectQuery) -> LogicalOp:

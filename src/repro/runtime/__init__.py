@@ -14,6 +14,7 @@
 from repro.runtime.executor import ExecutionResult, Executor, ExecReport
 from repro.runtime.partial_eval import PartialAnswerBuilder
 from repro.runtime.operators import Env
+from repro.runtime.streaming import StreamingExecution
 
 __all__ = [
     "ExecutionResult",
@@ -21,4 +22,5 @@ __all__ = [
     "ExecReport",
     "PartialAnswerBuilder",
     "Env",
+    "StreamingExecution",
 ]

@@ -38,7 +38,7 @@ import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Any, Mapping, Protocol
+from typing import Any, Callable, Iterable, Iterator, Mapping, Protocol
 
 from repro.algebra import logical as log
 from repro.algebra import physical as phys
@@ -48,6 +48,7 @@ from repro.datamodel.values import Bag
 from repro.errors import QueryExecutionError, TypeConflictError, UnavailableSourceError
 from repro.optimizer.history import ExecCallHistory
 from repro.optimizer.implementation import implement
+from repro.runtime import cancellation
 from repro.runtime import operators as ops
 from repro.runtime.partial_eval import UNAVAILABLE, PartialAnswerBuilder, Unavailable
 
@@ -60,6 +61,18 @@ class RuntimeRegistry(Protocol):
     def wrapper_object(self, name: str) -> Any: ...
 
     def interface_attributes(self, interface_name: str) -> list[str]: ...
+
+
+def normalize_row(raw: Any, renames: Mapping[str, str]) -> Any:
+    """One source row in mediator vocabulary: renamed and struct-ified.
+
+    Non-mapping values (scalars from projected single columns, nested bags)
+    pass through unchanged.  Shared by the barrier and streaming engines so
+    malformed-row handling cannot diverge between them.
+    """
+    if isinstance(raw, Mapping):
+        return ops.as_struct(rename_row(raw, renames))
+    return raw
 
 
 def collect_errors(reports) -> dict[str, str]:
@@ -95,6 +108,10 @@ class ExecReport:
     error: str | None = None
     #: how many times the wrapper was actually called (> 1 under retry).
     attempts: int = 1
+    #: True when the streaming engine cancelled the call because its rows
+    #: were no longer needed (a satisfied ``limit``).  Cancelled calls are
+    #: not failures: they do not make the answer partial.
+    cancelled: bool = False
 
 
 @dataclass
@@ -220,8 +237,30 @@ class Executor:
                 unavailable_sources=unavailable,
                 reports=tuple(reports),
             )
-        values = self._evaluate(plan, outcomes, base_env)
+        values = list(self._evaluate(plan, outcomes, base_env))
         return ExecutionResult(data=Bag(values), reports=tuple(reports))
+
+    def execute_stream(
+        self,
+        plan: phys.PhysicalOp,
+        base_env: Mapping[str, Any] | None = None,
+        timeout: float | None = None,
+    ):
+        """Execute ``plan`` with the streaming engine.
+
+        Returns a :class:`~repro.runtime.streaming.StreamingExecution`: an
+        iterable whose rows become available as sources answer (exec results
+        feed the pipeline in completion order, not after a global barrier).
+        Early termination -- a satisfied ``limit``, or ``close()`` -- cancels
+        the in-flight exec calls cooperatively.  Sources that fail or time
+        out contribute no rows; the failures are reported on the execution
+        object once the stream ends (no resubmittable partial query is built,
+        since delivered rows cannot be embedded back into one).
+        """
+        from repro.runtime.streaming import StreamingExecution  # local: avoid cycle
+
+        timeout = self.config.timeout if timeout is None else timeout
+        return StreamingExecution(self, plan, base_env=base_env, timeout=timeout)
 
     # -- exec dispatch ------------------------------------------------------------------------
     def _dispatch(
@@ -234,13 +273,19 @@ class Executor:
         started_at: dict[int, float] = {}
         abandoned: set[int] = set()
         recorded: set[int] = set()
+        # One cooperative-cancellation event per call: set on write-off so a
+        # worker blocked in a latency sleep or a retry backoff wakes up
+        # immediately instead of holding its pool slot (zombie thread).
+        events = {id(node): threading.Event() for node in exec_nodes}
         # Serializes the abandoned/recorded sets against worker-side history
         # recording: a call's terminal observation comes from its worker or
         # from the dispatcher's write-off, never both.
         guard = threading.Lock()
         deadline = None if timeout is None else time.monotonic() + timeout
         futures = {
-            pool.submit(self._run_exec, node, started_at, abandoned, recorded, guard): node
+            pool.submit(
+                self._run_exec, node, started_at, abandoned, recorded, guard, events[id(node)]
+            ): node
             for node in exec_nodes
         }
         by_node: dict[int, ExecReport] = {}
@@ -262,6 +307,7 @@ class Executor:
                 for future in pending:
                     abandoned.add(id(futures[future]))
             for future in pending:
+                events[id(futures[future])].set()
                 future.cancel()
             raise
         now = time.monotonic()
@@ -278,6 +324,7 @@ class Executor:
                 finished_late = id(node) in recorded
                 if not finished_late:
                     abandoned.add(id(node))
+                    events[id(node)].set()
                     started = started_at.get(id(node))
                     elapsed = 0.0 if started is None else now - started
                     if started is not None:
@@ -340,6 +387,7 @@ class Executor:
         abandoned: set[int],
         recorded: set[int],
         guard: threading.Lock,
+        event: threading.Event | None = None,
     ) -> _CallOutcome:
         """One exec call with retries.  Wrapper failures become outcomes, not raises.
 
@@ -349,7 +397,10 @@ class Executor:
         call.  ``recorded`` holds ids whose worker reached a *terminal*
         outcome, so the dispatcher's write-off can tell a just-finished call
         from a still-running one.  ``guard`` makes every check-and-record
-        atomic against the write-off.
+        atomic against the write-off.  ``event`` is the call's cooperative
+        cancellation signal: it is installed around the wrapper round trip so
+        blocking primitives downstream (the simulated server's latency sleep)
+        return early once the dispatcher writes the call off.
         """
         meta = self.registry.extent(node.extent_name)
         wrapper = self.registry.wrapper_object(meta.wrapper)
@@ -362,16 +413,12 @@ class Executor:
         while True:
             started = time.monotonic()
             try:
-                raw_rows = wrapper.submit(source_expression)
-                # Materialize and rename inside the try: a lazy result that
-                # raises mid-iteration, or a malformed row, is a source
-                # failure too, not a query crash.
-                rows = [
-                    ops.as_struct(rename_row(row, reverse_renames))
-                    if isinstance(row, Mapping)
-                    else row
-                    for row in raw_rows
-                ]
+                with cancellation.activate(event):
+                    raw_rows = wrapper.submit(source_expression)
+                    # Materialize and rename inside the try: a lazy result
+                    # that raises mid-iteration, or a malformed row, is a
+                    # source failure too, not a query crash.
+                    rows = [normalize_row(row, reverse_renames) for row in raw_rows]
             except Exception as exc:
                 call_elapsed = time.monotonic() - started
                 attempt += 1
@@ -385,7 +432,13 @@ class Executor:
                         if terminal:
                             recorded.add(id(node))
                 if not terminal:
-                    time.sleep(self.config.retry_backoff * (2 ** (attempt - 1)))
+                    backoff = self.config.retry_backoff * (2 ** (attempt - 1))
+                    # An event-aware sleep: a write-off wakes the backoff
+                    # immediately instead of letting the zombie serve it out.
+                    if event is not None:
+                        event.wait(backoff)
+                    else:
+                        time.sleep(backoff)
                     with guard:
                         written_off = id(node) in abandoned
                     if not written_off:
@@ -510,26 +563,38 @@ class Executor:
         self._type_checked_extents.clear()
 
     # -- mediator-side evaluation -----------------------------------------------------------------
-    def _evaluate(
+    def compose_rows(
         self,
         plan: phys.PhysicalOp,
-        outcomes: dict[int, Any],
+        leaf: Callable[[phys.Exec], Iterable[Any]],
         base_env: Mapping[str, Any] | None,
-    ) -> list[Any]:
+        union: Callable[[tuple[phys.PhysicalOp, ...]], Iterable[Any]] | None = None,
+    ) -> Iterator[Any]:
+        """Compose the lazy operator pipeline for ``plan``.
+
+        Every mediator-side operator is a generator (see
+        :mod:`repro.runtime.operators`): rows flow through the plan one at a
+        time and nothing is materialized except join build sides and the
+        distinct set.  ``leaf`` supplies the row iterator of each ``exec``
+        node -- a completed outcome for the barrier path, a live stream for
+        the streaming engine.  ``union`` optionally overrides how ``mkunion``
+        children are sequenced (the streaming engine interleaves them in
+        exec-completion order).
+
+        The pipeline structure (and every ``leaf`` iterator) is built
+        eagerly, so structural errors surface immediately; only *row* flow is
+        lazy.
+        """
+        recurse = lambda child: self.compose_rows(child, leaf, base_env, union)  # noqa: E731
         if isinstance(plan, phys.Exec):
-            rows = outcomes.get(id(plan), UNAVAILABLE)
-            if isinstance(rows, Unavailable):
-                raise QueryExecutionError(
-                    f"exec for extent {plan.extent_name!r} has no outcome"
-                )
-            return list(rows)
+            return iter(leaf(plan))
         if isinstance(plan, phys.MkBag):
-            return [ops.as_struct(value) for value in plan.values]
+            return (ops.as_struct(value) for value in plan.values)
         if isinstance(plan, phys.MkProj):
-            return ops.project_rows(self._evaluate(plan.child, outcomes, base_env), plan.attributes)
+            return ops.project_rows(recurse(plan.child), plan.attributes)
         if isinstance(plan, phys.Filter):
             return ops.filter_rows(
-                self._evaluate(plan.child, outcomes, base_env),
+                recurse(plan.child),
                 plan.variable,
                 plan.predicate,
                 base_env=base_env,
@@ -537,28 +602,20 @@ class Executor:
             )
         if isinstance(plan, phys.MkApply):
             return ops.apply_rows(
-                self._evaluate(plan.child, outcomes, base_env),
+                recurse(plan.child),
                 plan.variable,
                 plan.expression,
                 base_env=base_env,
                 subquery_evaluator=self.evaluate_subquery,
             )
         if isinstance(plan, phys.HashJoin):
-            return ops.hash_join_rows(
-                self._evaluate(plan.left, outcomes, base_env),
-                self._evaluate(plan.right, outcomes, base_env),
-                plan.on,
-            )
+            return ops.hash_join_rows(recurse(plan.left), recurse(plan.right), plan.on)
         if isinstance(plan, phys.NestedLoopJoin):
-            return ops.nested_loop_join_rows(
-                self._evaluate(plan.left, outcomes, base_env),
-                self._evaluate(plan.right, outcomes, base_env),
-                plan.on,
-            )
+            return ops.nested_loop_join_rows(recurse(plan.left), recurse(plan.right), plan.on)
         if isinstance(plan, phys.MkBindJoin):
             return ops.bind_join_rows(
-                self._evaluate(plan.left, outcomes, base_env),
-                self._evaluate(plan.right, outcomes, base_env),
+                recurse(plan.left),
+                recurse(plan.right),
                 plan.left_variable,
                 plan.right_variable,
                 plan.condition,
@@ -566,14 +623,34 @@ class Executor:
                 subquery_evaluator=self.evaluate_subquery,
             )
         if isinstance(plan, phys.MkUnion):
-            return ops.union_rows(
-                self._evaluate(child, outcomes, base_env) for child in plan.inputs
-            )
+            if union is not None:
+                return iter(union(plan.inputs))
+            return ops.union_rows([recurse(child) for child in plan.inputs])
         if isinstance(plan, phys.MkFlatten):
-            return ops.flatten_rows(self._evaluate(plan.child, outcomes, base_env))
+            return ops.flatten_rows(recurse(plan.child))
         if isinstance(plan, phys.MkDistinct):
-            return ops.distinct_rows(self._evaluate(plan.child, outcomes, base_env))
+            return ops.distinct_rows(recurse(plan.child))
+        if isinstance(plan, phys.MkLimit):
+            return ops.limit_rows(recurse(plan.child), plan.count)
         raise QueryExecutionError(f"cannot evaluate physical operator {plan.to_text()}")
+
+    def _evaluate(
+        self,
+        plan: phys.PhysicalOp,
+        outcomes: dict[int, Any],
+        base_env: Mapping[str, Any] | None,
+    ) -> Iterator[Any]:
+        """The barrier-path pipeline: exec leaves read completed outcomes."""
+
+        def leaf(node: phys.Exec) -> Iterable[Any]:
+            rows = outcomes.get(id(node), UNAVAILABLE)
+            if isinstance(rows, Unavailable):
+                raise QueryExecutionError(
+                    f"exec for extent {node.extent_name!r} has no outcome"
+                )
+            return rows
+
+        return self.compose_rows(plan, leaf, base_env)
 
     # -- nested subqueries -------------------------------------------------------------------------
     def evaluate_subquery(self, query: Any, env: Mapping[str, Any]) -> Any:

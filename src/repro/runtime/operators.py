@@ -6,18 +6,25 @@ variable environments produced by ``bindjoin`` for multi-variable queries.
 Predicates and select items are evaluated with an environment that merges the
 query's outer environment (for correlated subqueries), the element's own
 bindings (when it is an :class:`Env`) and the operator's bound variable.
+
+Every operator is a *lazy generator* (Volcano-style): it consumes its input
+iterator one element at a time and yields output elements as they are ready.
+Nothing is materialized except the unavoidable state an operator needs --
+a hash join builds only its build (right) side, ``distinct`` keeps the set of
+elements already emitted, everything else runs in O(1) memory.  This is what
+lets ``limit`` terminate a pipeline early and keeps peak memory bounded by
+the largest *build side*, not the largest intermediate result.
+
+Callers that need a list simply wrap a pipeline in ``list(...)``.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Mapping
+from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from repro.algebra.expressions import (
-    BooleanExpr,
     Comparison,
     Expr,
-    Path,
-    Var,
     split_conjuncts,
 )
 from repro.datamodel.values import Bag, Struct
@@ -50,9 +57,8 @@ def as_struct(row: Any) -> Any:
     return row
 
 
-def project_rows(elements: Iterable[Any], attributes: tuple[str, ...]) -> list[Any]:
+def project_rows(elements: Iterable[Any], attributes: tuple[str, ...]) -> Iterator[Any]:
     """Keep only ``attributes`` of each record (records stay records)."""
-    result: list[Any] = []
     for element in elements:
         row = element
         if isinstance(row, Env):
@@ -60,10 +66,9 @@ def project_rows(elements: Iterable[Any], attributes: tuple[str, ...]) -> list[A
             # translated plans, but fall back to the first binding for safety.
             row = next(iter(row.values())) if row else row
         if isinstance(row, Mapping):
-            result.append(Struct({attr: row.get(attr) for attr in attributes}))
+            yield Struct({attr: row.get(attr) for attr in attributes})
         else:
-            result.append(Struct({attr: getattr(row, attr, None) for attr in attributes}))
-    return result
+            yield Struct({attr: getattr(row, attr, None) for attr in attributes})
 
 
 def filter_rows(
@@ -72,14 +77,12 @@ def filter_rows(
     predicate: Expr,
     base_env: Mapping[str, Any] | None = None,
     subquery_evaluator: SubqueryEvaluator | None = None,
-) -> list[Any]:
+) -> Iterator[Any]:
     """Keep elements for which ``predicate`` evaluates to true."""
-    kept: list[Any] = []
     for element in elements:
         env = element_environment(element, variable, base_env)
         if predicate.evaluate(env, subquery_evaluator):
-            kept.append(element)
-    return kept
+            yield element
 
 
 def apply_rows(
@@ -88,49 +91,54 @@ def apply_rows(
     expression: Expr,
     base_env: Mapping[str, Any] | None = None,
     subquery_evaluator: SubqueryEvaluator | None = None,
-) -> list[Any]:
+) -> Iterator[Any]:
     """Compute ``expression`` for every element."""
-    result: list[Any] = []
     for element in elements:
         env = element_environment(element, variable, base_env)
-        result.append(expression.evaluate(env, subquery_evaluator))
-    return result
+        yield expression.evaluate(env, subquery_evaluator)
+
+
+def _merged_row(left_row: Any, right_row: Any) -> Struct:
+    """Merge a matched pair; left values win on shared attribute names."""
+    merged = dict(right_row if isinstance(right_row, Mapping) else right_row.fields())
+    merged.update(dict(left_row if isinstance(left_row, Mapping) else left_row.fields()))
+    return Struct(merged)
 
 
 def hash_join_rows(
     left: Iterable[Any], right: Iterable[Any], on: str | tuple[str, str]
-) -> list[Any]:
-    """Equi-join plain rows on an attribute; the merged row keeps left values."""
+) -> Iterator[Any]:
+    """Equi-join plain rows on an attribute; the merged row keeps left values.
+
+    Only the *right* (build) side is materialized -- into the hash table the
+    probe needs anyway; the left side streams through unbuffered.
+    """
     left_attr, right_attr = on if isinstance(on, tuple) else (on, on)
     buckets: dict[Any, list[Any]] = {}
     for row in right:
         key = _attribute_value(row, right_attr)
         buckets.setdefault(key, []).append(row)
-    joined: list[Any] = []
     for row in left:
         key = _attribute_value(row, left_attr)
         for match in buckets.get(key, []):
-            merged = dict(match if isinstance(match, Mapping) else match.fields())
-            merged.update(dict(row if isinstance(row, Mapping) else row.fields()))
-            joined.append(Struct(merged))
-    return joined
+            yield _merged_row(row, match)
 
 
 def nested_loop_join_rows(
     left: Iterable[Any], right: Iterable[Any], on: str | tuple[str, str]
-) -> list[Any]:
-    """Nested-loop equi-join (same semantics as the hash join, different cost)."""
+) -> Iterator[Any]:
+    """Nested-loop equi-join (same semantics as the hash join, different cost).
+
+    The right side is materialized once (it is re-scanned per left element);
+    the left side streams.
+    """
     left_attr, right_attr = on if isinstance(on, tuple) else (on, on)
     right_rows = list(right)
-    joined: list[Any] = []
     for row in left:
         left_key = _attribute_value(row, left_attr)
         for match in right_rows:
             if _attribute_value(match, right_attr) == left_key:
-                merged = dict(match if isinstance(match, Mapping) else match.fields())
-                merged.update(dict(row if isinstance(row, Mapping) else row.fields()))
-                joined.append(Struct(merged))
-    return joined
+                yield _merged_row(row, match)
 
 
 def bind_join_rows(
@@ -141,16 +149,15 @@ def bind_join_rows(
     condition: Expr | None,
     base_env: Mapping[str, Any] | None = None,
     subquery_evaluator: SubqueryEvaluator | None = None,
-) -> list[Env]:
+) -> Iterator[Env]:
     """Join producing variable environments (multi-variable ``from`` clauses).
 
     When the condition contains an equi-join conjunct between the two sides a
-    hash join is used; otherwise every pair is enumerated.
+    hash join is used; otherwise every pair is enumerated.  Either way only
+    the right side is materialized (as the build table / inner loop); the
+    left side streams.
     """
-    left_elements = list(left)
-    right_elements = list(right)
     equi = _find_equi_conjunct(condition, left_variable, right_variable) if condition else None
-    result: list[Env] = []
 
     def make_env(left_element: Any, right_element: Any) -> Env:
         env = Env()
@@ -171,11 +178,11 @@ def bind_join_rows(
     if equi is not None:
         left_expr, right_expr = equi
         buckets: dict[Any, list[Any]] = {}
-        for element in right_elements:
+        for element in right:
             env = make_env(Env(), element)
             key = right_expr.evaluate({**(base_env or {}), **env}, subquery_evaluator)
             buckets.setdefault(key, []).append(element)
-        for left_element in left_elements:
+        for left_element in left:
             left_env = (
                 dict(left_element) if isinstance(left_element, Env) else {left_variable: left_element}
             )
@@ -183,15 +190,15 @@ def bind_join_rows(
             for right_element in buckets.get(key, []):
                 env = make_env(left_element, right_element)
                 if passes(env):
-                    result.append(env)
-        return result
+                    yield env
+        return
 
-    for left_element in left_elements:
+    right_elements = list(right)
+    for left_element in left:
         for right_element in right_elements:
             env = make_env(left_element, right_element)
             if passes(env):
-                result.append(env)
-    return result
+                yield env
 
 
 def _find_equi_conjunct(
@@ -218,29 +225,62 @@ def _attribute_value(row: Any, attribute: str) -> Any:
     return getattr(row, attribute, None)
 
 
-def union_rows(parts: Iterable[Iterable[Any]]) -> list[Any]:
-    """Additive bag union of several element lists."""
-    result: list[Any] = []
+def union_rows(parts: Iterable[Iterable[Any]]) -> Iterator[Any]:
+    """Additive bag union: stream each part in turn."""
     for part in parts:
-        result.extend(part)
-    return result
+        yield from part
 
 
-def flatten_rows(elements: Iterable[Any]) -> list[Any]:
+def flatten_rows(elements: Iterable[Any]) -> Iterator[Any]:
     """Flatten one level of nested collections."""
-    result: list[Any] = []
     for element in elements:
         if isinstance(element, (Bag, list, tuple, set, frozenset)):
-            result.extend(element)
+            yield from element
         else:
-            result.append(element)
-    return result
+            yield element
 
 
-def distinct_rows(elements: Iterable[Any]) -> list[Any]:
-    """Remove duplicates, keeping the first occurrence."""
-    seen: list[Any] = []
+def distinct_rows(elements: Iterable[Any]) -> Iterator[Any]:
+    """Remove duplicates, keeping (and immediately yielding) the first occurrence.
+
+    Hashable elements are tracked in a set; unhashable ones (environments,
+    rows containing lists) fall back to a linear scan over everything already
+    emitted, preserving the old quadratic-but-correct semantics for them.
+    """
+    seen_hashable: set[Any] = set()
+    emitted: list[Any] = []
     for element in elements:
-        if element not in seen:
-            seen.append(element)
-    return seen
+        try:
+            if element in seen_hashable:
+                continue
+            seen_hashable.add(element)
+        except TypeError:
+            if element in emitted:
+                continue
+        emitted.append(element)
+        yield element
+
+
+def limit_rows(elements: Iterable[Any], count: int) -> Iterator[Any]:
+    """Yield at most ``count`` elements, then close the upstream pipeline.
+
+    Closing the input generator is what propagates early termination down a
+    streaming plan (and, at the leaves, cancels in-flight exec calls).
+    """
+    if count <= 0:
+        close = getattr(elements, "close", None)
+        if close is not None:
+            close()
+        return
+    produced = 0
+    iterator = iter(elements)
+    try:
+        for element in iterator:
+            yield element
+            produced += 1
+            if produced >= count:
+                return
+    finally:
+        close = getattr(iterator, "close", None)
+        if close is not None:
+            close()

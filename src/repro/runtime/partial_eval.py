@@ -98,6 +98,8 @@ class PartialAnswerBuilder:
             return log.Flatten(self.to_logical(plan.child, outcomes))
         if isinstance(plan, phys.MkDistinct):
             return log.Distinct(self.to_logical(plan.child, outcomes))
+        if isinstance(plan, phys.MkLimit):
+            return log.Limit(plan.count, self.to_logical(plan.child, outcomes))
         raise QueryExecutionError(f"cannot convert {plan.to_text()} back to logical form")
 
     # -- collapsing available subtrees ---------------------------------------------------
@@ -140,51 +142,70 @@ class PartialAnswerBuilder:
     def evaluate_logical(
         self, plan: log.LogicalOp, base_env: Mapping[str, Any] | None = None
     ) -> list[Any]:
-        """Evaluate a submit-free logical plan at the mediator."""
+        """Evaluate a submit-free logical plan at the mediator.
+
+        The row operators are lazy generators; this entry point materializes
+        them (partial answers embed finite data), which also keeps errors --
+        like a stray ``submit`` -- eager.
+        """
         if isinstance(plan, log.BagLiteral):
             return [ops.as_struct(value) for value in plan.values]
         if isinstance(plan, log.Project):
-            return ops.project_rows(self.evaluate_logical(plan.child, base_env), plan.attributes)
+            return list(
+                ops.project_rows(self.evaluate_logical(plan.child, base_env), plan.attributes)
+            )
         if isinstance(plan, log.Select):
-            return ops.filter_rows(
-                self.evaluate_logical(plan.child, base_env),
-                plan.variable,
-                plan.predicate,
-                base_env=base_env,
-                subquery_evaluator=self._subquery_evaluator,
+            return list(
+                ops.filter_rows(
+                    self.evaluate_logical(plan.child, base_env),
+                    plan.variable,
+                    plan.predicate,
+                    base_env=base_env,
+                    subquery_evaluator=self._subquery_evaluator,
+                )
             )
         if isinstance(plan, log.Apply):
-            return ops.apply_rows(
-                self.evaluate_logical(plan.child, base_env),
-                plan.variable,
-                plan.expression,
-                base_env=base_env,
-                subquery_evaluator=self._subquery_evaluator,
+            return list(
+                ops.apply_rows(
+                    self.evaluate_logical(plan.child, base_env),
+                    plan.variable,
+                    plan.expression,
+                    base_env=base_env,
+                    subquery_evaluator=self._subquery_evaluator,
+                )
             )
         if isinstance(plan, log.Join):
-            return ops.hash_join_rows(
-                self.evaluate_logical(plan.left, base_env),
-                self.evaluate_logical(plan.right, base_env),
-                plan.on,
+            return list(
+                ops.hash_join_rows(
+                    self.evaluate_logical(plan.left, base_env),
+                    self.evaluate_logical(plan.right, base_env),
+                    plan.on,
+                )
             )
         if isinstance(plan, log.BindJoin):
-            return ops.bind_join_rows(
-                self.evaluate_logical(plan.left, base_env),
-                self.evaluate_logical(plan.right, base_env),
-                plan.left_variable,
-                plan.right_variable,
-                plan.condition,
-                base_env=base_env,
-                subquery_evaluator=self._subquery_evaluator,
+            return list(
+                ops.bind_join_rows(
+                    self.evaluate_logical(plan.left, base_env),
+                    self.evaluate_logical(plan.right, base_env),
+                    plan.left_variable,
+                    plan.right_variable,
+                    plan.condition,
+                    base_env=base_env,
+                    subquery_evaluator=self._subquery_evaluator,
+                )
             )
         if isinstance(plan, log.Union):
-            return ops.union_rows(
-                self.evaluate_logical(child, base_env) for child in plan.inputs
+            return list(
+                ops.union_rows(
+                    [self.evaluate_logical(child, base_env) for child in plan.inputs]
+                )
             )
         if isinstance(plan, log.Flatten):
-            return ops.flatten_rows(self.evaluate_logical(plan.child, base_env))
+            return list(ops.flatten_rows(self.evaluate_logical(plan.child, base_env)))
         if isinstance(plan, log.Distinct):
-            return ops.distinct_rows(self.evaluate_logical(plan.child, base_env))
+            return list(ops.distinct_rows(self.evaluate_logical(plan.child, base_env)))
+        if isinstance(plan, log.Limit):
+            return self.evaluate_logical(plan.child, base_env)[: max(plan.count, 0)]
         if isinstance(plan, log.Submit):
             raise QueryExecutionError(
                 "cannot evaluate a submit at the mediator; partial evaluation should "

@@ -1,0 +1,425 @@
+"""The streaming (Volcano-style) execution engine.
+
+The barrier executor (:meth:`~repro.runtime.executor.Executor.execute`)
+collects every exec outcome before a single row reaches the caller -- the
+right shape for the paper's partial-answer semantics, where the answer must
+embed all obtained data.  This module is the other shape: rows flow to the
+caller *while* sources are still answering.
+
+* Exec calls are dispatched to the executor's shared pool immediately; the
+  pipeline above them is the same lazy-generator composition the barrier
+  path uses (:meth:`Executor.compose_rows`).
+* A ``mkunion`` interleaves its children in *exec-completion order*: the
+  branch whose source answers first streams first, so the time to the first
+  row tracks the fastest source, not the slowest.
+* Early termination -- a satisfied ``mklimit``, or :meth:`close` -- closes
+  the pipeline and cancels the in-flight exec calls cooperatively (their
+  workers wake from latency sleeps instead of draining them).
+* A source that fails, times out, or dies mid-stream contributes no further
+  rows; the failure is recorded on the per-call :class:`ExecReport` exactly
+  like the barrier path records it, and surfaces through
+  :attr:`unavailable_sources` / :meth:`errors` once the stream ends.  No
+  resubmittable partial *query* is built: rows already delivered cannot be
+  embedded back into one.
+
+Iteration is replayable: the execution buffers what it has yielded, so a
+second ``iter()`` (or :meth:`to_list` after a partial read) replays the
+prefix and continues the live tail -- the pipeline generators themselves are
+never consumed twice.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from concurrent.futures import TimeoutError as _FuturesTimeoutError
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.algebra import physical as phys
+from repro.runtime import cancellation
+from repro.runtime.executor import ExecReport, collect_errors, normalize_row
+
+
+@dataclass
+class _Opened:
+    """What the worker-side half of one streaming exec call produced."""
+
+    rows: Iterable[Any] | None = None
+    renames: Mapping[str, str] = field(default_factory=dict)
+    #: row count when the wrapper answered with a sized sequence (history is
+    #: recorded in the worker then); None for lazy cursors (recorded at drain).
+    sized: int | None = None
+    #: wall clock of the open round trip (worker side).
+    elapsed: float = 0.0
+    error: str | None = None
+
+
+class _ExecState:
+    """Book-keeping for one exec call of a streaming plan."""
+
+    __slots__ = ("node", "future", "event", "report", "consumed", "started", "lock", "recorded")
+
+    def __init__(self, node: phys.Exec):
+        self.node = node
+        self.future: Future | None = None
+        self.event = threading.Event()
+        self.report: ExecReport | None = None
+        self.consumed = 0  # rows pulled by the consumer so far
+        self.started: float | None = None
+        # Serializes history recording between the worker and the consumer:
+        # one terminal observation per call, never both (the streaming
+        # counterpart of the barrier dispatcher's guard/abandoned/recorded).
+        self.lock = threading.Lock()
+        self.recorded = False
+
+
+class StreamingExecution:
+    """One streaming query execution: iterate it to receive rows.
+
+    Produced by :meth:`Executor.execute_stream`; the surrounding
+    :class:`~repro.core.result.QueryResult` (see ``Mediator.query_stream``)
+    exposes it through ``iter_rows()``.
+    """
+
+    def __init__(self, executor, plan: phys.PhysicalOp, base_env=None, timeout=None):
+        self._executor = executor
+        self._plan = plan
+        self._base_env = base_env
+        self._timeout = timeout
+        self._deadline = None if timeout is None else time.monotonic() + timeout
+        exec_nodes = phys.execs_in(plan)
+        self._states: dict[int, _ExecState] = {
+            id(node): _ExecState(node) for node in exec_nodes
+        }
+        self._order = [id(node) for node in exec_nodes]
+        self._buffer: list[Any] = []
+        self._finished = False
+        #: a mediator-side error that aborted the pipeline; re-raised on any
+        #: later consumption so an aborted stream never looks complete.
+        self._failure: BaseException | None = None
+        self._pipeline: Iterator[Any] | None = None
+        pool = executor._ensure_pool()
+        for state in self._states.values():
+            state.future = pool.submit(self._open_exec, state)
+        try:
+            self._pipeline = executor.compose_rows(
+                plan,
+                leaf=self._exec_rows,
+                base_env=base_env,
+                union=self._union_in_completion_order,
+            )
+        except BaseException:
+            # Pipeline construction failed after the calls were dispatched:
+            # write them off so no worker serves out a latency for a stream
+            # that will never exist.
+            self._finish()
+            raise
+
+    # -- public surface ---------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Any]:
+        """Yield every row; replayable (buffered prefix + live tail).
+
+        Pausing or abandoning an iteration leaves the stream *open*: a later
+        iteration resumes where the live tail stopped (that is what makes
+        ``rows()`` after a partial ``iter_rows()`` see everything).  Call
+        :meth:`close` to cancel the remaining work instead.
+        """
+        index = 0
+        while True:
+            if index < len(self._buffer):
+                yield self._buffer[index]
+                index += 1
+                continue
+            if self._failure is not None:
+                raise self._failure
+            if self._finished:
+                return
+            try:
+                row = next(self._pipeline)
+            except StopIteration:
+                self._finish()
+                return
+            except BaseException as exc:
+                # A mediator-side error (failed type check, planner bug)
+                # aborts the query; write off the surviving calls so their
+                # workers stop promptly, and remember the failure so a later
+                # rows()/iter_rows() re-raises instead of presenting the
+                # buffered prefix as a complete answer.
+                self._failure = exc
+                self._finish()
+                raise
+            self._buffer.append(row)
+
+    def to_list(self) -> list[Any]:
+        """Drain the stream and return every row."""
+        return list(self)
+
+    def close(self) -> None:
+        """Stop the stream: close the pipeline, cancel in-flight exec calls."""
+        self._finish()
+
+    def __del__(self):
+        # A stream dropped without being drained or closed must not leave
+        # its workers serving out simulated latencies.
+        try:
+            self._finish()
+        except Exception:
+            pass
+
+    @property
+    def finished(self) -> bool:
+        """True once the stream has ended (drained, failed out, or closed)."""
+        return self._finished
+
+    @property
+    def failure(self) -> BaseException | None:
+        """The mediator-side error that aborted the stream, if any."""
+        return self._failure
+
+    @property
+    def calls_issued(self) -> int:
+        """Number of exec calls this execution dispatched (all of them, up front)."""
+        return len(self._states)
+
+    @property
+    def reports(self) -> tuple[ExecReport, ...]:
+        """Per-call reports, in plan order; grows as calls settle."""
+        return tuple(
+            self._states[key].report
+            for key in self._order
+            if self._states[key].report is not None
+        )
+
+    @property
+    def unavailable_sources(self) -> tuple[str, ...]:
+        """Extents that failed or timed out (cancelled calls excluded)."""
+        return tuple(
+            report.extent_name
+            for report in self.reports
+            if not report.available and not report.cancelled
+        )
+
+    @property
+    def is_partial(self) -> bool:
+        """True when some source contributed no (or truncated) rows due to failure."""
+        return bool(self.unavailable_sources)
+
+    def errors(self) -> dict[str, str]:
+        """Failure reasons keyed by extent name (empty while all is well)."""
+        return collect_errors(self.reports)
+
+    # -- worker side ------------------------------------------------------------------------
+    def _open_exec(self, state: _ExecState) -> _Opened:
+        """Run in the pool: one wrapper round trip, opened as a row iterable.
+
+        Mediator-side failures (unknown extent, type-check conflict) raise --
+        they abort the query exactly as in the barrier path.  Wrapper
+        failures become error outcomes.  For wrappers that answer with a
+        sized sequence the call's history is recorded here (the count is
+        known); lazy cursors are recorded by the consumer at drain time.
+        """
+        executor = self._executor
+        node = state.node
+        meta = executor.registry.extent(node.extent_name)
+        wrapper = executor.registry.wrapper_object(meta.wrapper)
+        executor._check_types(meta, wrapper)
+        source_expression = executor.to_source_namespace(node.expression, meta)
+        renames = executor._reverse_renames(node.expression, meta)
+        state.started = time.monotonic()
+        try:
+            with cancellation.activate(state.event):
+                rows = wrapper.submit_stream(source_expression)
+        except Exception as exc:
+            elapsed = time.monotonic() - state.started
+            with state.lock:
+                # Cancelled or already-written-off calls are not failures to
+                # learn from; everything else records exactly once.
+                if not state.recorded and not state.event.is_set():
+                    executor.history.record_failure(node.extent_name, node.expression, elapsed)
+                    state.recorded = True
+            return _Opened(error=f"{type(exc).__name__}: {exc}", elapsed=elapsed)
+        elapsed = time.monotonic() - state.started
+        sized = None
+        if isinstance(rows, (list, tuple)):
+            sized = len(rows)
+            with state.lock:
+                if not state.recorded and not state.event.is_set():
+                    executor.history.record(node.extent_name, node.expression, elapsed, sized)
+                    state.recorded = True
+        return _Opened(rows=rows, renames=renames, sized=sized, elapsed=elapsed)
+
+    # -- consumer side ------------------------------------------------------------------------
+    def _remaining(self) -> float | None:
+        if self._deadline is None:
+            return None
+        return max(self._deadline - time.monotonic(), 0.0)
+
+    def _report(self, state: _ExecState, **overrides) -> ExecReport:
+        node = state.node
+        elapsed = 0.0 if state.started is None else time.monotonic() - state.started
+        values = dict(
+            extent_name=node.extent_name,
+            source=node.source.name,
+            expression=node.expression.to_text(),
+            elapsed=elapsed,
+            rows=state.consumed,
+            available=True,
+        )
+        values.update(overrides)
+        return ExecReport(**values)
+
+    def _exec_rows(self, node: phys.Exec) -> Iterator[Any]:
+        """The leaf generator: wait for the call to open, then stream its rows."""
+        state = self._states[id(node)]
+        return self._stream_state(state)
+
+    def _timeout_text(self) -> str:
+        return "timed out after " + (
+            "infs" if self._timeout is None else f"{self._timeout:.4g}s"
+        )
+
+    def _record_failure_once(self, state: _ExecState, elapsed: float) -> None:
+        with state.lock:
+            if not state.recorded:
+                self._executor.history.record_failure(
+                    state.node.extent_name, state.node.expression, elapsed
+                )
+                state.recorded = True
+
+    def _stream_state(self, state: _ExecState) -> Iterator[Any]:
+        node = state.node
+        executor = self._executor
+        try:
+            opened = state.future.result(timeout=self._remaining())
+        except (_FuturesTimeoutError, TimeoutError):
+            with state.lock:
+                state.event.set()
+                if not state.recorded:
+                    if state.started is not None:
+                        executor.history.record_failure(
+                            node.extent_name, node.expression, time.monotonic() - state.started
+                        )
+                    state.recorded = True
+            state.future.cancel()
+            state.report = self._report(
+                state, rows=0, available=False, error=self._timeout_text()
+            )
+            return
+        if opened.error is not None:
+            state.report = self._report(state, rows=0, available=False, error=opened.error)
+            return
+        renames = opened.renames
+        iterator = iter(opened.rows)
+        # Time attributed to the *source*: the open round trip plus the time
+        # spent inside its cursor pulls -- not the consumer wall clock, which
+        # includes time this generator sat suspended behind other branches.
+        source_time = opened.elapsed
+        try:
+            while True:
+                if self._deadline is not None and time.monotonic() > self._deadline:
+                    # The designated time period expired mid-drain: the rows
+                    # already delivered stand, the rest of this source is a
+                    # timeout.
+                    state.event.set()
+                    self._record_failure_once(state, source_time)
+                    state.report = self._report(
+                        state, available=False, error=self._timeout_text()
+                    )
+                    return
+                pulled = time.monotonic()
+                try:
+                    raw = iterator.__next__()
+                    row = normalize_row(raw, renames)
+                except StopIteration:
+                    break
+                except Exception as exc:  # the source died mid-stream
+                    source_time += time.monotonic() - pulled
+                    self._record_failure_once(state, source_time)
+                    state.report = self._report(
+                        state, available=False, error=f"{type(exc).__name__}: {exc}"
+                    )
+                    return
+                source_time += time.monotonic() - pulled
+                state.consumed += 1
+                yield row
+        finally:
+            close = getattr(iterator, "close", None)
+            if close is not None:
+                close()
+        with state.lock:
+            if not state.recorded:
+                # Lazy cursor fully drained: one success observation with the
+                # source's own time (sized wrappers recorded at open).
+                executor.history.record(
+                    node.extent_name, node.expression, source_time, state.consumed
+                )
+                state.recorded = True
+        state.report = self._report(state, rows=opened.sized or state.consumed)
+
+    def _union_in_completion_order(
+        self, inputs: tuple[phys.PhysicalOp, ...]
+    ) -> Iterator[Any]:
+        """Stream union branches as their exec calls complete.
+
+        A branch is ready when every exec call under it has settled; ready
+        branches stream immediately while the others are still in flight.
+        When the deadline expires with branches still pending they are
+        drained anyway -- their leaf generators observe the expired deadline
+        and record the timeout instead of producing rows.
+        """
+        pending: list[tuple[phys.PhysicalOp, list[Future]]] = [
+            (child, [self._states[id(node)].future for node in phys.execs_in(child)])
+            for child in inputs
+        ]
+        while pending:
+            ready = [entry for entry in pending if all(f.done() for f in entry[1])]
+            if ready:
+                for entry in ready:
+                    pending.remove(entry)
+                    yield from self._evaluate_branch(entry[0])
+                continue
+            outstanding = {f for _, futures in pending for f in futures if not f.done()}
+            done, _ = wait(outstanding, timeout=self._remaining(), return_when=FIRST_COMPLETED)
+            if not done:
+                # Deadline expired: drain the stragglers; each exec leaf will
+                # time out individually and report it.
+                for child, _ in pending:
+                    yield from self._evaluate_branch(child)
+                return
+
+    def _evaluate_branch(self, child: phys.PhysicalOp) -> Iterator[Any]:
+        return self._executor.compose_rows(
+            child,
+            leaf=self._exec_rows,
+            base_env=self._base_env,
+            union=self._union_in_completion_order,
+        )
+
+    # -- shutdown ------------------------------------------------------------------------------
+    def _finish(self) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        try:
+            # Closing the pipeline propagates GeneratorExit down to the exec
+            # leaves, which close their (possibly lazy) source iterators.
+            # (None when pipeline construction itself failed.)
+            close = getattr(self._pipeline, "close", None)
+            if close is not None:
+                close()
+        except ValueError:
+            # close() raced an active iteration ("generator already
+            # executing", e.g. a watchdog thread closing while the consumer
+            # is blocked inside the pipeline).  The cancellation below still
+            # wakes the blocked call, and the consumer winds down on its own.
+            pass
+        finally:
+            for state in self._states.values():
+                if state.report is None:
+                    # Never (or only partly) consumed: written off, not failed.
+                    state.event.set()
+                    if state.future is not None:
+                        state.future.cancel()
+                    state.report = self._report(state, cancelled=True)

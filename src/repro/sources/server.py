@@ -11,10 +11,11 @@ mediator does: as things that may be slow or silent.
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.errors import UnavailableSourceError
+from repro.runtime import cancellation
 from repro.sources.network import AvailabilityModel, NetworkProfile
 
 
@@ -62,7 +63,16 @@ class SimulatedServer:
         Applies the availability check first (an unavailable source never does
         work), runs the operation, then charges the latency of shipping the
         result back.  Returns the operation's result unchanged.
+
+        The latency sleep checks the caller's cooperative-cancellation event
+        (see :mod:`repro.runtime.cancellation`): when the mediator writes the
+        call off -- deadline expired, query aborted, ``limit`` satisfied --
+        the sleep ends immediately and the call raises
+        :class:`UnavailableSourceError` instead of holding its worker thread
+        for the full simulated latency.
         """
+        if cancellation.cancelled():
+            raise UnavailableSourceError(self.name, f"{self.name!r}: call cancelled by mediator")
         with self._lock:
             self.statistics.requests += 1
             try:
@@ -77,7 +87,10 @@ class SimulatedServer:
             self.statistics.rows_returned += row_count
             self.statistics.simulated_seconds += delay
         if self.real_sleep and delay > 0:
-            time.sleep(delay)
+            if cancellation.sleep(delay):
+                raise UnavailableSourceError(
+                    self.name, f"{self.name!r}: call cancelled by mediator"
+                )
         return result
 
     def reset_statistics(self) -> None:

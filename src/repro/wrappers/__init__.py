@@ -22,6 +22,7 @@ wrapper                    underlying source                           capabilit
 """
 
 from repro.wrappers.base import Wrapper, AlgebraEvaluator
+from repro.wrappers.generator import GeneratorWrapper
 from repro.wrappers.relational import RelationalWrapper
 from repro.wrappers.sqlwrapper import SqlWrapper
 from repro.wrappers.keyvalue import KeyValueWrapper
@@ -32,6 +33,7 @@ from repro.wrappers.mediator_wrapper import MediatorWrapper
 __all__ = [
     "Wrapper",
     "AlgebraEvaluator",
+    "GeneratorWrapper",
     "RelationalWrapper",
     "SqlWrapper",
     "KeyValueWrapper",

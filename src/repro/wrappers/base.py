@@ -9,7 +9,7 @@ returns the set of supported logical operators."
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.algebra.capabilities import CapabilityGrammar, CapabilitySet
 from repro.algebra.logical import (
@@ -25,7 +25,8 @@ from repro.algebra.logical import (
 from repro.errors import CapabilityError, WrapperError
 
 Row = dict[str, Any]
-ScanFunction = Callable[[str], list[Row]]
+#: a scan may return a list (relational engines) or yield lazily (cursors)
+ScanFunction = Callable[[str], Iterable[Row]]
 
 
 class Wrapper:
@@ -52,15 +53,36 @@ class Wrapper:
         illegal expression indicates an optimizer bug or a hand-built plan, so
         it fails loudly instead of silently changing query semantics.
         """
+        self._check_capability(expression)
+        return self._execute(expression)
+
+    def submit_stream(self, expression: LogicalOp) -> Iterable[Row]:
+        """Rows for ``expression``, possibly produced lazily.
+
+        The streaming engine calls this instead of :meth:`submit`.  The base
+        implementation delegates to :meth:`_execute` (one materialized round
+        trip -- correct for RPC-style sources whose latency is per call);
+        wrappers over cursor-style sources override :meth:`_execute_stream`
+        to yield rows as the consumer pulls them, so a satisfied ``limit``
+        stops the scan instead of draining it.
+        """
+        self._check_capability(expression)
+        return self._execute_stream(expression)
+
+    def _check_capability(self, expression: LogicalOp) -> None:
+        """Fail loudly when ``expression`` is outside the wrapper's grammar."""
         if not self._grammar.accepts(expression):
             raise CapabilityError(
                 f"wrapper {self.name!r} does not accept expression {expression.to_text()}"
             )
-        return self._execute(expression)
 
     # -- hooks for subclasses ------------------------------------------------------------
     def _execute(self, expression: LogicalOp) -> list[Row]:
         raise NotImplementedError
+
+    def _execute_stream(self, expression: LogicalOp) -> Iterable[Row]:
+        """Lazy variant of :meth:`_execute`; defaults to the materialized call."""
+        return self._execute(expression)
 
     def source_collections(self) -> list[str]:
         """Names of the collections the underlying source exposes."""
@@ -101,46 +123,67 @@ class AlgebraEvaluator:
         self.scan = scan
 
     def evaluate(self, expression: LogicalOp) -> list[Row]:
-        """Evaluate ``expression`` and return rows."""
+        """Evaluate ``expression`` and return rows (materialized).
+
+        The semantics live in :meth:`evaluate_stream`; this simply drains it,
+        so the barrier and streaming wrapper paths cannot diverge.
+        """
+        return list(self.evaluate_stream(expression))
+
+    def evaluate_stream(self, expression: LogicalOp) -> Iterator[Row]:
+        """Lazy variant of :meth:`evaluate`: generators end to end.
+
+        Used by wrappers over cursor-style sources whose ``scan`` yields rows
+        incrementally: pushed-down select/project are applied per row as the
+        consumer pulls, so nothing is materialized at the source boundary and
+        an early-terminating consumer (``limit``) stops the scan.  Joins
+        build only their right side, exactly like the mediator-side hash
+        join.
+        """
         if isinstance(expression, Get):
-            return self.scan(expression.collection)
+            return iter(self.scan(expression.collection))
         if isinstance(expression, BagLiteral):
-            return [dict(value) for value in expression.values]
+            return (dict(value) for value in expression.values)
         if isinstance(expression, Project):
-            rows = self.evaluate(expression.child)
-            missing_ok = expression.attributes
-            return [{attr: row.get(attr) for attr in missing_ok} for row in rows]
+            attributes = expression.attributes
+            return (
+                {attr: row.get(attr) for attr in attributes}
+                for row in self.evaluate_stream(expression.child)
+            )
         if isinstance(expression, Select):
-            rows = self.evaluate(expression.child)
             variable = expression.variable
             predicate = expression.predicate
-            return [row for row in rows if predicate.evaluate({variable: row})]
+            return (
+                row
+                for row in self.evaluate_stream(expression.child)
+                if predicate.evaluate({variable: row})
+            )
         if isinstance(expression, Join):
-            left_rows = self.evaluate(expression.left)
-            right_rows = self.evaluate(expression.right)
-            left_attr, right_attr = expression.join_attributes()
-            buckets: dict[Any, list[Row]] = {}
-            for row in right_rows:
-                buckets.setdefault(row.get(right_attr), []).append(row)
-            joined: list[Row] = []
-            for row in left_rows:
-                for match in buckets.get(row.get(left_attr), []):
-                    merged = dict(match)
-                    merged.update(row)
-                    joined.append(merged)
-            return joined
+            return self._join_stream(expression)
         if isinstance(expression, Union):
-            result: list[Row] = []
-            for child in expression.inputs:
-                result.extend(self.evaluate(child))
-            return result
+            return self._union_stream(expression)
         if isinstance(expression, Flatten):
-            rows = self.evaluate(expression.child)
-            flattened: list[Row] = []
-            for row in rows:
-                if isinstance(row, (list, tuple)):
-                    flattened.extend(row)
-                else:
-                    flattened.append(row)
-            return flattened
+            return self._flatten_stream(expression)
         raise WrapperError(f"cannot evaluate {expression.to_text()} at a data source")
+
+    def _join_stream(self, expression: Join) -> Iterator[Row]:
+        left_attr, right_attr = expression.join_attributes()
+        buckets: dict[Any, list[Row]] = {}
+        for row in self.evaluate_stream(expression.right):
+            buckets.setdefault(row.get(right_attr), []).append(row)
+        for row in self.evaluate_stream(expression.left):
+            for match in buckets.get(row.get(left_attr), []):
+                merged = dict(match)
+                merged.update(row)
+                yield merged
+
+    def _union_stream(self, expression: Union) -> Iterator[Row]:
+        for child in expression.inputs:
+            yield from self.evaluate_stream(child)
+
+    def _flatten_stream(self, expression: Flatten) -> Iterator[Row]:
+        for row in self.evaluate_stream(expression.child):
+            if isinstance(row, (list, tuple)):
+                yield from row
+            else:
+                yield row

@@ -205,3 +205,47 @@ class TestPrinter:
     def test_pretty_union(self):
         query = parse_query("union(select x from x in a, select y from y in b)")
         assert pretty(query).startswith("union(")
+
+
+class TestLimitClause:
+    def test_limit_is_parsed_onto_the_select(self):
+        query = parse_query("select x.name from x in person limit 10")
+        assert isinstance(query, SelectQuery)
+        assert query.limit == 10
+
+    def test_no_limit_means_none(self):
+        assert parse_query("select x from x in person").limit is None
+
+    def test_limit_round_trips_through_text(self):
+        text = "select x.name from x in person where x.salary > 10 limit 5"
+        query = parse_query(text)
+        assert query.to_oql() == text
+        assert parse_query(query_to_oql(query)) == query
+
+    def test_limit_zero_round_trips(self):
+        query = parse_query("select x from x in person limit 0")
+        assert query.limit == 0
+        assert parse_query(query_to_oql(query)) == query
+
+    def test_limit_with_distinct_and_where(self):
+        query = parse_query(
+            "select distinct x.name from x in person where x.salary > 10 limit 3"
+        )
+        assert query.distinct and query.limit == 3 and query.where is not None
+
+    def test_limit_inside_subquery_collection(self):
+        query = parse_query("select y from y in (select x from x in person limit 2)")
+        inner = query.bindings[0].collection
+        assert isinstance(inner, SelectQuery) and inner.limit == 2
+
+    def test_limit_requires_an_integer(self):
+        with pytest.raises(ParseError):
+            parse_query("select x from x in person limit 1.5")
+        with pytest.raises(ParseError):
+            parse_query("select x from x in person limit -3")
+        with pytest.raises(ParseError):
+            parse_query("select x from x in person limit many")
+
+    def test_pretty_prints_the_limit_line(self):
+        query = parse_query("select x.name from x in person where x.salary > 10 limit 7")
+        assert pretty(query).splitlines()[-1].strip() == "limit 7"

@@ -17,6 +17,7 @@ from repro.runtime.operators import (
     filter_rows,
     flatten_rows,
     hash_join_rows,
+    limit_rows,
     nested_loop_join_rows,
     project_rows,
 )
@@ -31,47 +32,97 @@ def salary_filter(var="x", threshold=10):
 
 
 class TestRowOperators:
+    """The operators are lazy generators; tests materialize with list()."""
+
     ROWS = [
         Struct({"id": 1, "name": "Mary", "salary": 200}),
         Struct({"id": 2, "name": "Sam", "salary": 50}),
     ]
 
     def test_project_rows_keeps_records(self):
-        projected = project_rows(self.ROWS, ("name",))
+        projected = list(project_rows(self.ROWS, ("name",)))
         assert projected == [Struct({"name": "Mary"}), Struct({"name": "Sam"})]
 
     def test_filter_rows_binds_the_variable(self):
-        assert filter_rows(self.ROWS, "x", salary_filter(threshold=100)) == [self.ROWS[0]]
+        assert list(filter_rows(self.ROWS, "x", salary_filter(threshold=100))) == [self.ROWS[0]]
 
     def test_filter_rows_with_env_elements(self):
         envs = [Env({"x": self.ROWS[0], "y": self.ROWS[1]})]
         predicate = Comparison("=", Path(Var("x"), "id"), Const(1))
-        assert filter_rows(envs, "_env", predicate) == envs
+        assert list(filter_rows(envs, "_env", predicate)) == envs
 
     def test_element_environment_merges_base_env(self):
         env = element_environment(self.ROWS[0], "x", {"outer": 42})
         assert env["outer"] == 42 and env["x"] == self.ROWS[0]
 
+    def test_operators_are_lazy_generators(self):
+        """No input element is consumed before the output is iterated."""
+        consumed = []
+
+        def source():
+            for row in self.ROWS:
+                consumed.append(row)
+                yield row
+
+        pipeline = project_rows(
+            filter_rows(source(), "x", salary_filter(threshold=0)), ("name",)
+        )
+        assert consumed == []
+        first = next(iter(pipeline))
+        assert first == Struct({"name": "Mary"})
+        assert len(consumed) == 1  # only one row pulled so far
+
     def test_hash_and_nested_loop_joins_agree(self):
         left = [{"id": 1, "a": "x"}, {"id": 2, "a": "y"}]
         right = [{"id": 1, "b": "z"}]
-        assert hash_join_rows(left, right, "id") == nested_loop_join_rows(left, right, "id")
+        assert list(hash_join_rows(left, right, "id")) == list(
+            nested_loop_join_rows(left, right, "id")
+        )
+
+    def test_hash_join_streams_the_probe_side(self):
+        """Only the build (right) side is materialized."""
+        probed = []
+
+        def probe():
+            for row in [{"id": 1}, {"id": 1}]:
+                probed.append(row)
+                yield row
+
+        joined = hash_join_rows(probe(), [{"id": 1, "b": "z"}], "id")
+        assert probed == []
+        next(joined)
+        assert len(probed) == 1
 
     def test_bind_join_uses_equi_condition(self):
         left = [Struct({"id": 1, "name": "Mary"})]
         right = [Struct({"id": 1, "name": "Sam"}), Struct({"id": 2, "name": "Ana"})]
         condition = Comparison("=", Path(Var("x"), "id"), Path(Var("y"), "id"))
-        result = bind_join_rows(left, right, "x", "y", condition)
+        result = list(bind_join_rows(left, right, "x", "y", condition))
         assert len(result) == 1
         assert result[0]["y"]["name"] == "Sam"
 
     def test_bind_join_without_condition_is_cross_product(self):
-        result = bind_join_rows([1, 2], ["a", "b"], "x", "y", None)
+        result = list(bind_join_rows([1, 2], ["a", "b"], "x", "y", None))
         assert len(result) == 4
 
     def test_flatten_and_distinct(self):
-        assert flatten_rows([[1, 2], 3, Bag([4])]) == [1, 2, 3, 4]
-        assert distinct_rows([1, 1, 2]) == [1, 2]
+        assert list(flatten_rows([[1, 2], 3, Bag([4])])) == [1, 2, 3, 4]
+        assert list(distinct_rows([1, 1, 2])) == [1, 2]
+
+    def test_limit_rows_truncates_and_closes_upstream(self):
+        closed = []
+
+        def source():
+            try:
+                for value in range(1000):
+                    yield value
+            finally:
+                closed.append(True)
+
+        assert list(limit_rows(source(), 3)) == [0, 1, 2]
+        assert closed == [True]
+        assert list(limit_rows(source(), 0)) == []
+        assert list(limit_rows([1, 2], 10)) == [1, 2]
 
 
 class TestExecutor:

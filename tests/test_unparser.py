@@ -96,8 +96,14 @@ class TestUnparser:
         assert "in (union(" in text
         parse_query(text)
 
-    def test_unsupported_operator_raises(self):
+    def test_distinct_renders_as_select_distinct(self):
         from repro.algebra.logical import Distinct
 
+        text = logical_to_oql(Distinct(Get("person0")))
+        assert text == "select distinct x0 from x0 in person0"
+
+    def test_unsupported_operator_raises(self):
+        from repro.algebra.logical import BindJoin
+
         with pytest.raises(QueryExecutionError):
-            logical_to_oql(Distinct(Get("person0")))
+            logical_to_oql(BindJoin(Get("a"), Get("b"), "x", "y"))
