@@ -19,6 +19,7 @@ import tracemalloc
 
 from benchmarks.conftest import SRC  # noqa: F401  (ensures src/ is importable)
 from repro import GeneratorWrapper, Mediator, RelationalWrapper
+from repro.algebra.capabilities import CapabilitySet
 from repro.sources import RelationalEngine, SimulatedServer
 from repro.sources.network import NetworkProfile
 
@@ -46,6 +47,9 @@ class CountingScan:
 
 
 def build_cursor_mediator(scan: CountingScan) -> Mediator:
+    # No ``limit`` capability: this experiment isolates the *engines*'
+    # behaviour, so the fetch size must not cross the wrapper boundary
+    # (bench_e11 measures the capability pushdown itself).
     mediator = Mediator(name="e10-cursor")
     mediator.define_interface(
         "Person",
@@ -55,7 +59,10 @@ def build_cursor_mediator(scan: CountingScan) -> Mediator:
     mediator.register_wrapper(
         "w0",
         GeneratorWrapper(
-            "w0", {"person0": scan}, attributes={"person0": ["id", "name", "salary"]}
+            "w0",
+            {"person0": scan},
+            attributes={"person0": ["id", "name", "salary"]},
+            capabilities=CapabilitySet.of("get", "project", "select", "union", "flatten"),
         ),
     )
     mediator.create_repository("r0")

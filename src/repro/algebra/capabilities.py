@@ -22,6 +22,7 @@ from repro.algebra.logical import (
     BagLiteral,
     Get,
     Join,
+    Limit,
     LogicalOp,
     Project,
     Select,
@@ -29,7 +30,9 @@ from repro.algebra.logical import (
 )
 
 #: operator names a wrapper may support; ``apply`` is always mediator-side.
-PUSHABLE_OPERATORS = ("get", "project", "select", "join", "union", "flatten")
+#: ``limit`` is the fetch-size terminal: a wrapper declaring it accepts a row
+#: cap inside the submitted expression and stops producing server-side.
+PUSHABLE_OPERATORS = ("get", "project", "select", "join", "union", "flatten", "limit")
 
 
 @dataclass(frozen=True)
@@ -94,6 +97,8 @@ class Production:
             parts = ["ATTRIBUTE", "COMMA", self.child_symbols[0]]
         elif self.operator == "select":
             parts = ["PREDICATE", "COMMA", self.child_symbols[0]]
+        elif self.operator == "limit":
+            parts = ["COUNT", "COMMA", self.child_symbols[0]]
         elif self.operator == "join":
             parts = [self.child_symbols[0], "COMMA", self.child_symbols[1], "COMMA", "ATTRIBUTE"]
         elif self.operator in ("union", "flatten", "get"):
@@ -158,6 +163,10 @@ class CapabilityGrammar:
             return isinstance(expr, Flatten) and self.accepts(
                 expr.child, production.child_symbols[0]
             )
+        if operator == "limit":
+            return isinstance(expr, Limit) and self.accepts(
+                expr.child, production.child_symbols[0]
+            )
         if operator == "bag":
             return isinstance(expr, BagLiteral)
         return False
@@ -208,6 +217,8 @@ def grammar_for(operators: Iterable[str], compose: bool = True) -> CapabilityGra
         add("f", "union", (child,))
     if "flatten" in operators:
         add("g", "flatten", (child,))
+    if "limit" in operators:
+        add("h", "limit", (child,))
 
     alias_productions = [
         Production(head="a", operator=None, child_symbols=(head,)) for head in nonterminals

@@ -212,10 +212,14 @@ def _effectively_limited(node: LogicalOp, count: int) -> bool:
     limit rules push a limit below, so a branch rewritten to
     ``project(a, limit(n, e))`` is recognized as limited and not re-wrapped
     -- otherwise PushLimitThroughUnion and PushLimitThroughProject would feed
-    each other nested limits forever.
+    each other nested limits forever.  A ``submit`` whose pushed expression is
+    limited counts too (PushLimitIntoSubmit moved the cap across the wrapper
+    boundary), for the same termination reason.
     """
     while isinstance(node, (Project, Apply)):
         node = node.child
+    if isinstance(node, Submit):
+        return _effectively_limited(node.expression, count)
     return isinstance(node, Limit) and node.count <= count
 
 
@@ -246,6 +250,29 @@ class PushLimitThroughUnion:
         return [Limit(node.count, Union(limited))]
 
 
+class PushLimitIntoSubmit:
+    """``limit(n, submit(r, e))`` -> ``submit(r, limit(n, e))``.
+
+    The fetch-size pushdown: the limit crosses the wrapper boundary only when
+    the wrapper's grammar accepts the limited expression (the ``limit``
+    capability terminal), in which case the source stops producing after
+    ``n`` rows instead of shipping its full extent.
+    """
+
+    name = "push-limit-into-submit"
+
+    def apply(self, node: LogicalOp, capabilities: CapabilityResolver) -> list[LogicalOp]:
+        if not isinstance(node, Limit) or not isinstance(node.child, Submit):
+            return []
+        submit = node.child
+        if _effectively_limited(submit.expression, node.count):
+            return []
+        pushed = Limit(node.count, submit.expression)
+        if not capabilities(submit).accepts(pushed):
+            return []
+        return [Submit(submit.source, pushed, extent_name=submit.extent_name)]
+
+
 class CollapseNestedLimits:
     """``limit(a, limit(b, e))`` -> ``limit(min(a, b), e)``."""
 
@@ -266,6 +293,7 @@ DEFAULT_RULES: tuple[TransformationRule, ...] = (
     PushJoinIntoSubmit(),
     CommuteSelectProject(),
     CollapseNestedLimits(),
+    PushLimitIntoSubmit(),
     PushLimitThroughProject(),
     PushLimitThroughApply(),
     PushLimitThroughUnion(),

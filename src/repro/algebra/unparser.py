@@ -16,6 +16,7 @@ from repro.algebra.expressions import Const, Expr, Path, Var
 from repro.algebra.logical import (
     Apply,
     BagLiteral,
+    BindJoin,
     Distinct,
     Flatten,
     Get,
@@ -92,54 +93,83 @@ class _Unparser:
             # distinct over a union/flatten/literal becomes its own block.
             variable = self.fresh_variable()
             return f"select distinct {variable} from {variable} in ({inner})"
-        if isinstance(node, (Get, Submit, Project, Select, Apply, Join)):
+        if isinstance(node, (Get, Submit, Project, Select, Apply, Join, BindJoin)):
             return self._render_select(node)
         raise QueryExecutionError(f"cannot render {node.to_text()} as OQL")
 
     # -- select-from-where rendering -------------------------------------------------------
     def _render_select(self, node: LogicalOp) -> str:
-        select_item, sources, predicates = self._decompose(node)
+        select_item, sources, predicates, limit = self._decompose(node)
         if not sources:
             raise QueryExecutionError(f"no collection under {node.to_text()}")
         from_parts = ", ".join(f"{var} in {collection}" for var, collection in sources)
         text = f"select {select_item} from {from_parts}"
         if predicates:
             text += " where " + " and ".join(predicates)
+        if limit is not None:
+            text += f" limit {limit}"
         return text
 
     def _decompose(
         self, node: LogicalOp
-    ) -> tuple[str, list[tuple[str, str]], list[str]]:
-        """Break a single-block plan into (select item, from sources, where predicates)."""
+    ) -> tuple[str, list[tuple[str, str]], list[str], int | None]:
+        """Break a single-block plan into (item, from sources, predicates, limit).
+
+        The limit is carried separately so that a ``limit`` in the middle of
+        a project/apply spine (the shape the fetch-size pushdown produces)
+        renders as the block's ``limit`` clause instead of forcing a nested
+        block -- nesting would re-apply single-attribute projections to the
+        already-projected values.  Project/apply are one-to-one, so a limit
+        below them equals the block-level limit OQL applies last; a select
+        above a limit changes the semantics and nests instead.
+        """
         if isinstance(node, Submit):
             # submit is transparent in OQL: its argument already names the
             # extent in the mediator name space.
             return self._decompose(node.expression)
         if isinstance(node, Get):
             variable = self.fresh_variable()
-            return variable, [(variable, node.collection)], []
+            return variable, [(variable, node.collection)], [], None
+        if isinstance(node, Limit):
+            item, sources, predicates, limit = self._decompose(node.child)
+            limit = node.count if limit is None else min(limit, node.count)
+            return item, sources, predicates, limit
         if isinstance(node, Project):
-            item, sources, predicates = self._decompose(node.child)
+            item, sources, predicates, limit = self._decompose(node.child)
             variable = sources[0][0] if sources else item
             if len(node.attributes) == 1:
                 item = f"{variable}.{node.attributes[0]}"
             else:
                 fields = ", ".join(f"{attr}: {variable}.{attr}" for attr in node.attributes)
                 item = f"struct({fields})"
-            return item, sources, predicates
+            return item, sources, predicates, limit
         if isinstance(node, Select):
-            item, sources, predicates = self._decompose(node.child)
+            child_item, sources, predicates, limit = self._decompose(node.child)
+            if limit is not None:
+                # The limit truncates *before* this predicate filters; OQL's
+                # limit clause applies last, so the limited child must become
+                # its own block.
+                variable = self.fresh_variable()
+                predicate_text = self._rebind_expression(
+                    node.predicate, node.variable, variable
+                )
+                return (
+                    variable,
+                    [(variable, self._inline_source(node.child))],
+                    [predicate_text],
+                    None,
+                )
             variable = sources[0][0] if sources else node.variable
             predicate_text = self._rebind_expression(node.predicate, node.variable, variable)
-            return item, sources, predicates + [predicate_text]
+            return child_item, sources, predicates + [predicate_text], limit
         if isinstance(node, Apply):
-            item, sources, predicates = self._decompose(node.child)
+            item, sources, predicates, limit = self._decompose(node.child)
             variable = sources[0][0] if sources else node.variable
             item = self._rebind_expression(node.expression, node.variable, variable)
-            return item, sources, predicates
+            return item, sources, predicates, limit
         if isinstance(node, Join):
-            left_item, left_sources, left_predicates = self._decompose(node.left)
-            right_item, right_sources, right_predicates = self._decompose(node.right)
+            left_sources, left_predicates = self._join_operand(node.left)
+            right_sources, right_predicates = self._join_operand(node.right)
             left_attr, right_attr = node.join_attributes()
             left_var = left_sources[0][0]
             right_var = right_sources[0][0]
@@ -147,12 +177,42 @@ class _Unparser:
             predicates = left_predicates + right_predicates + [
                 f"{left_var}.{left_attr} = {right_var}.{right_attr}"
             ]
-            return item, left_sources + right_sources, predicates
-        if isinstance(node, (Union, Flatten, BagLiteral, Limit, Distinct)):
+            return item, left_sources + right_sources, predicates, None
+        if isinstance(node, BindJoin):
+            # A multi-variable from clause: each side becomes an inline
+            # collection ranged over by the bindjoin's own variable, so the
+            # condition (and any enclosing apply item) keeps its references.
+            sources = [
+                (node.left_variable, self._inline_source(node.left)),
+                (node.right_variable, self._inline_source(node.right)),
+            ]
+            predicates = [] if node.condition is None else [node.condition.to_oql()]
+            item = (
+                f"struct({node.left_variable}: {node.left_variable}, "
+                f"{node.right_variable}: {node.right_variable})"
+            )
+            return item, sources, predicates, None
+        if isinstance(node, (Union, Flatten, BagLiteral, Distinct)):
             # A nested collection expression becomes an inline from-source.
             variable = self.fresh_variable()
-            return variable, [(variable, f"({self.unparse(node)})")], []
+            return variable, [(variable, self._inline_source(node))], [], None
         raise QueryExecutionError(f"cannot decompose {node.to_text()}")
+
+    def _join_operand(self, side: LogicalOp) -> tuple[list[tuple[str, str]], list[str]]:
+        """One join operand's sources and predicates; a limited side becomes
+        its own block (the limit truncates before joining, so it cannot merge
+        into the join's block)."""
+        _item, sources, predicates, limit = self._decompose(side)
+        if limit is None:
+            return sources, predicates
+        variable = self.fresh_variable()
+        return [(variable, self._inline_source(side))], []
+
+    def _inline_source(self, node: LogicalOp) -> str:
+        """Render ``node`` as a parenthesized inline from-clause collection."""
+        if isinstance(node, Get):
+            return node.collection
+        return f"({self.unparse(node)})"
 
     def _rebind_expression(self, expression: Expr, old: str, new: str) -> str:
         """Render ``expression`` with variable ``old`` renamed to ``new``."""

@@ -12,9 +12,26 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.algebra import logical as log
 from repro.algebra import physical as phys
 from repro.errors import OptimizationError
 from repro.optimizer.history import ExecCallHistory
+
+
+def pushed_limit(expression: log.LogicalOp) -> int | None:
+    """The row cap in force at the top of a pushed expression, if any.
+
+    Looks through the one-to-one operators a limit commutes with
+    (project/apply), matching the shapes the rewrite rules produce; a limit
+    buried under a select or inside one join operand does not bound the
+    expression's output and is ignored.
+    """
+    node = expression
+    while isinstance(node, (log.Project, log.Apply)):
+        node = node.child
+    if isinstance(node, log.Limit):
+        return node.count
+    return None
 
 
 @dataclass(frozen=True)
@@ -127,14 +144,17 @@ class CostModel:
 
     def _estimate_exec(self, plan: phys.Exec) -> Cost:
         estimate = self.history.estimate(plan.extent_name, plan.expression)
-        time = (
-            self.exec_call_overhead
-            + estimate.time
-            + estimate.rows * self.transfer_row_cost
-        )
+        rows = max(estimate.rows, 0.0)
+        cap = pushed_limit(plan.expression)
+        if cap is not None:
+            # A limit pushed across the wrapper boundary bounds what the
+            # source *ships*, whatever its history says it used to return:
+            # charge transferred rows, not scanned rows.
+            rows = min(rows, float(cap))
+        time = self.exec_call_overhead + estimate.time + rows * self.transfer_row_cost
         availability = self.history.availability(plan.extent_name)
         if availability < 1.0:
             # Expected retries/timeouts on a flaky source make its calls more
             # expensive than the happy-path history alone suggests.
             time *= 1.0 + self.unavailability_penalty * (1.0 - availability)
-        return Cost(time=time, rows=max(estimate.rows, 0.0))
+        return Cost(time=time, rows=rows)

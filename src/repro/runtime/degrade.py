@@ -1,0 +1,111 @@
+"""Degrading pushdown retries: the capability-failure recovery ladder.
+
+A wrapper call fails for two very different reasons.  A *transient* fault
+(network hiccup, crash, overload) may well succeed if the same expression is
+simply re-submitted -- the classic retry-with-backoff path.  A *capability or
+translation* failure is deterministic: the wrapper (or its translator)
+rejected the pushed expression, so re-submitting it verbatim can only fail
+the same way.  This happens when a wrapper's declared grammar is wider than
+what its translator actually handles -- the SQL wrapper accepts ``select``
+but not every predicate, a source upgrades or downgrades behind a stale
+capability declaration, a hand-built plan overreaches.
+
+The adaptive policy implemented here reacts by *degrading the pushdown*
+instead of repeating it: each retry strips the outermost
+mediator-compensable operator from the pushed expression (``limit``,
+``project``, ``select``, ``flatten`` -- whichever is on top) until,
+ultimately, a bare ``get`` is submitted.  Every rung is strictly
+smaller than the one before, so the ladder always terminates.  The stripped
+operators are re-applied at the mediator over the rows that come back
+(:func:`compensate_rows`), so the answer's semantics never change -- only
+where the work happens does.  Expressions whose top is a multi-leaf operator
+(a pushed ``join`` or ``union``) cannot be degraded further without splitting
+the call, so the ladder stops there.
+
+Both execution engines use this module: the barrier executor inside
+:meth:`Executor._run_exec` and the streaming engine when opening a call.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.algebra import logical as log
+from repro.errors import CapabilityError, WrapperError
+from repro.runtime.operators import as_struct
+
+#: exception types that indicate the *expression* was the problem, not the
+#: source's health: degrading the pushdown may succeed where repeating fails.
+DEGRADABLE_ERRORS = (CapabilityError, WrapperError, NotImplementedError)
+
+#: unary operators the mediator can replay over returned rows.  Exactly the
+#: unary members of the pushable vocabulary: ``distinct`` is absent because
+#: it never crosses the wrapper boundary (and the source-algebra evaluator
+#: used for compensation cannot replay it).
+_STRIPPABLE = (log.Limit, log.Project, log.Select, log.Flatten)
+
+#: leaf name standing for "the rows the degraded call returned" during
+#: compensation; never reaches a wrapper.
+_DEGRADED_LEAF = "__degraded_rows__"
+
+
+def is_capability_failure(exc: BaseException) -> bool:
+    """True when ``exc`` looks like a capability/translation problem."""
+    return isinstance(exc, DEGRADABLE_ERRORS)
+
+
+def degrade_pushdown(
+    expression: log.LogicalOp,
+) -> tuple[log.LogicalOp, log.LogicalOp] | None:
+    """One rung down the ladder: strip the outermost compensable operator.
+
+    Returns ``(smaller_expression, stripped_operator)``, or ``None`` when the
+    expression is already minimal (a bare ``get``, a literal, or a multi-leaf
+    operator the mediator cannot compensate for).
+    """
+    if isinstance(expression, _STRIPPABLE):
+        return expression.child, expression
+    return None
+
+
+def degradation_ladder(expression: log.LogicalOp) -> list[log.LogicalOp]:
+    """Every successively smaller pushdown, outermost-stripped first.
+
+    ``degradation_ladder(limit(5, select(p, get(c))))`` is
+    ``[select(p, get(c)), get(c)]``.  Used by documentation and tests; the
+    executors walk the ladder one rung per retry via :func:`degrade_pushdown`.
+    """
+    ladder: list[log.LogicalOp] = []
+    step = degrade_pushdown(expression)
+    while step is not None:
+        expression, _ = step
+        ladder.append(expression)
+        step = degrade_pushdown(expression)
+    return ladder
+
+
+def compensate_rows(
+    stripped: Iterable[log.LogicalOp], rows: Iterable[Any]
+) -> Iterator[Any]:
+    """Replay the stripped operators at the mediator, lazily.
+
+    ``stripped`` is the list of operators removed from the pushdown,
+    outermost first (the order :func:`degrade_pushdown` produced them);
+    ``rows`` are the degraded call's rows *already in mediator vocabulary*
+    (renamed through the extent's local transformation map).  Pushable
+    predicates are self-contained by construction -- they mention only the
+    select's own variable and constants -- so replaying them over the rows
+    reproduces exactly what the source would have computed.
+    """
+    from repro.wrappers.base import AlgebraEvaluator  # local: avoid cycle
+
+    stripped = list(stripped)
+    if not stripped:
+        yield from rows
+        return
+    expression: log.LogicalOp = log.Get(_DEGRADED_LEAF)
+    for operator in reversed(stripped):
+        expression = operator.with_children([expression])
+    evaluator = AlgebraEvaluator(scan=lambda _name: rows)
+    for row in evaluator.evaluate_stream(expression):
+        yield as_struct(row)

@@ -29,7 +29,12 @@ Dispatch semantics (the fault-isolating exec engine):
 * each call may be retried with exponential backoff
   (:attr:`ExecutorConfig.max_retries`, off by default;
   :attr:`ExecutorConfig.retry_backoff` is the first sleep, doubled per
-  attempt).
+  attempt);
+* retry is *adaptive*: a failure that looks like a capability/translation
+  problem (see :mod:`repro.runtime.degrade`) is deterministic, so instead of
+  re-submitting the same expression the retry degrades the pushdown one rung
+  -- ultimately down to a bare ``get`` -- and the stripped operators are
+  replayed at the mediator over the rows that come back.
 """
 
 from __future__ import annotations
@@ -50,6 +55,7 @@ from repro.optimizer.history import ExecCallHistory
 from repro.optimizer.implementation import implement
 from repro.runtime import cancellation
 from repro.runtime import operators as ops
+from repro.runtime.degrade import compensate_rows, degrade_pushdown, is_capability_failure
 from repro.runtime.partial_eval import UNAVAILABLE, PartialAnswerBuilder, Unavailable
 
 
@@ -112,6 +118,10 @@ class ExecReport:
     #: were no longer needed (a satisfied ``limit``).  Cancelled calls are
     #: not failures: they do not make the answer partial.
     cancelled: bool = False
+    #: text of the (source-namespace) expression the final attempt actually
+    #: submitted, when the retry policy degraded the pushdown; ``None`` when
+    #: the original expression was used throughout.
+    degraded_to: str | None = None
 
 
 @dataclass
@@ -154,6 +164,13 @@ class ExecutorConfig:
     ``retry_backoff``
         Sleep before the first retry, in seconds; doubled for each further
         attempt.
+    ``degrade_pushdown``
+        When True (the default), a retry after a capability/translation
+        failure re-submits a strictly smaller pushdown (stripping the
+        outermost operator, ultimately down to a bare ``get``) instead of
+        repeating the expression that was just rejected; the stripped
+        operators are replayed at the mediator.  Degrading retries skip the
+        backoff sleep -- the failure was deterministic, not a load problem.
     ``type_check``
         Whether the mediator checks source attribute names against the
         mediator interface (the run-time type check of Section 2.1).
@@ -163,6 +180,7 @@ class ExecutorConfig:
     max_parallel_calls: int = 16
     max_retries: int = 0
     retry_backoff: float = 0.05
+    degrade_pushdown: bool = True
     type_check: bool = True
 
 
@@ -174,6 +192,7 @@ class _CallOutcome:
     elapsed: float
     attempts: int
     error: str | None = None
+    degraded_to: str | None = None
 
 
 class Executor:
@@ -366,6 +385,7 @@ class Executor:
                 rows=len(outcome.rows),
                 available=True,
                 attempts=outcome.attempts,
+                degraded_to=outcome.degraded_to,
             )
         else:
             outcomes[id(node)] = Unavailable(outcome.error)
@@ -378,6 +398,7 @@ class Executor:
                 available=False,
                 error=outcome.error,
                 attempts=outcome.attempts,
+                degraded_to=outcome.degraded_to,
             )
 
     def _run_exec(
@@ -401,12 +422,21 @@ class Executor:
         cancellation signal: it is installed around the wrapper round trip so
         blocking primitives downstream (the simulated server's latency sleep)
         return early once the dispatcher writes the call off.
+
+        When a failure looks like a capability/translation problem, the next
+        attempt submits a degraded pushdown (one operator stripped, down to a
+        bare ``get``) instead of the expression that was just rejected; the
+        stripped operators are replayed over the returned rows.  Once the
+        ladder is exhausted such a failure is terminal immediately --
+        repeating a deterministic rejection cannot succeed.
         """
         meta = self.registry.extent(node.extent_name)
         wrapper = self.registry.wrapper_object(meta.wrapper)
         self._check_types(meta, wrapper)
-        source_expression = self.to_source_namespace(node.expression, meta)
         reverse_renames = self._reverse_renames(node.expression, meta)
+        pushdown = node.expression
+        stripped: list[log.LogicalOp] = []
+        source_expression = self.to_source_namespace(pushdown, meta)
         started_at[id(node)] = time.monotonic()
         attempts = max(1, self.config.max_retries + 1)
         attempt = 0
@@ -419,12 +449,22 @@ class Executor:
                     # that raises mid-iteration, or a malformed row, is a
                     # source failure too, not a query crash.
                     rows = [normalize_row(row, reverse_renames) for row in raw_rows]
+                    if stripped:
+                        rows = list(compensate_rows(stripped, rows))
             except Exception as exc:
                 call_elapsed = time.monotonic() - started
                 attempt += 1
+                step = None
+                exhausted = attempt >= attempts
+                if self.config.degrade_pushdown and is_capability_failure(exc):
+                    step = degrade_pushdown(pushdown)
+                    if step is None:
+                        # Deterministic rejection with nothing left to strip:
+                        # further attempts are pointless, fail now.
+                        exhausted = True
                 with guard:
                     written_off = id(node) in abandoned
-                    terminal = written_off or attempt >= attempts
+                    terminal = written_off or exhausted
                     if not written_off:
                         self.history.record_failure(
                             node.extent_name, node.expression, call_elapsed
@@ -432,6 +472,13 @@ class Executor:
                         if terminal:
                             recorded.add(id(node))
                 if not terminal:
+                    if step is not None:
+                        # Degrading retry: a strictly smaller pushdown, no
+                        # backoff -- the failure was deterministic, not load.
+                        pushdown, removed = step
+                        stripped.append(removed)
+                        source_expression = self.to_source_namespace(pushdown, meta)
+                        continue
                     backoff = self.config.retry_backoff * (2 ** (attempt - 1))
                     # An event-aware sleep: a write-off wakes the backoff
                     # immediately instead of letting the zombie serve it out.
@@ -448,6 +495,7 @@ class Executor:
                     elapsed=time.monotonic() - started_at[id(node)],
                     attempts=attempt,
                     error=f"{type(exc).__name__}: {exc}",
+                    degraded_to=source_expression.to_text() if stripped else None,
                 )
             call_elapsed = time.monotonic() - started
             with guard:
@@ -462,6 +510,7 @@ class Executor:
                 rows=rows,
                 elapsed=time.monotonic() - started_at[id(node)],
                 attempts=attempt + 1,
+                degraded_to=source_expression.to_text() if stripped else None,
             )
 
     # -- name-space translation (the local transformation map) ---------------------------------

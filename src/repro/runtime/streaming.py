@@ -21,6 +21,12 @@ caller *while* sources are still answering.
   :attr:`unavailable_sources` / :meth:`errors` once the stream ends.  No
   resubmittable partial *query* is built: rows already delivered cannot be
   embedded back into one.
+* A call that fails while being *opened* (no rows delivered yet) is retried
+  with the same policy as the barrier path (:attr:`ExecutorConfig.max_retries`
+  with backoff), including the degrading-pushdown ladder for
+  capability/translation failures (:mod:`repro.runtime.degrade`).  Mid-stream
+  failures are not retried -- a half-consumed cursor cannot be reopened
+  without re-delivering rows.
 
 Iteration is replayable: the execution buffers what it has yielded, so a
 second ``iter()`` (or :meth:`to_list` after a partial read) replays the
@@ -39,6 +45,7 @@ from typing import Any, Iterable, Iterator, Mapping
 
 from repro.algebra import physical as phys
 from repro.runtime import cancellation
+from repro.runtime.degrade import compensate_rows, degrade_pushdown, is_capability_failure
 from repro.runtime.executor import ExecReport, collect_errors, normalize_row
 
 
@@ -54,6 +61,11 @@ class _Opened:
     #: wall clock of the open round trip (worker side).
     elapsed: float = 0.0
     error: str | None = None
+    #: how many wrapper calls the open took (> 1 under retry).
+    attempts: int = 1
+    #: final submitted (source-namespace) expression when the retry policy
+    #: degraded the pushdown; None when the original was used.
+    degraded_to: str | None = None
 
 
 class _ExecState:
@@ -216,31 +228,86 @@ class StreamingExecution:
 
         Mediator-side failures (unknown extent, type-check conflict) raise --
         they abort the query exactly as in the barrier path.  Wrapper
-        failures become error outcomes.  For wrappers that answer with a
-        sized sequence the call's history is recorded here (the count is
-        known); lazy cursors are recorded by the consumer at drain time.
+        failures become error outcomes, after the same retry policy the
+        barrier path applies: transient failures re-submit with backoff,
+        capability/translation failures re-submit a degraded pushdown whose
+        stripped operators are replayed over the stream at the mediator.
+        For wrappers that answer with a sized sequence the call's history is
+        recorded here (the count is known); lazy cursors -- and degraded
+        calls, whose compensation wraps the iterable -- are recorded by the
+        consumer at drain time.
         """
         executor = self._executor
+        config = executor.config
         node = state.node
         meta = executor.registry.extent(node.extent_name)
         wrapper = executor.registry.wrapper_object(meta.wrapper)
         executor._check_types(meta, wrapper)
-        source_expression = executor.to_source_namespace(node.expression, meta)
         renames = executor._reverse_renames(node.expression, meta)
+        pushdown = node.expression
+        stripped: list = []
+        source_expression = executor.to_source_namespace(pushdown, meta)
         state.started = time.monotonic()
-        try:
-            with cancellation.activate(state.event):
-                rows = wrapper.submit_stream(source_expression)
-        except Exception as exc:
-            elapsed = time.monotonic() - state.started
-            with state.lock:
-                # Cancelled or already-written-off calls are not failures to
-                # learn from; everything else records exactly once.
-                if not state.recorded and not state.event.is_set():
-                    executor.history.record_failure(node.extent_name, node.expression, elapsed)
-                    state.recorded = True
-            return _Opened(error=f"{type(exc).__name__}: {exc}", elapsed=elapsed)
+        attempts = max(1, config.max_retries + 1)
+        attempt = 0
+        while True:
+            attempt_started = time.monotonic()
+            try:
+                with cancellation.activate(state.event):
+                    rows = wrapper.submit_stream(source_expression)
+            except Exception as exc:
+                attempt += 1
+                call_elapsed = time.monotonic() - attempt_started
+                cancelled = state.event.is_set()
+                step = None
+                exhausted = attempt >= attempts
+                if config.degrade_pushdown and is_capability_failure(exc):
+                    step = degrade_pushdown(pushdown)
+                    if step is None:
+                        # Deterministic rejection, nothing left to strip.
+                        exhausted = True
+                terminal = cancelled or exhausted
+                with state.lock:
+                    # Cancelled or already-written-off calls are not failures
+                    # to learn from; every real attempt records its elapsed.
+                    if not state.recorded and not state.event.is_set():
+                        executor.history.record_failure(
+                            node.extent_name, node.expression, call_elapsed
+                        )
+                        if terminal:
+                            state.recorded = True
+                if not terminal:
+                    if step is not None:
+                        # Degrading retry: strictly smaller pushdown, no
+                        # backoff -- the failure was deterministic, not load.
+                        pushdown, removed = step
+                        stripped.append(removed)
+                        source_expression = executor.to_source_namespace(pushdown, meta)
+                        continue
+                    backoff = config.retry_backoff * (2 ** (attempt - 1))
+                    # Event-aware: a write-off wakes the backoff immediately.
+                    state.event.wait(backoff)
+                    if not state.event.is_set():
+                        continue
+                return _Opened(
+                    error=f"{type(exc).__name__}: {exc}",
+                    elapsed=time.monotonic() - state.started,
+                    attempts=attempt,
+                    degraded_to=source_expression.to_text() if stripped else None,
+                )
+            break
         elapsed = time.monotonic() - state.started
+        degraded_to = source_expression.to_text() if stripped else None
+        if stripped:
+            # Rename here (once), then replay the stripped operators lazily;
+            # the consumer sees mediator-vocabulary rows and an empty map.
+            # ``reverse_renames`` is never rebound, so the lazy generator
+            # below cannot capture the emptied map by mistake.
+            reverse_renames = renames
+            rows = compensate_rows(
+                stripped, (normalize_row(row, reverse_renames) for row in rows)
+            )
+            renames = {}
         sized = None
         if isinstance(rows, (list, tuple)):
             sized = len(rows)
@@ -248,7 +315,14 @@ class StreamingExecution:
                 if not state.recorded and not state.event.is_set():
                     executor.history.record(node.extent_name, node.expression, elapsed, sized)
                     state.recorded = True
-        return _Opened(rows=rows, renames=renames, sized=sized, elapsed=elapsed)
+        return _Opened(
+            rows=rows,
+            renames=renames,
+            sized=sized,
+            elapsed=elapsed,
+            attempts=attempt + 1,
+            degraded_to=degraded_to,
+        )
 
     # -- consumer side ------------------------------------------------------------------------
     def _remaining(self) -> float | None:
@@ -308,7 +382,14 @@ class StreamingExecution:
             )
             return
         if opened.error is not None:
-            state.report = self._report(state, rows=0, available=False, error=opened.error)
+            state.report = self._report(
+                state,
+                rows=0,
+                available=False,
+                error=opened.error,
+                attempts=opened.attempts,
+                degraded_to=opened.degraded_to,
+            )
             return
         renames = opened.renames
         iterator = iter(opened.rows)
@@ -325,7 +406,11 @@ class StreamingExecution:
                     state.event.set()
                     self._record_failure_once(state, source_time)
                     state.report = self._report(
-                        state, available=False, error=self._timeout_text()
+                        state,
+                        available=False,
+                        error=self._timeout_text(),
+                        attempts=opened.attempts,
+                        degraded_to=opened.degraded_to,
                     )
                     return
                 pulled = time.monotonic()
@@ -338,7 +423,11 @@ class StreamingExecution:
                     source_time += time.monotonic() - pulled
                     self._record_failure_once(state, source_time)
                     state.report = self._report(
-                        state, available=False, error=f"{type(exc).__name__}: {exc}"
+                        state,
+                        available=False,
+                        error=f"{type(exc).__name__}: {exc}",
+                        attempts=opened.attempts,
+                        degraded_to=opened.degraded_to,
                     )
                     return
                 source_time += time.monotonic() - pulled
@@ -356,7 +445,12 @@ class StreamingExecution:
                     node.extent_name, node.expression, source_time, state.consumed
                 )
                 state.recorded = True
-        state.report = self._report(state, rows=opened.sized or state.consumed)
+        state.report = self._report(
+            state,
+            rows=opened.sized or state.consumed,
+            attempts=opened.attempts,
+            degraded_to=opened.degraded_to,
+        )
 
     def _union_in_completion_order(
         self, inputs: tuple[phys.PhysicalOp, ...]
@@ -420,6 +514,18 @@ class StreamingExecution:
                 if state.report is None:
                     # Never (or only partly) consumed: written off, not failed.
                     state.event.set()
-                    if state.future is not None:
-                        state.future.cancel()
-                    state.report = self._report(state, cancelled=True)
+                    overrides: dict = {"cancelled": True}
+                    future = state.future
+                    if future is not None:
+                        future.cancel()
+                        if future.done() and not future.cancelled():
+                            try:
+                                opened = future.result()
+                            except BaseException:
+                                pass
+                            else:
+                                overrides.update(
+                                    attempts=opened.attempts,
+                                    degraded_to=opened.degraded_to,
+                                )
+                    state.report = self._report(state, **overrides)

@@ -64,6 +64,8 @@ class SqlEngine:
         if statement.columns is not None:
             names = [column.name for column in statement.columns]
             rows = self.engine.project(rows, names)
+        if statement.limit is not None:
+            rows = rows[: max(statement.limit, 0)]
         return rows
 
     # -- predicate evaluation -------------------------------------------------------------

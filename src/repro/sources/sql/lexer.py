@@ -12,6 +12,7 @@ KEYWORDS = {
     "WHERE",
     "JOIN",
     "ON",
+    "LIMIT",
     "AND",
     "OR",
     "NOT",

@@ -3,7 +3,7 @@
 Grammar (roughly)::
 
     select    := SELECT projection FROM table (JOIN table ON column = column)*
-                 (WHERE expr)?
+                 (WHERE expr)? (LIMIT number)?
     projection:= '*' | column (',' column)*
     expr      := term (OR term)*
     term      := factor (AND factor)*
@@ -87,6 +87,7 @@ class SelectStatement:
     table: str
     joins: tuple[JoinClause, ...] = ()
     where: Any | None = None
+    limit: int | None = None
 
 
 # -- parser -------------------------------------------------------------------------
@@ -153,12 +154,23 @@ class SqlParser:
         where = None
         if self._match_keyword("WHERE"):
             where = self._expression()
+        limit = None
+        if self._match_keyword("LIMIT"):
+            token = self._expect("NUMBER")
+            if "." in token.text or int(token.text) < 0:
+                raise ParseError(
+                    f"LIMIT takes a non-negative integer, got {token.text!r}",
+                    column=token.position,
+                )
+            limit = int(token.text)
         trailing = self._peek()
         if trailing.kind != "EOF":
             raise ParseError(
                 f"unexpected trailing input {trailing.text!r}", column=trailing.position
             )
-        return SelectStatement(columns=columns, table=table, joins=tuple(joins), where=where)
+        return SelectStatement(
+            columns=columns, table=table, joins=tuple(joins), where=where, limit=limit
+        )
 
     def _projection(self) -> tuple[ColumnRef, ...] | None:
         if self._match_op("*"):

@@ -17,6 +17,7 @@ from repro.algebra.logical import (
     Flatten,
     Get,
     Join,
+    Limit,
     LogicalOp,
     Project,
     Select,
@@ -164,6 +165,8 @@ class AlgebraEvaluator:
             return self._union_stream(expression)
         if isinstance(expression, Flatten):
             return self._flatten_stream(expression)
+        if isinstance(expression, Limit):
+            return self._limit_stream(expression)
         raise WrapperError(f"cannot evaluate {expression.to_text()} at a data source")
 
     def _join_stream(self, expression: Join) -> Iterator[Row]:
@@ -187,3 +190,23 @@ class AlgebraEvaluator:
                 yield from row
             else:
                 yield row
+
+    def _limit_stream(self, expression: Limit) -> Iterator[Row]:
+        """The pushed-down fetch size: stop the scan after ``count`` rows."""
+        child = self.evaluate_stream(expression.child)
+        if expression.count <= 0:
+            close = getattr(child, "close", None)
+            if close is not None:
+                close()
+            return
+        try:
+            produced = 0
+            for row in child:
+                yield row
+                produced += 1
+                if produced >= expression.count:
+                    return
+        finally:
+            close = getattr(child, "close", None)
+            if close is not None:
+                close()

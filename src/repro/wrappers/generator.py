@@ -45,7 +45,8 @@ class GeneratorWrapper(Wrapper):
     ):
         super().__init__(
             name,
-            capabilities or CapabilitySet.of("get", "project", "select", "union", "flatten"),
+            capabilities
+            or CapabilitySet.of("get", "project", "select", "union", "flatten", "limit"),
         )
         self._scans = dict(scans)
         self._attributes = {k: list(v) for k, v in (attributes or {}).items()}

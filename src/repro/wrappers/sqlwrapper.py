@@ -22,7 +22,7 @@ from repro.algebra.expressions import (
     Path,
     Var,
 )
-from repro.algebra.logical import Get, Join, LogicalOp, Project, Select
+from repro.algebra.logical import Get, Join, Limit, LogicalOp, Project, Select
 from repro.errors import WrapperError
 from repro.sources.server import SimulatedServer
 from repro.sources.sql.engine import SqlEngine
@@ -34,7 +34,8 @@ class SqlWrapper(Wrapper):
 
     def __init__(self, name: str, server: SimulatedServer, capabilities: CapabilitySet | None = None):
         super().__init__(
-            name, capabilities or CapabilitySet.of("get", "project", "select", "join")
+            name,
+            capabilities or CapabilitySet.of("get", "project", "select", "join", "limit"),
         )
         self.server = server
 
@@ -50,36 +51,54 @@ class SqlWrapper(Wrapper):
     # -- SQL generation ---------------------------------------------------------------------
     def to_sql(self, expression: LogicalOp) -> str:
         """Render a pushed logical expression as one SELECT statement."""
-        columns, table, joins, predicates = self._decompose(expression)
+        columns, table, joins, predicates, limit = self._decompose(expression)
         select_clause = ", ".join(columns) if columns else "*"
         sql = f"SELECT {select_clause} FROM {table}"
         for join_table, left_column, right_column in joins:
             sql += f" JOIN {join_table} ON {left_column} = {right_column}"
         if predicates:
             sql += " WHERE " + " AND ".join(predicates)
+        if limit is not None:
+            sql += f" LIMIT {limit}"
         return sql
 
     def _decompose(
         self, expression: LogicalOp
-    ) -> tuple[list[str], str, list[tuple[str, str, str]], list[str]]:
+    ) -> tuple[list[str], str, list[tuple[str, str, str]], list[str], int | None]:
         if isinstance(expression, Get):
-            return [], expression.collection, [], []
+            return [], expression.collection, [], [], None
+        if isinstance(expression, Limit):
+            columns, table, joins, predicates, limit = self._decompose(expression.child)
+            limit = expression.count if limit is None else min(limit, expression.count)
+            return columns, table, joins, predicates, limit
         if isinstance(expression, Project):
-            columns, table, joins, predicates = self._decompose(expression.child)
-            return list(expression.attributes), table, joins, predicates
+            # Projection is one-to-one per row, so a limit below it renders
+            # identically to SQL's project-then-LIMIT evaluation order.
+            columns, table, joins, predicates, limit = self._decompose(expression.child)
+            return list(expression.attributes), table, joins, predicates, limit
         if isinstance(expression, Select):
-            columns, table, joins, predicates = self._decompose(expression.child)
+            columns, table, joins, predicates, limit = self._decompose(expression.child)
+            if limit is not None:
+                # SQL filters before it limits; a selection *above* a limit
+                # would change which rows survive, so it has no rendering.
+                raise WrapperError("cannot translate a selection above a limit to SQL")
             predicates = predicates + [self._predicate_sql(expression.predicate)]
-            return columns, table, joins, predicates
+            return columns, table, joins, predicates, limit
         if isinstance(expression, Join):
-            left_cols, left_table, left_joins, left_preds = self._decompose(expression.left)
-            right_cols, right_table, right_joins, right_preds = self._decompose(expression.right)
+            left_cols, left_table, left_joins, left_preds, left_limit = self._decompose(
+                expression.left
+            )
+            right_cols, right_table, right_joins, right_preds, right_limit = self._decompose(
+                expression.right
+            )
             if right_joins:
                 raise WrapperError("SQL wrapper supports only left-deep join chains")
+            if left_limit is not None or right_limit is not None:
+                raise WrapperError("cannot translate a limited join operand to SQL")
             left_attr, right_attr = expression.join_attributes()
             joins = left_joins + [(right_table, left_attr, right_attr)]
             columns = left_cols + right_cols
-            return columns, left_table, joins, left_preds + right_preds
+            return columns, left_table, joins, left_preds + right_preds, None
         raise WrapperError(f"cannot translate {expression.to_text()} to SQL")
 
     def _predicate_sql(self, predicate: Expr) -> str:

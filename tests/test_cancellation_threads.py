@@ -1,0 +1,103 @@
+"""Thread hygiene under cooperative cancellation (the PR 2 zombie-thread fix).
+
+Each scenario takes a thread snapshot before the query, drives the engine
+into a state that used to leave workers serving out multi-second simulated
+latencies (LIMIT-satisfied close, deadline write-off, mediator-side abort),
+then asserts every worker thread created for the query exits promptly after
+``Mediator.close()`` -- far sooner than the latency it would have slept.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import TypeConflictError
+from repro.sources.network import NetworkProfile
+from tests.conftest import build_paper_mediator
+
+#: simulated source latency; a zombie worker would linger this long.
+SLOW = 5.0
+#: generous bound for a *cooperatively woken* worker to exit.
+PROMPT = 2.5
+
+
+def snapshot() -> set:
+    return set(threading.enumerate())
+
+
+def wait_for_worker_exit(before: set, timeout: float = PROMPT) -> bool:
+    """True when every disco-exec thread created since ``before`` has exited."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        new_workers = [
+            thread
+            for thread in threading.enumerate()
+            if thread not in before
+            and thread.name.startswith("disco-exec")
+            and thread.is_alive()
+        ]
+        if not new_workers:
+            return True
+        time.sleep(0.02)
+    return False
+
+
+def test_limit_satisfied_close_leaves_no_live_workers():
+    before = snapshot()
+    mediator, servers = build_paper_mediator()
+    servers[0].network = NetworkProfile(base_latency=SLOW)
+    servers[0].real_sleep = True
+    started = time.monotonic()
+    result = mediator.query_stream("select x.name from x in person limit 1", timeout=30.0)
+    assert list(result.iter_rows()) == ["Sam"]  # satisfied by the fast source
+    result.close()
+    mediator.close()
+    # The slow call's worker must wake from its 5s latency sleep, not serve it.
+    assert wait_for_worker_exit(before)
+    assert time.monotonic() - started < SLOW
+
+
+def test_deadline_write_off_leaves_no_live_workers():
+    before = snapshot()
+    mediator, servers = build_paper_mediator()
+    servers[0].network = NetworkProfile(base_latency=SLOW)
+    servers[0].real_sleep = True
+    result = mediator.query("select x.name from x in person", timeout=0.15)
+    assert result.is_partial
+    assert "timed out" in result.errors()["person0"]
+    mediator.close()
+    assert wait_for_worker_exit(before)
+
+
+def test_mediator_side_abort_leaves_no_live_workers():
+    """A failed type check aborts the query; in-flight calls are written off."""
+    before = snapshot()
+    mediator, servers = build_paper_mediator()
+    servers[1].network = NetworkProfile(base_latency=SLOW)
+    servers[1].real_sleep = True
+    # Make person0's source type conflict with the mediator interface: the
+    # abort happens while person1's slow call is still in flight.
+    servers[0].store.drop_table("person0")
+    servers[0].store.create_table("person0", rows=[{"id": 1, "misnamed": "x"}])
+    with pytest.raises(TypeConflictError):
+        mediator.query("select x.name from x in person", timeout=30.0)
+    mediator.close()
+    assert wait_for_worker_exit(before)
+
+
+def test_streaming_abort_leaves_no_live_workers():
+    """A mediator-side pipeline crash writes off the surviving calls."""
+    from repro.errors import QueryExecutionError
+
+    before = snapshot()
+    mediator, servers = build_paper_mediator()
+    servers[0].network = NetworkProfile(base_latency=SLOW)
+    servers[0].real_sleep = True
+    result = mediator.query_stream(
+        "select x.salary / (x.salary - x.salary) from x in person", timeout=30.0
+    )
+    with pytest.raises(QueryExecutionError):
+        list(result.iter_rows())
+    mediator.close()
+    assert wait_for_worker_exit(before)

@@ -1,0 +1,218 @@
+"""Degrading pushdown retries (the capability-failure recovery ladder).
+
+A wrapper whose declared grammar is wider than what it really evaluates --
+the mis-declared wrapper -- rejects pushed expressions at run time.  The
+adaptive retry policy must then re-submit a *strictly smaller* pushdown on
+every attempt (ultimately a bare ``get``), replay the stripped operators at
+the mediator, and leave transient-failure retry semantics untouched.  Both
+engines are covered.
+"""
+
+import pytest
+
+from repro import Mediator
+from repro.algebra.capabilities import CapabilitySet
+from repro.algebra.logical import Get, Limit, Project, Select
+from repro.algebra.expressions import Comparison, Const, Path, Var
+from repro.errors import UnavailableSourceError, WrapperError
+from repro.runtime.degrade import (
+    compensate_rows,
+    degradation_ladder,
+    degrade_pushdown,
+    is_capability_failure,
+)
+from repro.wrappers.base import Wrapper
+
+ROWS = [{"id": i, "name": f"p{i}", "salary": i * 10} for i in range(10)]
+QUERY = "select x.name from x in person0 where x.salary > 40 limit 2"
+EXPECTED = ["p5", "p6"]
+
+
+class LyingWrapper(Wrapper):
+    """Declares select/project/limit but its translator only handles ``get``."""
+
+    def __init__(self, name, rows, fail_transiently: int = 0):
+        super().__init__(name, CapabilitySet.of("get", "project", "select", "limit"))
+        self.rows = rows
+        self.submitted: list[str] = []
+        self._transient_failures = fail_transiently
+
+    def _execute(self, expression):
+        self.submitted.append(expression.to_text())
+        if self._transient_failures > 0:
+            self._transient_failures -= 1
+            raise UnavailableSourceError(self.name, "transient outage")
+        if not isinstance(expression, Get):
+            raise WrapperError(f"translator cannot handle {expression.to_text()}")
+        return [dict(row) for row in self.rows]
+
+    def source_attributes(self, collection):
+        return ["id", "name", "salary"]
+
+
+def build_mediator(wrapper, **mediator_kwargs):
+    mediator = Mediator(name="degrade", **mediator_kwargs)
+    mediator.register_wrapper("w0", wrapper)
+    mediator.create_repository("r0")
+    mediator.define_interface(
+        "Person",
+        [("id", "Long"), ("name", "String"), ("salary", "Short")],
+        extent_name="person",
+    )
+    mediator.add_extent("person0", "Person", "w0", "r0")
+    return mediator
+
+
+def _node_count(text: str) -> int:
+    return text.count("(")
+
+
+class TestLadder:
+    def test_ladder_strips_outermost_operator_down_to_bare_get(self):
+        predicate = Comparison(">", Path(Var("x"), "salary"), Const(40))
+        expr = Limit(2, Project(("name",), Select("x", predicate, Get("person0"))))
+        ladder = [step.to_text() for step in degradation_ladder(expr)]
+        assert ladder == [
+            "project(name, select(x: x.salary > 40, get(person0)))",
+            "select(x: x.salary > 40, get(person0))",
+            "get(person0)",
+        ]
+        assert degrade_pushdown(Get("person0")) is None
+
+    def test_multi_leaf_expressions_are_not_degradable(self):
+        from repro.algebra.logical import Join, Union
+
+        join = Join(Get("a"), Get("b"), "id")
+        assert degrade_pushdown(join) is None
+        assert degrade_pushdown(Union((Get("a"), Get("b")))) is None
+
+    def test_classification(self):
+        from repro.errors import CapabilityError
+
+        assert is_capability_failure(WrapperError("nope"))
+        assert is_capability_failure(CapabilityError("nope"))
+        assert not is_capability_failure(UnavailableSourceError("s0"))
+        assert not is_capability_failure(RuntimeError("connection reset"))
+
+    def test_compensation_replays_stripped_operators(self):
+        predicate = Comparison(">", Path(Var("x"), "salary"), Const(40))
+        expr = Limit(2, Select("x", predicate, Get("person0")))
+        stripped = []
+        step = degrade_pushdown(expr)
+        while step is not None:
+            expr, removed = step
+            stripped.append(removed)
+            step = degrade_pushdown(expr)
+        compensated = list(compensate_rows(stripped, [dict(r) for r in ROWS]))
+        assert [row["name"] for row in compensated] == EXPECTED
+
+
+@pytest.mark.parametrize("engine", ["query", "query_stream"])
+class TestDegradingRetryEndToEnd:
+    def run(self, mediator, engine):
+        result = getattr(mediator, engine)(QUERY)
+        rows = list(result.iter_rows()) if engine == "query_stream" else result.rows()
+        return result, rows
+
+    def test_each_retry_submits_a_strictly_smaller_pushdown(self, engine):
+        wrapper = LyingWrapper("w0", ROWS)
+        mediator = build_mediator(wrapper, max_retries=3)
+        result, rows = self.run(mediator, engine)
+        assert rows == EXPECTED
+        assert not result.is_partial
+        # Every re-submission is strictly smaller, ending at a bare get.
+        sizes = [_node_count(text) for text in wrapper.submitted]
+        assert sizes == sorted(sizes, reverse=True)
+        assert len(set(wrapper.submitted)) == len(wrapper.submitted)
+        assert wrapper.submitted[-1] == "get(person0)"
+        report = result.reports[0]
+        assert report.attempts == len(wrapper.submitted)
+        assert report.degraded_to == "get(person0)"
+        mediator.close()
+
+    def test_insufficient_retry_budget_degrades_to_partial_answer(self, engine):
+        wrapper = LyingWrapper("w0", ROWS)
+        mediator = build_mediator(wrapper, max_retries=1)
+        result, rows = self.run(mediator, engine)
+        # Two rungs were needed (project, then select, then get); with one
+        # retry the call still fails and the source degrades to unavailable.
+        assert rows == []
+        assert result.is_partial
+        assert result.unavailable_sources == ("person0",)
+        mediator.close()
+
+    def test_transient_failures_retry_the_same_expression(self, engine):
+        wrapper = LyingWrapper("w0", ROWS, fail_transiently=2)
+        # Capabilities narrowed to get so the pushed expression is minimal
+        # and the failures are genuinely transient.
+        wrapper.capabilities = CapabilitySet.get_only()
+        wrapper._grammar = wrapper.capabilities.to_grammar()
+        mediator = build_mediator(wrapper, max_retries=2)
+        mediator.executor.config.retry_backoff = 0.001
+        result, rows = self.run(mediator, engine)
+        assert rows == EXPECTED  # mediator-side select/limit still apply
+        assert wrapper.submitted == ["get(person0)"] * 3
+        assert result.reports[0].attempts == 3
+        assert result.reports[0].degraded_to is None
+        mediator.close()
+
+    def test_capability_failure_with_no_rung_left_fails_fast(self, engine):
+        class GetRejectingWrapper(LyingWrapper):
+            def _execute(self, expression):
+                self.submitted.append(expression.to_text())
+                raise WrapperError("even get is broken")
+
+        wrapper = GetRejectingWrapper("w0", ROWS)
+        mediator = build_mediator(wrapper, max_retries=5)
+        result, rows = self.run(mediator, engine)
+        assert result.is_partial
+        # The ladder has 3 rungs below the original; once the bare get is
+        # rejected there is nothing smaller to try, so no further attempts.
+        assert wrapper.submitted[-1] == "get(person0)"
+        assert len(wrapper.submitted) == 4
+        mediator.close()
+
+    def test_degraded_rows_are_renamed_before_compensation(self, engine):
+        """With a non-identity map, compensation must see mediator vocabulary
+        (regression: the streaming path once emptied the rename map before
+        the lazy renamer ran, filtering every row out silently)."""
+        from repro.datamodel.mapping import LocalTransformationMap
+
+        source_rows = [{"pid": i, "nm": f"p{i}", "sal": i * 10} for i in range(10)]
+        wrapper = LyingWrapper("w0", source_rows)
+        wrapper.source_attributes = lambda collection: ["pid", "nm", "sal"]
+        mediator = Mediator(name="renamed", max_retries=3)
+        mediator.register_wrapper("w0", wrapper)
+        mediator.create_repository("r0")
+        mediator.define_interface(
+            "Person",
+            [("id", "Long"), ("name", "String"), ("salary", "Short")],
+            extent_name="person",
+        )
+        mediator.add_extent(
+            "person0",
+            "Person",
+            "w0",
+            "r0",
+            map=LocalTransformationMap.from_pairs(
+                [("t0", "person0"), ("pid", "id"), ("nm", "name"), ("sal", "salary")]
+            ),
+        )
+        result, rows = self.run(mediator, engine)
+        assert rows == EXPECTED
+        assert not result.is_partial
+        # The degraded bare get was translated to the source's collection name.
+        assert wrapper.submitted[-1] == "get(t0)"
+        mediator.close()
+
+    def test_degradation_can_be_disabled(self, engine):
+        wrapper = LyingWrapper("w0", ROWS)
+        mediator = build_mediator(wrapper, max_retries=2)
+        mediator.executor.config.degrade_pushdown = False
+        mediator.executor.config.retry_backoff = 0.001
+        result, rows = self.run(mediator, engine)
+        # Legacy policy: the same rejected expression is repeated verbatim.
+        assert result.is_partial
+        assert len(set(wrapper.submitted)) == 1
+        assert len(wrapper.submitted) == 3
+        mediator.close()

@@ -1,0 +1,200 @@
+"""Differential testing: the barrier and streaming engines must agree.
+
+With two execution engines live, equivalence is enforced by tests rather
+than convention: ~100 seeded random OQL queries (joins, unions, distinct,
+limit, injected faults) are run through both ``Mediator.query()`` and
+``Mediator.query_stream()`` and compared on row multisets, error reporting,
+and partial-answer shape.
+
+The agreed semantics being pinned:
+
+* complete answers are identical *multisets* (order is never promised);
+* a ``limit n`` answer is any sub-multiset of size ``min(n, |full answer|)``
+  of the unlimited answer -- which ``n`` rows arrive is completion-order
+  dependent by design;
+* when a referenced source is down, both engines report the same unavailable
+  extents and error keys; the barrier engine returns a resubmittable partial
+  answer (no rows), the streaming engine delivers the available sources' rows;
+* a streaming ``limit`` satisfied by healthy sources may *cancel* the failing
+  branch before observing its failure, in which case the stream legitimately
+  completes -- the one sanctioned shape difference.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from collections.abc import Mapping
+
+import pytest
+
+from repro import Mediator, RelationalWrapper
+from repro.datamodel.values import Bag, Struct
+from repro.sources import RelationalEngine, SimulatedServer, TableSchema
+
+NAMES = ["ann", "bob", "cleo", "dan", "eve"]
+SEEDS = range(104)
+
+
+def build_mediator():
+    """Two Person sources (members of the implicit ``person`` extent) plus a
+    ``dept0`` collection co-hosted with person0 for join queries."""
+    engine0 = RelationalEngine(name="db0")
+    engine0.create_table(
+        "person0",
+        schema=TableSchema.of(("id", int), ("name", str), ("salary", int)),
+        rows=[
+            {"id": i, "name": NAMES[i % len(NAMES)], "salary": i % 7} for i in range(12)
+        ],
+    )
+    engine0.create_table(
+        "dept0",
+        schema=TableSchema.of(("id", int), ("dname", str)),
+        rows=[{"id": i, "dname": f"d{i % 3}"} for i in range(8)],
+    )
+    engine1 = RelationalEngine(name="db1")
+    engine1.create_table(
+        "person1",
+        schema=TableSchema.of(("id", int), ("name", str), ("salary", int)),
+        rows=[
+            {"id": i, "name": NAMES[(i + 2) % len(NAMES)], "salary": (i + 3) % 9}
+            for i in range(10)
+        ],
+    )
+    server0 = SimulatedServer(name="host0", store=engine0)
+    server1 = SimulatedServer(name="host1", store=engine1)
+    mediator = Mediator(name="diff")
+    mediator.register_wrapper("w0", RelationalWrapper("w0", server0))
+    mediator.register_wrapper("w1", RelationalWrapper("w1", server1))
+    mediator.create_repository("r0")
+    mediator.create_repository("r1")
+    mediator.define_interface(
+        "Person",
+        [("id", "Long"), ("name", "String"), ("salary", "Short")],
+        extent_name="person",
+    )
+    mediator.define_interface(
+        "Dept", [("id", "Long"), ("dname", "String")], extent_name="dept"
+    )
+    mediator.add_extent("person0", "Person", "w0", "r0")
+    mediator.add_extent("person1", "Person", "w1", "r1")
+    mediator.add_extent("dept0", "Dept", "w0", "r0")
+    return mediator, [server0, server1]
+
+
+def random_query(rng: random.Random) -> tuple[str, int | None]:
+    """One random OQL query; returns (text-without-limit, limit-or-None)."""
+    if rng.random() < 0.25:  # bind-join over co-hosted and cross-source extents
+        right = rng.choice(["dept0", "person1"])
+        if right == "dept0":
+            item = rng.choice(["x.name", "struct(n: x.name, d: y.dname)", "y.dname"])
+        else:
+            item = rng.choice(["x.name", "struct(a: x.name, b: y.name)"])
+        text = f"select {item} from x in person0 and y in {right} where x.id = y.id"
+        if rng.random() < 0.5:
+            text += f" and x.salary > {rng.randint(0, 6)}"
+    else:
+        collection = rng.choice(["person0", "person1", "person", "person"])
+        item = rng.choice(
+            ["x", "x.name", "x.salary", "struct(n: x.name, s: x.salary)"]
+        )
+        distinct = "distinct " if rng.random() < 0.3 else ""
+        text = f"select {distinct}{item} from x in {collection}"
+        if rng.random() < 0.6:
+            attribute = rng.choice(["salary", "id"])
+            op = rng.choice([">", "<", ">=", "="])
+            text += f" where x.{attribute} {op} {rng.randint(0, 8)}"
+    limit = rng.randint(0, 12) if rng.random() < 0.4 else None
+    return text, limit
+
+
+def canon(value):
+    """Hashable, order-insensitive canonical form of one answer element."""
+    if isinstance(value, (Struct, Mapping)):
+        return (
+            "struct",
+            tuple(sorted((key, canon(item)) for key, item in dict(value).items())),
+        )
+    if isinstance(value, (Bag, list, tuple)):
+        return ("bag", tuple(sorted((canon(item) for item in value), key=repr)))
+    return ("value", repr(value))
+
+
+def multiset(rows) -> Counter:
+    return Counter(canon(row) for row in rows)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_engines_agree(seed):
+    rng = random.Random(seed)
+    mediator, servers = build_mediator()
+    try:
+        base_text, limit = random_query(rng)
+        text = base_text if limit is None else f"{base_text} limit {limit}"
+        fault_index = rng.choice([0, 1]) if rng.random() < 0.3 else None
+
+        # The fault-free, unlimited answer is the reference every comparison
+        # is anchored to (computed before any server goes down).
+        reference = multiset(mediator.query(base_text).rows())
+
+        if fault_index is not None:
+            servers[fault_index].take_down()
+
+        barrier = mediator.query(text)
+        barrier_rows = barrier.rows()
+        streamed = mediator.query_stream(text)
+        streamed_rows = list(streamed.iter_rows())
+
+        faulted = bool(barrier.unavailable_sources)
+        if not faulted:
+            assert not barrier.is_partial and not streamed.is_partial
+            assert streamed.errors() == {} and barrier.errors() == {}
+            if limit is None:
+                assert multiset(barrier_rows) == reference
+                assert multiset(streamed_rows) == reference
+            else:
+                expected = min(limit, sum(reference.values()))
+                assert len(barrier_rows) == expected
+                assert len(streamed_rows) == expected
+                # Any n rows of the full answer are a correct limited answer.
+                assert not multiset(barrier_rows) - reference
+                assert not multiset(streamed_rows) - reference
+        else:
+            # Barrier shape: a resubmittable partial answer, no rows.
+            assert barrier.is_partial and barrier_rows == []
+            assert barrier.partial_query is not None
+            from repro.oql.parser import parse_query
+
+            parse_query(barrier.partial_query)  # the answer *is* a query
+            if limit is None:
+                # Once the source recovers, resubmitting the partial answer
+                # yields exactly the full answer.
+                for server in servers:
+                    server.bring_up()
+                resubmitted = mediator.resubmit(barrier)
+                assert multiset(resubmitted.rows()) == reference
+                if fault_index is not None:
+                    servers[fault_index].take_down()
+            if limit is None:
+                # Streaming shape: available sources' rows plus the same
+                # failure report.
+                assert streamed.is_partial
+                assert set(streamed.unavailable_sources) == set(
+                    barrier.unavailable_sources
+                )
+                assert set(streamed.errors()) == set(barrier.errors())
+                assert not multiset(streamed_rows) - reference
+            else:
+                # A satisfied limit may cancel the failing branch first, in
+                # which case the stream completes; otherwise it must report
+                # the same failures the barrier engine saw.
+                assert len(streamed_rows) <= limit
+                assert not multiset(streamed_rows) - reference
+                if streamed.is_partial:
+                    assert set(streamed.unavailable_sources) <= set(
+                        barrier.unavailable_sources
+                    )
+                else:
+                    assert len(streamed_rows) == min(limit, len(streamed_rows))
+    finally:
+        mediator.close()

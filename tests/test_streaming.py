@@ -13,6 +13,7 @@ import time
 import pytest
 
 from repro import GeneratorWrapper, Mediator, RelationalWrapper
+from repro.algebra.capabilities import CapabilitySet
 from repro.algebra.logical import Limit, Project, Submit, Union, Get
 from repro.oql.parser import parse_query
 from repro.optimizer.history import ExecCallHistory
@@ -44,7 +45,7 @@ class ScanCounter:
         return rows()
 
 
-def build_generator_mediator(scan, extent="person0", **mediator_kwargs):
+def build_generator_mediator(scan, extent="person0", capabilities=None, **mediator_kwargs):
     mediator = Mediator(name="gen", **mediator_kwargs)
     mediator.define_interface(
         "Person",
@@ -54,7 +55,10 @@ def build_generator_mediator(scan, extent="person0", **mediator_kwargs):
     mediator.register_wrapper(
         "w0",
         GeneratorWrapper(
-            "w0", {extent: scan}, attributes={extent: ["id", "name", "salary"]}
+            "w0",
+            {extent: scan},
+            attributes={extent: ["id", "name", "salary"]},
+            capabilities=capabilities,
         ),
     )
     mediator.create_repository("r0")
@@ -191,8 +195,12 @@ class TestLimitExecution:
         mediator.close()
 
     def test_early_termination_cancels_the_scan(self):
+        # No limit capability: the limit stays at the mediator, so a
+        # satisfied mklimit must cancel the in-flight call cooperatively.
         scan = ScanCounter(100_000)
-        mediator = build_generator_mediator(scan)
+        mediator = build_generator_mediator(
+            scan, capabilities=CapabilitySet.of("get", "project", "select")
+        )
         result = mediator.query_stream(
             "select x.name from x in person where x.salary > 10 limit 5"
         )
@@ -201,6 +209,21 @@ class TestLimitExecution:
         assert scan.yielded < 100
         report = result.reports[0]
         assert report.cancelled and report.available
+        assert not result.is_partial and result.errors() == {}
+        mediator.close()
+
+    def test_pushed_limit_ends_the_scan_without_cancellation(self):
+        # With the limit capability the cap crosses the submit boundary: the
+        # source stops on its own and the call completes normally.
+        scan = ScanCounter(100_000)
+        mediator = build_generator_mediator(scan)
+        result = mediator.query_stream(
+            "select x.name from x in person where x.salary > 10 limit 5"
+        )
+        assert list(result.iter_rows()) == [f"p{i}" for i in range(11, 16)]
+        assert scan.yielded < 100
+        report = result.reports[0]
+        assert report.available and not report.cancelled
         assert not result.is_partial and result.errors() == {}
         mediator.close()
 
@@ -389,6 +412,18 @@ class TestPartialAnswersWithLimit:
         assert result.is_partial
         assert "limit" in result.partial_query
         parse_query(result.partial_query)  # must stay a legal OQL query
+
+    def test_partial_query_text_reevaluates_exactly(self):
+        """The answer *is* a query: re-running the text equals resubmitting
+        the plan, even with the limit pushed inside the submit."""
+        mediator, servers = build_paper_mediator()
+        servers[0].take_down()
+        result = mediator.query("select x.name from x in person0 limit 1")
+        assert result.is_partial
+        servers[0].bring_up()
+        assert mediator.query(result.partial_query).rows() == ["Mary"]
+        assert mediator.resubmit(result).rows() == ["Mary"]
+        mediator.close()
 
     def test_partial_query_with_distinct_and_limit_reparses(self):
         """select distinct ... limit n must degrade, not crash the unparser."""

@@ -9,6 +9,7 @@ from repro.algebra.logical import (
     Flatten,
     Get,
     Join,
+    LogicalOp,
     Project,
     Select,
     Submit,
@@ -102,8 +103,20 @@ class TestUnparser:
         text = logical_to_oql(Distinct(Get("person0")))
         assert text == "select distinct x0 from x0 in person0"
 
-    def test_unsupported_operator_raises(self):
+    def test_bindjoin_renders_as_multi_variable_from(self):
         from repro.algebra.logical import BindJoin
+        from repro.oql.parser import parse_query
+
+        text = logical_to_oql(BindJoin(Get("a"), Get("b"), "x", "y"))
+        assert text == "select struct(x: x, y: y) from x in a, y in b"
+        parse_query(text)
+
+    def test_unsupported_operator_raises(self):
+        class Mystery(LogicalOp):
+            op_name = "mystery"
+
+            def to_text(self):
+                return "mystery()"
 
         with pytest.raises(QueryExecutionError):
-            logical_to_oql(BindJoin(Get("a"), Get("b"), "x", "y"))
+            logical_to_oql(Mystery())
