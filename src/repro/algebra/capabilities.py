@@ -25,6 +25,7 @@ from repro.algebra.logical import (
     Limit,
     LogicalOp,
     Project,
+    Rename,
     Select,
     Union,
 )
@@ -32,7 +33,21 @@ from repro.algebra.logical import (
 #: operator names a wrapper may support; ``apply`` is always mediator-side.
 #: ``limit`` is the fetch-size terminal: a wrapper declaring it accepts a row
 #: cap inside the submitted expression and stops producing server-side.
-PUSHABLE_OPERATORS = ("get", "project", "select", "join", "union", "flatten", "limit")
+#: ``rename`` is the aliasing terminal (a project-with-aliases): the namespace
+#: planner relies on it to keep colliding source attribute names apart when a
+#: multi-extent expression is pushed to one source; wrappers that do not
+#: declare it never receive aliased pushdowns (the executor splits the call
+#: into per-leaf gets instead).
+PUSHABLE_OPERATORS = (
+    "get",
+    "project",
+    "select",
+    "join",
+    "union",
+    "flatten",
+    "limit",
+    "rename",
+)
 
 
 @dataclass(frozen=True)
@@ -99,6 +114,8 @@ class Production:
             parts = ["PREDICATE", "COMMA", self.child_symbols[0]]
         elif self.operator == "limit":
             parts = ["COUNT", "COMMA", self.child_symbols[0]]
+        elif self.operator == "rename":
+            parts = ["ALIASES", "COMMA", self.child_symbols[0]]
         elif self.operator == "join":
             parts = [self.child_symbols[0], "COMMA", self.child_symbols[1], "COMMA", "ATTRIBUTE"]
         elif self.operator in ("union", "flatten", "get"):
@@ -167,6 +184,10 @@ class CapabilityGrammar:
             return isinstance(expr, Limit) and self.accepts(
                 expr.child, production.child_symbols[0]
             )
+        if operator == "rename":
+            return isinstance(expr, Rename) and self.accepts(
+                expr.child, production.child_symbols[0]
+            )
         if operator == "bag":
             return isinstance(expr, BagLiteral)
         return False
@@ -219,6 +240,8 @@ def grammar_for(operators: Iterable[str], compose: bool = True) -> CapabilityGra
         add("g", "flatten", (child,))
     if "limit" in operators:
         add("h", "limit", (child,))
+    if "rename" in operators:
+        add("i", "rename", (child,))
 
     alias_productions = [
         Production(head="a", operator=None, child_symbols=(head,)) for head in nonterminals

@@ -167,6 +167,43 @@ class Apply(LogicalOp):
 
 
 @dataclass(eq=False)
+class Rename(LogicalOp):
+    """``rename(old as new, ..., child)``: project the input to aliased attributes.
+
+    Each ``(old, new)`` pair reads attribute ``old`` of the input element and
+    emits it as ``new``; the output element carries *exactly* the listed
+    attributes (a project-with-aliases).  The mediator's namespace planner
+    injects ``rename`` around the branches of a multi-extent pushdown when two
+    extents of one source collide on a source attribute name, so that rows
+    cross the submit boundary already uniquely named and the reverse
+    (source-to-mediator) map is collision-free by construction.  Wrappers
+    advertise the ``rename`` capability terminal when they can evaluate it
+    (the SQL dialect renders it as ``AS``).
+    """
+
+    pairs: tuple[tuple[str, str], ...]
+    child: LogicalOp
+    op_name = "rename"
+
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "Rename":
+        (child,) = children
+        return Rename(self.pairs, child)
+
+    def output_attributes(self) -> tuple[str, ...]:
+        """The attribute names this operator emits."""
+        return tuple(new for _, new in self.pairs)
+
+    def to_text(self) -> str:
+        aliased = ",".join(
+            old if old == new else f"{old} as {new}" for old, new in self.pairs
+        )
+        return f"rename({aliased}, {self.child.to_text()})"
+
+
+@dataclass(eq=False)
 class Join(LogicalOp):
     """``join(left, right, attribute)``: equi-join on a shared attribute.
 

@@ -108,6 +108,28 @@ class MkProj(PhysicalOp):
 
 
 @dataclass(eq=False)
+class MkRename(PhysicalOp):
+    """``mkrename(old as new, ..., child)``: mediator-side project-with-aliases."""
+
+    pairs: tuple[tuple[str, str], ...]
+    child: PhysicalOp
+    algo_name = "mkrename"
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[PhysicalOp]) -> "MkRename":
+        (child,) = children
+        return MkRename(self.pairs, child)
+
+    def to_text(self) -> str:
+        aliased = ",".join(
+            old if old == new else f"{old} as {new}" for old, new in self.pairs
+        )
+        return f"mkrename({aliased}, {self.child.to_text()})"
+
+
+@dataclass(eq=False)
 class Filter(PhysicalOp):
     """``filter(predicate, child)``: mediator-side selection."""
 

@@ -24,9 +24,11 @@ from repro.algebra.logical import (
     Limit,
     LogicalOp,
     Project,
+    Rename,
     Select,
     Submit,
     Union,
+    walk,
 )
 from repro.errors import QueryExecutionError
 
@@ -72,7 +74,7 @@ class _Unparser:
         if isinstance(node, Flatten):
             return f"flatten({self.unparse(node.child)})"
         if isinstance(node, Limit):
-            if isinstance(node.child, (Get, Submit, Project, Select, Apply, Join, Distinct)):
+            if isinstance(node.child, (Get, Submit, Project, Rename, Select, Apply, Join, Distinct)):
                 return self.unparse(node.child) + f" limit {node.count}"
             # A limited union/flatten/literal becomes a select block so the
             # "limit" clause has a select to attach to.
@@ -93,7 +95,7 @@ class _Unparser:
             # distinct over a union/flatten/literal becomes its own block.
             variable = self.fresh_variable()
             return f"select distinct {variable} from {variable} in ({inner})"
-        if isinstance(node, (Get, Submit, Project, Select, Apply, Join, BindJoin)):
+        if isinstance(node, (Get, Submit, Project, Rename, Select, Apply, Join, BindJoin)):
             return self._render_select(node)
         raise QueryExecutionError(f"cannot render {node.to_text()} as OQL")
 
@@ -143,6 +145,24 @@ class _Unparser:
                 fields = ", ".join(f"{attr}: {variable}.{attr}" for attr in node.attributes)
                 item = f"struct({fields})"
             return item, sources, predicates, limit
+        if isinstance(node, Rename):
+            # A project-with-aliases: a struct item that reads the old names
+            # and writes the new ones.  Rename is one-to-one per element, so
+            # a limit below it commutes exactly like it does for project.
+            _item, sources, predicates, limit = self._decompose(node.child)
+            if len(sources) != 1:
+                # A rename above a join/bindjoin reads attributes off the
+                # *merged* element; without schema knowledge the attributes
+                # cannot be attributed to one block variable, so there is no
+                # faithful OQL rendering -- fail loudly rather than emit a
+                # query that reads every attribute off the first variable.
+                raise QueryExecutionError(
+                    f"cannot render {node.to_text()} as OQL: rename over a "
+                    "multi-source block has no faithful select-from rendering"
+                )
+            variable = sources[0][0]
+            fields = ", ".join(f"{new}: {variable}.{old}" for old, new in node.pairs)
+            return f"struct({fields})", sources, predicates, limit
         if isinstance(node, Select):
             child_item, sources, predicates, limit = self._decompose(node.child)
             if limit is not None:
@@ -201,9 +221,11 @@ class _Unparser:
     def _join_operand(self, side: LogicalOp) -> tuple[list[tuple[str, str]], list[str]]:
         """One join operand's sources and predicates; a limited side becomes
         its own block (the limit truncates before joining, so it cannot merge
-        into the join's block)."""
+        into the join's block).  A side containing a rename also becomes its
+        own block: the aliases change the element's attribute names before the
+        join sees them, which a merged select-from-where cannot express."""
         _item, sources, predicates, limit = self._decompose(side)
-        if limit is None:
+        if limit is None and not any(isinstance(node, Rename) for node in walk(side)):
             return sources, predicates
         variable = self.fresh_variable()
         return [(variable, self._inline_source(side))], []

@@ -27,7 +27,7 @@ def pushed_limit(expression: log.LogicalOp) -> int | None:
     expression's output and is ignored.
     """
     node = expression
-    while isinstance(node, (log.Project, log.Apply)):
+    while isinstance(node, (log.Project, log.Apply, log.Rename)):
         node = node.child
     if isinstance(node, log.Limit):
         return node.count
@@ -77,7 +77,7 @@ class CostModel:
             return self._estimate_exec(plan)
         if isinstance(plan, phys.MkBag):
             return Cost(time=0.0, rows=float(len(plan.values)))
-        if isinstance(plan, phys.MkProj):
+        if isinstance(plan, (phys.MkProj, phys.MkRename)):
             child = self.estimate(plan.child)
             time = child.time + self.mediator_operator_overhead + child.rows * self.mediator_row_cost
             return Cost(time, child.rows)

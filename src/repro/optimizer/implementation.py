@@ -30,6 +30,8 @@ def implement(node: log.LogicalOp) -> phys.PhysicalOp:
         return phys.MkProj(node.attributes, implement(node.child))
     if isinstance(node, log.Select):
         return phys.Filter(node.variable, node.predicate, implement(node.child))
+    if isinstance(node, log.Rename):
+        return phys.MkRename(node.pairs, implement(node.child))
     if isinstance(node, log.Apply):
         return phys.MkApply(node.variable, node.expression, implement(node.child))
     if isinstance(node, log.Join):
@@ -88,6 +90,8 @@ def _rebuild(node: log.LogicalOp, children: list[phys.PhysicalOp]) -> phys.Physi
         return phys.MkProj(node.attributes, children[0])
     if isinstance(node, log.Select):
         return phys.Filter(node.variable, node.predicate, children[0])
+    if isinstance(node, log.Rename):
+        return phys.MkRename(node.pairs, children[0])
     if isinstance(node, log.Apply):
         return phys.MkApply(node.variable, node.expression, children[0])
     if isinstance(node, log.BindJoin):

@@ -41,8 +41,10 @@ DEGRADABLE_ERRORS = (CapabilityError, WrapperError, NotImplementedError)
 #: unary operators the mediator can replay over returned rows.  Exactly the
 #: unary members of the pushable vocabulary: ``distinct`` is absent because
 #: it never crosses the wrapper boundary (and the source-algebra evaluator
-#: used for compensation cannot replay it).
-_STRIPPABLE = (log.Limit, log.Project, log.Select, log.Flatten)
+#: used for compensation cannot replay it).  ``rename`` is strippable like
+#: ``project``: the ladder peels an alias layer off the pushdown and the
+#: mediator replays it, so aliased pushdowns degrade coherently.
+_STRIPPABLE = (log.Limit, log.Project, log.Rename, log.Select, log.Flatten)
 
 #: leaf name standing for "the rows the degraded call returned" during
 #: compensation; never reaches a wrapper.

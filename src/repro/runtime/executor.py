@@ -35,6 +35,17 @@ Dispatch semantics (the fault-isolating exec engine):
   re-submitting the same expression the retry degrades the pushdown one rung
   -- ultimately down to a bare ``get`` -- and the stripped operators are
   replayed at the mediator over the rows that come back.
+
+Name-space planning (:meth:`Executor.namespace_plan`): a pushdown referencing
+several extents of one source is translated per branch, and when two extents
+collide on a source attribute name (both call a column ``nm``, say, but map it
+to different mediator attributes) a per-branch ``rename`` alias is injected
+into the submitted expression, so rows cross the submit boundary already
+uniquely named and the reverse (source-to-mediator) map is collision-free by
+construction.  Wrappers that cannot express the aliases never receive such a
+pushdown: the call is split into per-leaf ``get``\\ s recombined at the
+mediator (the refuse-to-push fallback) rather than ever returning mis-renamed
+rows.
 """
 
 from __future__ import annotations
@@ -42,7 +53,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Mapping, Protocol
 
 from repro.algebra import logical as log
@@ -79,6 +90,47 @@ def normalize_row(raw: Any, renames: Mapping[str, str]) -> Any:
     if isinstance(raw, Mapping):
         return ops.as_struct(rename_row(raw, renames))
     return raw
+
+
+def _wrapper_accepts(wrapper: Any, expression: log.LogicalOp) -> bool:
+    """True when the wrapper's declared grammar accepts ``expression``."""
+    try:
+        grammar = wrapper.submit_functionality()
+        return bool(grammar.accepts(expression))
+    except Exception:
+        return False
+
+
+@dataclass(frozen=True)
+class _BranchAliases:
+    """Alias assignment for one extent branch of an aliased pushdown."""
+
+    #: ``(source attribute, output name)`` pairs covering the branch's whole
+    #: vocabulary -- the argument of the injected ``rename`` operator.
+    pairs: tuple[tuple[str, str], ...]
+    #: mediator attribute -> output name, for translating references above.
+    mediator_to_output: dict[str, str]
+
+
+@dataclass
+class NamespacePlan:
+    """How one pushdown crosses the submit boundary (name-space planning).
+
+    ``expression`` is what is actually given to the wrapper: the pushdown in
+    the source's vocabulary, with a per-branch ``rename`` injected wherever
+    extents collide on a source attribute name.  ``reverse`` maps returned
+    row attributes (source names or aliases) back to mediator vocabulary;
+    with aliasing it is collision-free by construction.  When the wrapper
+    cannot express the aliases, ``split`` lists the extents to fetch with
+    bare per-leaf ``get`` calls instead (the refuse-to-push fallback);
+    ``expression`` then stays the *mediator*-namespace pushdown, to be
+    replayed at the mediator over the fetched rows.
+    """
+
+    expression: log.LogicalOp
+    reverse: dict[str, str] = field(default_factory=dict)
+    aliased: bool = False
+    split: tuple[tuple[str, MetaExtent], ...] | None = None
 
 
 def collect_errors(reports) -> dict[str, str]:
@@ -122,6 +174,11 @@ class ExecReport:
     #: submitted, when the retry policy degraded the pushdown; ``None`` when
     #: the original expression was used throughout.
     degraded_to: str | None = None
+    #: number of per-leaf wrapper calls when the pushdown was split at the
+    #: mediator (the refuse-to-push fallback for wrappers that cannot express
+    #: the aliases a colliding multi-extent expression needs); 0 when the
+    #: expression was pushed whole.
+    split_calls: int = 0
 
 
 @dataclass
@@ -193,6 +250,7 @@ class _CallOutcome:
     attempts: int
     error: str | None = None
     degraded_to: str | None = None
+    split_calls: int = 0
 
 
 class Executor:
@@ -210,6 +268,10 @@ class Executor:
         self.config = config or ExecutorConfig()
         self._subquery_planner = subquery_planner
         self._type_checked_extents: set[str] = set()
+        #: registry schema version the cached type-check verdicts belong to;
+        #: any schema change (e.g. re-registering an extent with a different
+        #: map) invalidates them.
+        self._type_checked_version: Any = None
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
         self.partial_builder = PartialAnswerBuilder(subquery_evaluator=self.evaluate_subquery)
@@ -290,6 +352,12 @@ class Executor:
             return outcomes, []
         pool = self._ensure_pool()
         started_at: dict[int, float] = {}
+        #: wrapper attempts each call has completed so far, kept current by
+        #: the workers so a write-off report can state the true count instead
+        #: of defaulting to 1 (the streaming engine tracks the same number on
+        #: its per-call state -- the two engines' attempt accounting must
+        #: agree, and the equivalence harness asserts it on report shape).
+        attempts_made: dict[int, int] = {}
         abandoned: set[int] = set()
         recorded: set[int] = set()
         # One cooperative-cancellation event per call: set on write-off so a
@@ -303,7 +371,14 @@ class Executor:
         deadline = None if timeout is None else time.monotonic() + timeout
         futures = {
             pool.submit(
-                self._run_exec, node, started_at, abandoned, recorded, guard, events[id(node)]
+                self._run_exec,
+                node,
+                started_at,
+                abandoned,
+                recorded,
+                guard,
+                events[id(node)],
+                attempts_made,
             ): node
             for node in exec_nodes
         }
@@ -362,6 +437,7 @@ class Executor:
                 rows=0,
                 available=False,
                 error=error,
+                attempts=max(1, attempts_made.get(id(node), 1)),
             )
         # Reports in submission order, whatever order the calls finished in.
         reports = [by_node[id(node)] for node in exec_nodes]
@@ -386,6 +462,7 @@ class Executor:
                 available=True,
                 attempts=outcome.attempts,
                 degraded_to=outcome.degraded_to,
+                split_calls=outcome.split_calls,
             )
         else:
             outcomes[id(node)] = Unavailable(outcome.error)
@@ -399,6 +476,7 @@ class Executor:
                 error=outcome.error,
                 attempts=outcome.attempts,
                 degraded_to=outcome.degraded_to,
+                split_calls=outcome.split_calls,
             )
 
     def _run_exec(
@@ -409,6 +487,7 @@ class Executor:
         recorded: set[int],
         guard: threading.Lock,
         event: threading.Event | None = None,
+        attempts_made: dict[int, int] | None = None,
     ) -> _CallOutcome:
         """One exec call with retries.  Wrapper failures become outcomes, not raises.
 
@@ -433,10 +512,9 @@ class Executor:
         meta = self.registry.extent(node.extent_name)
         wrapper = self.registry.wrapper_object(meta.wrapper)
         self._check_types(meta, wrapper)
-        reverse_renames = self._reverse_renames(node.expression, meta)
         pushdown = node.expression
         stripped: list[log.LogicalOp] = []
-        source_expression = self.to_source_namespace(pushdown, meta)
+        plan = self.namespace_plan(pushdown, meta, wrapper)
         started_at[id(node)] = time.monotonic()
         attempts = max(1, self.config.max_retries + 1)
         attempt = 0
@@ -444,16 +522,24 @@ class Executor:
             started = time.monotonic()
             try:
                 with cancellation.activate(event):
-                    raw_rows = wrapper.submit(source_expression)
-                    # Materialize and rename inside the try: a lazy result
-                    # that raises mid-iteration, or a malformed row, is a
-                    # source failure too, not a query crash.
-                    rows = [normalize_row(row, reverse_renames) for row in raw_rows]
+                    if plan.split is not None:
+                        # Refuse-to-push fallback: the wrapper cannot express
+                        # the aliases this colliding pushdown needs, so it is
+                        # split into per-leaf gets and recombined here.
+                        rows = list(self._split_pushdown(plan, wrapper))
+                    else:
+                        raw_rows = wrapper.submit(plan.expression)
+                        # Materialize and rename inside the try: a lazy result
+                        # that raises mid-iteration, or a malformed row, is a
+                        # source failure too, not a query crash.
+                        rows = [normalize_row(row, plan.reverse) for row in raw_rows]
                     if stripped:
                         rows = list(compensate_rows(stripped, rows))
             except Exception as exc:
                 call_elapsed = time.monotonic() - started
                 attempt += 1
+                if attempts_made is not None:
+                    attempts_made[id(node)] = attempt
                 step = None
                 exhausted = attempt >= attempts
                 if self.config.degrade_pushdown and is_capability_failure(exc):
@@ -475,9 +561,11 @@ class Executor:
                     if step is not None:
                         # Degrading retry: a strictly smaller pushdown, no
                         # backoff -- the failure was deterministic, not load.
+                        # Re-planning the namespace per rung keeps the alias
+                        # layer coherent with whatever operators remain.
                         pushdown, removed = step
                         stripped.append(removed)
-                        source_expression = self.to_source_namespace(pushdown, meta)
+                        plan = self.namespace_plan(pushdown, meta, wrapper)
                         continue
                     backoff = self.config.retry_backoff * (2 ** (attempt - 1))
                     # An event-aware sleep: a write-off wakes the backoff
@@ -495,7 +583,8 @@ class Executor:
                     elapsed=time.monotonic() - started_at[id(node)],
                     attempts=attempt,
                     error=f"{type(exc).__name__}: {exc}",
-                    degraded_to=source_expression.to_text() if stripped else None,
+                    degraded_to=plan.expression.to_text() if stripped else None,
+                    split_calls=len(plan.split or ()),
                 )
             call_elapsed = time.monotonic() - started
             with guard:
@@ -510,7 +599,8 @@ class Executor:
                 rows=rows,
                 elapsed=time.monotonic() - started_at[id(node)],
                 attempts=attempt + 1,
-                degraded_to=source_expression.to_text() if stripped else None,
+                degraded_to=plan.expression.to_text() if stripped else None,
+                split_calls=len(plan.split or ()),
             )
 
     # -- name-space translation (the local transformation map) ---------------------------------
@@ -523,13 +613,120 @@ class Executor:
         except Exception:
             return None
 
-    def to_source_namespace(self, expression: log.LogicalOp, meta: MetaExtent) -> log.LogicalOp:
+    def _branch_vocabulary(self, node_meta: MetaExtent) -> dict[str, str]:
+        """One extent's source-to-mediator attribute vocabulary, in stable order.
+
+        The keys are the attribute names the source's rows carry (interface
+        attributes translated through the local transformation map, plus any
+        further map pairs); the values are the mediator names they stand for.
+        """
+        vocabulary: dict[str, str] = {}
+        try:
+            interface_attributes = self.registry.interface_attributes(node_meta.interface)
+        except Exception:
+            interface_attributes = []
+        for attribute in interface_attributes:
+            vocabulary[node_meta.map.attribute_to_source(attribute)] = attribute
+        for source, mediator in node_meta.map.source_to_mediator.items():
+            vocabulary.setdefault(source, mediator)
+        return vocabulary
+
+    def _colliding_attributes(self, metas: Iterable[MetaExtent]) -> set[str]:
+        """Source attribute names that different extents map to different mediator names."""
+        mediator_names: dict[str, set[str]] = {}
+        for node_meta in metas:
+            for source, mediator in self._branch_vocabulary(node_meta).items():
+                mediator_names.setdefault(source, set()).add(mediator)
+        return {source for source, names in mediator_names.items() if len(names) > 1}
+
+    def _alias_plan(
+        self, metas: Iterable[MetaExtent], colliding: set[str]
+    ) -> tuple[dict[str, "_BranchAliases"], dict[str, str]]:
+        """Per-extent alias assignments plus the merged (collision-free) reverse map.
+
+        Every extent touching a colliding attribute gets a ``rename`` branch
+        covering its *whole* vocabulary, with unique output names for the
+        colliding attributes; the reverse map then keys on those outputs, so
+        no two extents can claim the same row attribute.
+        """
+        metas = list(metas)
+        taken: set[str] = set()
+        for node_meta in metas:
+            vocabulary = self._branch_vocabulary(node_meta)
+            taken.update(vocabulary)
+            taken.update(vocabulary.values())
+        aliases: dict[str, _BranchAliases] = {}
+        reverse: dict[str, str] = {}
+        for node_meta in metas:
+            vocabulary = self._branch_vocabulary(node_meta)
+            pairs: list[tuple[str, str]] = []
+            mediator_to_output: dict[str, str] = {}
+            for source, mediator in vocabulary.items():
+                output = source
+                if source in colliding:
+                    output = f"{source}__{node_meta.name}"
+                    while output in taken:
+                        output += "_"
+                    taken.add(output)
+                pairs.append((source, output))
+                mediator_to_output[mediator] = output
+                reverse[output] = mediator
+            aliases[node_meta.name] = _BranchAliases(tuple(pairs), mediator_to_output)
+        return aliases, reverse
+
+    def namespace_plan(
+        self,
+        expression: log.LogicalOp,
+        meta: MetaExtent,
+        wrapper: Any = None,
+    ) -> "NamespacePlan":
+        """Plan how ``expression`` crosses the submit boundary for one source.
+
+        Detects source attribute names that collide across the extents the
+        pushdown actually references (only the ``get`` nodes present -- the
+        submit's default extent contributes nothing unless referenced) and
+        disambiguates them by injecting a per-branch :class:`~repro.algebra.
+        logical.Rename` into the submitted expression, so the reverse map is
+        collision-free by construction.  When ``wrapper`` is given and its
+        grammar cannot express the aliased expression, the plan instead calls
+        for the refuse-to-push fallback: per-leaf ``get`` calls recombined at
+        the mediator (never mis-renamed rows).
+        """
+        resolved: dict[str, MetaExtent] = {}
+        for node in log.walk(expression):
+            if isinstance(node, log.Get):
+                node_meta = self._meta_for_collection(node.collection, meta)
+                if node_meta is not None and node_meta.name not in resolved:
+                    resolved[node_meta.name] = node_meta
+        colliding = self._colliding_attributes(resolved.values())
+        if not colliding:
+            reverse: dict[str, str] = {}
+            for node_meta in resolved.values():
+                reverse.update(node_meta.map.source_to_mediator)
+            return NamespacePlan(self.to_source_namespace(expression, meta), reverse)
+        aliases, reverse = self._alias_plan(resolved.values(), colliding)
+        translated = self.to_source_namespace(expression, meta, aliases=aliases)
+        if wrapper is not None and not _wrapper_accepts(wrapper, translated):
+            return NamespacePlan(
+                expression, aliased=True, split=tuple(resolved.items())
+            )
+        return NamespacePlan(translated, reverse, aliased=True)
+
+    def to_source_namespace(
+        self,
+        expression: log.LogicalOp,
+        meta: MetaExtent,
+        aliases: Mapping[str, "_BranchAliases"] | None = None,
+    ) -> log.LogicalOp:
         """Rename collections and attributes from mediator to source vocabulary.
 
         A pushed-down expression may reference several extents of the same
         wrapper (e.g. a join pushed to one source); each subtree is renamed
         with the map of the extent(s) *it* references, so the two sides of a
-        join can carry different local transformation maps.
+        join can carry different local transformation maps.  ``aliases``
+        (from :meth:`namespace_plan`) additionally wraps each listed extent's
+        ``get`` in a :class:`~repro.algebra.logical.Rename`, and every
+        attribute reference above it then uses the branch's output names.
         """
 
         def visit(node: log.LogicalOp) -> tuple[log.LogicalOp, dict[str, str]]:
@@ -538,7 +735,11 @@ class Executor:
                 node_meta = self._meta_for_collection(node.collection, meta)
                 if node_meta is None:
                     return node, {}
-                return log.Get(node_meta.e.source_name()), dict(node_meta.map.mediator_to_source)
+                source_get = log.Get(node_meta.e.source_name())
+                branch = (aliases or {}).get(node_meta.name)
+                if branch is None:
+                    return source_get, dict(node_meta.map.mediator_to_source)
+                return log.Rename(branch.pairs, source_get), dict(branch.mediator_to_output)
             visited = [visit(child) for child in node.children()]
             children = [translated for translated, _ in visited]
             if isinstance(node, log.Join):
@@ -567,6 +768,11 @@ class Executor:
                     ),
                     renames,
                 )
+            if isinstance(node, log.Rename):
+                # A rename already present in the pushdown: translate the old
+                # names it reads; above it only its own outputs are visible.
+                pairs = tuple((renames.get(old, old), new) for old, new in node.pairs)
+                return log.Rename(pairs, children[0]), {new: new for _, new in node.pairs}
             if isinstance(node, log.Select):
                 return (
                     log.Select(node.variable, node.predicate.rename_attributes(renames), children[0]),
@@ -579,19 +785,50 @@ class Executor:
         translated, _ = visit(expression)
         return translated
 
-    def _reverse_renames(self, expression: log.LogicalOp, meta: MetaExtent) -> dict[str, str]:
-        """Source-to-mediator attribute renames for every extent in ``expression``."""
-        renames = dict(meta.map.source_to_mediator)
-        for node in log.walk(expression):
-            if isinstance(node, log.Get):
-                node_meta = self._meta_for_collection(node.collection, meta)
-                if node_meta is not None:
-                    renames.update(node_meta.map.source_to_mediator)
-        return renames
+    def _split_pushdown(self, plan: "NamespacePlan", wrapper: Any) -> Iterator[Any]:
+        """Refuse-to-push fallback: per-leaf ``get`` calls, recombined at the mediator.
+
+        The wrapper cannot express the aliases a colliding multi-extent
+        pushdown needs, so submitting the expression whole would return
+        mis-renamed rows.  Instead every referenced extent is fetched with a
+        bare ``get`` (always within capability), each leaf's rows are renamed
+        into mediator vocabulary with its *own* map, and the full pushdown is
+        replayed at the mediator over the fetched rows.  Returns a lazy
+        iterator of mediator-vocabulary rows.
+        """
+        from repro.wrappers.base import AlgebraEvaluator  # local: avoid cycle
+
+        fetched: dict[str, list[Any]] = {}
+        for name, node_meta in plan.split or ():
+            leaf = self.namespace_plan(log.Get(name), node_meta)
+            raw_rows = wrapper.submit(leaf.expression)
+            fetched[name] = [normalize_row(row, leaf.reverse) for row in raw_rows]
+
+        def scan(collection: str) -> Iterator[Any]:
+            if collection not in fetched:
+                raise QueryExecutionError(
+                    f"split pushdown references unknown collection {collection!r}"
+                )
+            return iter(fetched[collection])
+
+        evaluator = AlgebraEvaluator(scan=scan)
+        return (ops.as_struct(row) for row in evaluator.evaluate_stream(plan.expression))
 
     def _check_types(self, meta: MetaExtent, wrapper: Any) -> None:
-        """Run-time type check: source attributes must cover the mediator type."""
-        if not self.config.type_check or meta.name in self._type_checked_extents:
+        """Run-time type check: source attributes must cover the mediator type.
+
+        Verdicts are cached per extent but keyed to the registry's schema
+        version: re-registering an extent (possibly with a different local
+        transformation map) bumps the version and drops the stale verdicts,
+        whichever path performed the registration.
+        """
+        if not self.config.type_check:
+            return
+        version = getattr(self.registry, "schema_version", None)
+        if version != self._type_checked_version:
+            self._type_checked_extents.clear()
+            self._type_checked_version = version
+        if meta.name in self._type_checked_extents:
             return
         interface_attributes = self.registry.interface_attributes(meta.interface)
         source_attributes = wrapper.source_attributes(meta.e.source_name())
@@ -641,6 +878,8 @@ class Executor:
             return (ops.as_struct(value) for value in plan.values)
         if isinstance(plan, phys.MkProj):
             return ops.project_rows(recurse(plan.child), plan.attributes)
+        if isinstance(plan, phys.MkRename):
+            return ops.rename_rows(recurse(plan.child), plan.pairs)
         if isinstance(plan, phys.Filter):
             return ops.filter_rows(
                 recurse(plan.child),

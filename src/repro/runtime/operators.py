@@ -71,6 +71,20 @@ def project_rows(elements: Iterable[Any], attributes: tuple[str, ...]) -> Iterat
             yield Struct({attr: getattr(row, attr, None) for attr in attributes})
 
 
+def rename_rows(
+    elements: Iterable[Any], pairs: tuple[tuple[str, str], ...]
+) -> Iterator[Any]:
+    """Project each record to the ``(old, new)`` aliased attributes."""
+    for element in elements:
+        row = element
+        if isinstance(row, Env):
+            row = next(iter(row.values())) if row else row
+        if isinstance(row, Mapping):
+            yield Struct({new: row.get(old) for old, new in pairs})
+        else:
+            yield Struct({new: getattr(row, old, None) for old, new in pairs})
+
+
 def filter_rows(
     elements: Iterable[Any],
     variable: str,

@@ -76,6 +76,8 @@ class PartialAnswerBuilder:
             return log.Project(plan.attributes, self.to_logical(plan.child, outcomes))
         if isinstance(plan, phys.Filter):
             return log.Select(plan.variable, plan.predicate, self.to_logical(plan.child, outcomes))
+        if isinstance(plan, phys.MkRename):
+            return log.Rename(plan.pairs, self.to_logical(plan.child, outcomes))
         if isinstance(plan, phys.MkApply):
             return log.Apply(plan.variable, plan.expression, self.to_logical(plan.child, outcomes))
         if isinstance(plan, (phys.HashJoin, phys.NestedLoopJoin)):
@@ -127,7 +129,7 @@ class PartialAnswerBuilder:
         answer keeps the paper's ``union(<query>, Bag(<data>))`` shape.
         Cascades such as ``apply(project(union(...)))`` distribute fully.
         """
-        if isinstance(plan, (log.Apply, log.Project, log.Select, log.Flatten, log.Distinct)):
+        if isinstance(plan, (log.Apply, log.Project, log.Rename, log.Select, log.Flatten, log.Distinct)):
             child = self._distribute_over_union(plan.child)
             if isinstance(child, log.Union):
                 distributed = tuple(
@@ -163,6 +165,10 @@ class PartialAnswerBuilder:
                     base_env=base_env,
                     subquery_evaluator=self._subquery_evaluator,
                 )
+            )
+        if isinstance(plan, log.Rename):
+            return list(
+                ops.rename_rows(self.evaluate_logical(plan.child, base_env), plan.pairs)
             )
         if isinstance(plan, log.Apply):
             return list(

@@ -66,12 +66,25 @@ class _Opened:
     #: final submitted (source-namespace) expression when the retry policy
     #: degraded the pushdown; None when the original was used.
     degraded_to: str | None = None
+    #: per-leaf wrapper calls when the pushdown was split at the mediator
+    #: (refuse-to-push fallback); 0 when the expression was pushed whole.
+    split_calls: int = 0
 
 
 class _ExecState:
     """Book-keeping for one exec call of a streaming plan."""
 
-    __slots__ = ("node", "future", "event", "report", "consumed", "started", "lock", "recorded")
+    __slots__ = (
+        "node",
+        "future",
+        "event",
+        "report",
+        "consumed",
+        "started",
+        "lock",
+        "recorded",
+        "attempts",
+    )
 
     def __init__(self, node: phys.Exec):
         self.node = node
@@ -85,6 +98,11 @@ class _ExecState:
         # counterpart of the barrier dispatcher's guard/abandoned/recorded).
         self.lock = threading.Lock()
         self.recorded = False
+        # Wrapper attempts completed so far, kept current by the worker so a
+        # write-off report states the true count -- the same number the
+        # barrier dispatcher tracks in ``attempts_made`` (the two engines'
+        # attempt accounting must agree; the equivalence harness asserts it).
+        self.attempts = 0
 
 
 class StreamingExecution:
@@ -243,10 +261,9 @@ class StreamingExecution:
         meta = executor.registry.extent(node.extent_name)
         wrapper = executor.registry.wrapper_object(meta.wrapper)
         executor._check_types(meta, wrapper)
-        renames = executor._reverse_renames(node.expression, meta)
         pushdown = node.expression
         stripped: list = []
-        source_expression = executor.to_source_namespace(pushdown, meta)
+        plan = executor.namespace_plan(pushdown, meta, wrapper)
         state.started = time.monotonic()
         attempts = max(1, config.max_retries + 1)
         attempt = 0
@@ -254,9 +271,17 @@ class StreamingExecution:
             attempt_started = time.monotonic()
             try:
                 with cancellation.activate(state.event):
-                    rows = wrapper.submit_stream(source_expression)
+                    if plan.split is not None:
+                        # Refuse-to-push fallback: per-leaf gets are fetched
+                        # eagerly (so open failures retry exactly like the
+                        # barrier path); the recombination over them stays a
+                        # lazy mediator-vocabulary iterator.
+                        rows = executor._split_pushdown(plan, wrapper)
+                    else:
+                        rows = wrapper.submit_stream(plan.expression)
             except Exception as exc:
                 attempt += 1
+                state.attempts = attempt
                 call_elapsed = time.monotonic() - attempt_started
                 cancelled = state.event.is_set()
                 step = None
@@ -280,9 +305,11 @@ class StreamingExecution:
                     if step is not None:
                         # Degrading retry: strictly smaller pushdown, no
                         # backoff -- the failure was deterministic, not load.
+                        # Re-planning per rung keeps the alias layer coherent
+                        # with whatever operators remain.
                         pushdown, removed = step
                         stripped.append(removed)
-                        source_expression = executor.to_source_namespace(pushdown, meta)
+                        plan = executor.namespace_plan(pushdown, meta, wrapper)
                         continue
                     backoff = config.retry_backoff * (2 ** (attempt - 1))
                     # Event-aware: a write-off wakes the backoff immediately.
@@ -293,11 +320,14 @@ class StreamingExecution:
                     error=f"{type(exc).__name__}: {exc}",
                     elapsed=time.monotonic() - state.started,
                     attempts=attempt,
-                    degraded_to=source_expression.to_text() if stripped else None,
+                    degraded_to=plan.expression.to_text() if stripped else None,
+                    split_calls=len(plan.split or ()),
                 )
             break
         elapsed = time.monotonic() - state.started
-        degraded_to = source_expression.to_text() if stripped else None
+        degraded_to = plan.expression.to_text() if stripped else None
+        # Split-pushdown rows arrive already in mediator vocabulary.
+        renames: dict = {} if plan.split is not None else dict(plan.reverse)
         if stripped:
             # Rename here (once), then replay the stripped operators lazily;
             # the consumer sees mediator-vocabulary rows and an empty map.
@@ -322,6 +352,7 @@ class StreamingExecution:
             elapsed=elapsed,
             attempts=attempt + 1,
             degraded_to=degraded_to,
+            split_calls=len(plan.split or ()),
         )
 
     # -- consumer side ------------------------------------------------------------------------
@@ -378,7 +409,11 @@ class StreamingExecution:
                     state.recorded = True
             state.future.cancel()
             state.report = self._report(
-                state, rows=0, available=False, error=self._timeout_text()
+                state,
+                rows=0,
+                available=False,
+                error=self._timeout_text(),
+                attempts=max(1, state.attempts),
             )
             return
         if opened.error is not None:
@@ -389,6 +424,7 @@ class StreamingExecution:
                 error=opened.error,
                 attempts=opened.attempts,
                 degraded_to=opened.degraded_to,
+                split_calls=opened.split_calls,
             )
             return
         renames = opened.renames
@@ -411,6 +447,7 @@ class StreamingExecution:
                         error=self._timeout_text(),
                         attempts=opened.attempts,
                         degraded_to=opened.degraded_to,
+                        split_calls=opened.split_calls,
                     )
                     return
                 pulled = time.monotonic()
@@ -428,6 +465,7 @@ class StreamingExecution:
                         error=f"{type(exc).__name__}: {exc}",
                         attempts=opened.attempts,
                         degraded_to=opened.degraded_to,
+                        split_calls=opened.split_calls,
                     )
                     return
                 source_time += time.monotonic() - pulled
@@ -450,6 +488,7 @@ class StreamingExecution:
             rows=opened.sized or state.consumed,
             attempts=opened.attempts,
             degraded_to=opened.degraded_to,
+            split_calls=opened.split_calls,
         )
 
     def _union_in_completion_order(
@@ -514,7 +553,10 @@ class StreamingExecution:
                 if state.report is None:
                     # Never (or only partly) consumed: written off, not failed.
                     state.event.set()
-                    overrides: dict = {"cancelled": True}
+                    overrides: dict = {
+                        "cancelled": True,
+                        "attempts": max(1, state.attempts),
+                    }
                     future = state.future
                     if future is not None:
                         future.cancel()
@@ -527,5 +569,6 @@ class StreamingExecution:
                                 overrides.update(
                                     attempts=opened.attempts,
                                     degraded_to=opened.degraded_to,
+                                    split_calls=opened.split_calls,
                                 )
                     state.report = self._report(state, **overrides)

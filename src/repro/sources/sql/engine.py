@@ -53,20 +53,39 @@ class SqlEngine:
 
     def execute_statement(self, statement: SelectStatement) -> list[Row]:
         """Execute an already-parsed SELECT statement."""
-        rows = self.engine.scan(statement.table)
+        rows = self._rows_for(statement.table)
         for join in statement.joins:
-            right_rows = self.engine.scan(join.table)
+            right_rows = self._rows_for(join.table)
             rows = self.engine.join(
                 rows, right_rows, on=(join.left_column.name, join.right_column.name)
             )
         if statement.where is not None:
             rows = [row for row in rows if self._evaluate(statement.where, row)]
         if statement.columns is not None:
-            names = [column.name for column in statement.columns]
-            rows = self.engine.project(rows, names)
+            # Aliases (``col AS name``) rename while projecting; a derived
+            # table built this way exposes uniquely named columns before any
+            # enclosing join merges rows.  Unknown columns stay an error,
+            # like the storage engine's own projection.
+            projected: list[Row] = []
+            for row in rows:
+                missing = [c.name for c in statement.columns if c.name not in row]
+                if missing:
+                    raise QueryExecutionError(
+                        f"projection refers to unknown column(s) {missing!r}"
+                    )
+                projected.append(
+                    {c.output_name(): row[c.name] for c in statement.columns}
+                )
+            rows = projected
         if statement.limit is not None:
             rows = rows[: max(statement.limit, 0)]
         return rows
+
+    def _rows_for(self, table_ref: Any) -> list[Row]:
+        """Rows of a FROM/JOIN operand: a base table or a derived table."""
+        if isinstance(table_ref, SelectStatement):
+            return self.execute_statement(table_ref)
+        return self.engine.scan(table_ref)
 
     # -- predicate evaluation -------------------------------------------------------------
     def _evaluate(self, expr: Any, row: Mapping[str, Any]) -> bool:

@@ -2,15 +2,23 @@
 
 Grammar (roughly)::
 
-    select    := SELECT projection FROM table (JOIN table ON column = column)*
+    select    := SELECT projection FROM table_ref
+                 (JOIN table_ref ON column = column)*
                  (WHERE expr)? (LIMIT number)?
-    projection:= '*' | column (',' column)*
+    table_ref := IDENT | '(' select ')'
+    projection:= '*' | item (',' item)*
+    item      := column (AS IDENT)?
     expr      := term (OR term)*
     term      := factor (AND factor)*
     factor    := NOT factor | '(' expr ')' | comparison
     comparison:= operand cmp_op operand
     operand   := column | NUMBER | STRING | TRUE | FALSE | NULL
     column    := IDENT ('.' IDENT)?
+
+``AS`` aliases and derived tables exist for the mediator's namespace
+aliasing: a pushed multi-extent join whose source columns collide arrives as
+``SELECT * FROM (SELECT id, nm AS nm__emp0 FROM t_emp) JOIN (...) ON ...``,
+so each branch's columns are uniquely named *before* the join merges rows.
 """
 
 from __future__ import annotations
@@ -25,14 +33,22 @@ from repro.sources.sql.lexer import SqlLexer, SqlToken
 # -- AST ---------------------------------------------------------------------------
 @dataclass(frozen=True)
 class ColumnRef:
-    """A column reference, optionally qualified by a table name."""
+    """A column reference, optionally qualified by a table name and aliased."""
 
     name: str
     table: str | None = None
+    #: output name when the projection item carries ``AS alias``; None keeps
+    #: the column's own name.
+    alias: str | None = None
+
+    def output_name(self) -> str:
+        """The name this column contributes to the result row."""
+        return self.alias or self.name
 
     def render(self) -> str:
         """Render back to SQL text."""
-        return f"{self.table}.{self.name}" if self.table else self.name
+        text = f"{self.table}.{self.name}" if self.table else self.name
+        return f"{text} AS {self.alias}" if self.alias else text
 
 
 @dataclass(frozen=True)
@@ -72,19 +88,27 @@ class BooleanExpr:
 
 @dataclass(frozen=True)
 class JoinClause:
-    """``JOIN <table> ON <left column> = <right column>``."""
+    """``JOIN <table ref> ON <left column> = <right column>``.
 
-    table: str
+    ``table`` is either a table name or a nested :class:`SelectStatement`
+    (a derived table).
+    """
+
+    table: Any
     left_column: ColumnRef
     right_column: ColumnRef
 
 
 @dataclass(frozen=True)
 class SelectStatement:
-    """A parsed SELECT statement."""
+    """A parsed SELECT statement.
+
+    ``table`` is either a table name (str) or a nested
+    :class:`SelectStatement` -- a derived table, ``FROM (SELECT ...)``.
+    """
 
     columns: tuple[ColumnRef, ...] | None  # None means '*'
-    table: str
+    table: Any
     joins: tuple[JoinClause, ...] = ()
     where: Any | None = None
     limit: int | None = None
@@ -139,13 +163,22 @@ class SqlParser:
     # -- grammar ----------------------------------------------------------------------
     def parse(self) -> SelectStatement:
         """Parse one SELECT statement; trailing input is an error."""
+        statement = self._select()
+        trailing = self._peek()
+        if trailing.kind != "EOF":
+            raise ParseError(
+                f"unexpected trailing input {trailing.text!r}", column=trailing.position
+            )
+        return statement
+
+    def _select(self) -> SelectStatement:
         self._expect_keyword("SELECT")
         columns = self._projection()
         self._expect_keyword("FROM")
-        table = self._expect("IDENT").text
+        table = self._table_ref()
         joins: list[JoinClause] = []
         while self._match_keyword("JOIN"):
-            join_table = self._expect("IDENT").text
+            join_table = self._table_ref()
             self._expect_keyword("ON")
             left = self._column()
             self._expect("OP", "=")
@@ -163,22 +196,32 @@ class SqlParser:
                     column=token.position,
                 )
             limit = int(token.text)
-        trailing = self._peek()
-        if trailing.kind != "EOF":
-            raise ParseError(
-                f"unexpected trailing input {trailing.text!r}", column=trailing.position
-            )
         return SelectStatement(
             columns=columns, table=table, joins=tuple(joins), where=where, limit=limit
         )
 
+    def _table_ref(self) -> Any:
+        """A table name, or a parenthesized derived table ``(SELECT ...)``."""
+        if self._match_op("("):
+            statement = self._select()
+            self._expect("OP", ")")
+            return statement
+        return self._expect("IDENT").text
+
     def _projection(self) -> tuple[ColumnRef, ...] | None:
         if self._match_op("*"):
             return None
-        columns = [self._column()]
+        columns = [self._projection_item()]
         while self._match_op(","):
-            columns.append(self._column())
+            columns.append(self._projection_item())
         return tuple(columns)
+
+    def _projection_item(self) -> ColumnRef:
+        column = self._column()
+        if self._match_keyword("AS"):
+            alias = self._expect("IDENT").text
+            return ColumnRef(name=column.name, table=column.table, alias=alias)
+        return column
 
     def _column(self) -> ColumnRef:
         first = self._expect("IDENT").text

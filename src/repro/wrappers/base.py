@@ -20,6 +20,7 @@ from repro.algebra.logical import (
     Limit,
     LogicalOp,
     Project,
+    Rename,
     Select,
     Union,
 )
@@ -149,6 +150,12 @@ class AlgebraEvaluator:
             attributes = expression.attributes
             return (
                 {attr: row.get(attr) for attr in attributes}
+                for row in self.evaluate_stream(expression.child)
+            )
+        if isinstance(expression, Rename):
+            pairs = expression.pairs
+            return (
+                {new: row.get(old) for old, new in pairs}
                 for row in self.evaluate_stream(expression.child)
             )
         if isinstance(expression, Select):

@@ -46,7 +46,9 @@ class GeneratorWrapper(Wrapper):
         super().__init__(
             name,
             capabilities
-            or CapabilitySet.of("get", "project", "select", "union", "flatten", "limit"),
+            or CapabilitySet.of(
+                "get", "project", "select", "union", "flatten", "limit", "rename"
+            ),
         )
         self._scans = dict(scans)
         self._attributes = {k: list(v) for k, v in (attributes or {}).items()}

@@ -3,10 +3,12 @@
 This is the reproduction's ``WrapperPostgres``: the pushed logical expression
 is rendered as SQL text, shipped to the SQL engine through the simulated
 server, parsed and executed there.  Only the operators that have an SQL
-rendering are advertised (``get``, ``project``, ``select``, ``join``), and
-only predicates built from comparisons of attributes and constants can cross
-the boundary -- richer predicates raise :class:`WrapperError` so the optimizer
-keeps them at the mediator.
+rendering are advertised (``get``, ``project``, ``select``, ``join``,
+``limit`` and ``rename`` -- the aliasing the namespace planner injects for
+colliding multi-extent pushdowns, rendered as ``col AS alias`` inside a
+derived table), and only predicates built from comparisons of attributes and
+constants can cross the boundary -- richer predicates raise
+:class:`WrapperError` so the optimizer keeps them at the mediator.
 """
 
 from __future__ import annotations
@@ -22,7 +24,7 @@ from repro.algebra.expressions import (
     Path,
     Var,
 )
-from repro.algebra.logical import Get, Join, Limit, LogicalOp, Project, Select
+from repro.algebra.logical import Get, Join, Limit, LogicalOp, Project, Rename, Select
 from repro.errors import WrapperError
 from repro.sources.server import SimulatedServer
 from repro.sources.sql.engine import SqlEngine
@@ -35,7 +37,8 @@ class SqlWrapper(Wrapper):
     def __init__(self, name: str, server: SimulatedServer, capabilities: CapabilitySet | None = None):
         super().__init__(
             name,
-            capabilities or CapabilitySet.of("get", "project", "select", "join", "limit"),
+            capabilities
+            or CapabilitySet.of("get", "project", "select", "join", "limit", "rename"),
         )
         self.server = server
 
@@ -67,6 +70,21 @@ class SqlWrapper(Wrapper):
     ) -> tuple[list[str], str, list[tuple[str, str, str]], list[str], int | None]:
         if isinstance(expression, Get):
             return [], expression.collection, [], [], None
+        if isinstance(expression, Rename):
+            # The namespace planner's aliasing shape: rename directly over a
+            # source table.  It renders as a derived table whose SELECT list
+            # aliases the colliding columns with AS -- per branch, *before*
+            # any join merges rows, so the aliases actually disambiguate.
+            if not isinstance(expression.child, Get):
+                raise WrapperError(
+                    "SQL wrapper renders rename only directly over a source table"
+                )
+            items = ", ".join(
+                old if old == new else f"{old} AS {new}"
+                for old, new in expression.pairs
+            )
+            derived = f"(SELECT {items} FROM {expression.child.collection})"
+            return [], derived, [], [], None
         if isinstance(expression, Limit):
             columns, table, joins, predicates, limit = self._decompose(expression.child)
             limit = expression.count if limit is None else min(limit, expression.count)

@@ -22,6 +22,7 @@ The agreed semantics being pinned:
 
 from __future__ import annotations
 
+import os
 import random
 from collections import Counter
 from collections.abc import Mapping
@@ -29,16 +30,24 @@ from collections.abc import Mapping
 import pytest
 
 from repro import Mediator, RelationalWrapper
+from repro.algebra.capabilities import CapabilitySet
+from repro.algebra.logical import Get, Join, Select, Submit
+from repro.datamodel.mapping import LocalTransformationMap
 from repro.datamodel.values import Bag, Struct
+from repro.optimizer.implementation import implement
 from repro.sources import RelationalEngine, SimulatedServer, TableSchema
 
 NAMES = ["ann", "bob", "cleo", "dan", "eve"]
-SEEDS = range(104)
+#: the nightly CI job raises this to 1000 via DISCO_EQUIV_SEEDS.
+SEEDS = range(int(os.environ.get("DISCO_EQUIV_SEEDS", "104")))
 
 
 def build_mediator():
     """Two Person sources (members of the implicit ``person`` extent) plus a
-    ``dept0`` collection co-hosted with person0 for join queries."""
+    ``dept0`` collection co-hosted with person0 for join queries, plus a pair
+    of *colliding* extents (``cat0``/``flag0`` both call their source column
+    ``nm`` but map it to different mediator attributes) so the generator can
+    produce queries that exercise the namespace planner's aliasing."""
     engine0 = RelationalEngine(name="db0")
     engine0.create_table(
         "person0",
@@ -51,6 +60,16 @@ def build_mediator():
         "dept0",
         schema=TableSchema.of(("id", int), ("dname", str)),
         rows=[{"id": i, "dname": f"d{i % 3}"} for i in range(8)],
+    )
+    engine0.create_table(
+        "t_cat",
+        schema=TableSchema.of(("id", int), ("nm", str)),
+        rows=[{"id": i, "nm": f"cat{i % 4}"} for i in range(9)],
+    )
+    engine0.create_table(
+        "t_flag",
+        schema=TableSchema.of(("id", int), ("nm", str)),
+        rows=[{"id": i, "nm": f"flag{i % 2}"} for i in range(7)],
     )
     engine1 = RelationalEngine(name="db1")
     engine1.create_table(
@@ -79,12 +98,40 @@ def build_mediator():
     mediator.add_extent("person0", "Person", "w0", "r0")
     mediator.add_extent("person1", "Person", "w1", "r1")
     mediator.add_extent("dept0", "Dept", "w0", "r0")
+    mediator.define_interface(
+        "Cat", [("id", "Long"), ("cat", "String")], extent_name="cats"
+    )
+    mediator.define_interface(
+        "Flag", [("id", "Long"), ("flag", "String")], extent_name="flags"
+    )
+    mediator.add_extent(
+        "cat0",
+        "Cat",
+        "w0",
+        "r0",
+        map=LocalTransformationMap.from_pairs([("t_cat", "cat0"), ("nm", "cat")]),
+    )
+    mediator.add_extent(
+        "flag0",
+        "Flag",
+        "w0",
+        "r0",
+        map=LocalTransformationMap.from_pairs([("t_flag", "flag0"), ("nm", "flag")]),
+    )
     return mediator, [server0, server1]
 
 
 def random_query(rng: random.Random) -> tuple[str, int | None]:
     """One random OQL query; returns (text-without-limit, limit-or-None)."""
-    if rng.random() < 0.25:  # bind-join over co-hosted and cross-source extents
+    roll = rng.random()
+    if roll < 0.15:  # colliding schema: both extents' source column is "nm"
+        item = rng.choice(
+            ["struct(c: x.cat, f: y.flag)", "x.cat", "struct(i: x.id, f: y.flag)"]
+        )
+        text = f"select {item} from x in cat0 and y in flag0 where x.id = y.id"
+        if rng.random() < 0.4:
+            text += f" and x.id > {rng.randint(0, 5)}"
+    elif roll < 0.35:  # bind-join over co-hosted and cross-source extents
         right = rng.choice(["dept0", "person1"])
         if right == "dept0":
             item = rng.choice(["x.name", "struct(n: x.name, d: y.dname)", "y.dname"])
@@ -124,6 +171,23 @@ def multiset(rows) -> Counter:
     return Counter(canon(row) for row in rows)
 
 
+def report_shape(reports) -> dict:
+    """Per-call attempt accounting, comparable across the two engines.
+
+    Cancelled calls are excluded (a satisfied streaming limit may write off
+    a call the barrier engine ran to completion); everything else must agree
+    on how many wrapper attempts were made and whether the pushdown was
+    split into per-leaf calls.
+    """
+    shape: dict = {}
+    for report in reports:
+        if report.cancelled:
+            continue
+        key = (report.extent_name, report.expression)
+        shape[key] = (report.attempts, report.split_calls)
+    return shape
+
+
 @pytest.mark.parametrize("seed", SEEDS)
 def test_engines_agree(seed):
     rng = random.Random(seed)
@@ -152,6 +216,8 @@ def test_engines_agree(seed):
             if limit is None:
                 assert multiset(barrier_rows) == reference
                 assert multiset(streamed_rows) == reference
+                # Attempt accounting agrees call for call.
+                assert report_shape(streamed.reports) == report_shape(barrier.reports)
             else:
                 expected = min(limit, sum(reference.values()))
                 assert len(barrier_rows) == expected
@@ -183,6 +249,7 @@ def test_engines_agree(seed):
                     barrier.unavailable_sources
                 )
                 assert set(streamed.errors()) == set(barrier.errors())
+                assert report_shape(streamed.reports) == report_shape(barrier.reports)
                 assert not multiset(streamed_rows) - reference
             else:
                 # A satisfied limit may cancel the failing branch first, in
@@ -196,5 +263,101 @@ def test_engines_agree(seed):
                     )
                 else:
                     assert len(streamed_rows) == min(limit, len(streamed_rows))
+    finally:
+        mediator.close()
+
+
+# -- pushed colliding joins (plan-level differential) ----------------------------------------
+#: OQL multi-variable queries join at the mediator, so pushed multi-extent
+#: joins -- the shape the namespace planner aliases -- are exercised with
+#: hand-built submit plans, randomly over rename-capable wrappers (aliased
+#: pushdown) and rename-less ones (refuse-to-push split fallback).
+PUSHDOWN_SEEDS = range(max(13, len(SEEDS) // 8))
+
+
+def build_pushdown_mediator(with_rename: bool):
+    engine = RelationalEngine(name="dbp")
+    engine.create_table(
+        "t_cat",
+        schema=TableSchema.of(("id", int), ("nm", str)),
+        rows=[{"id": i, "nm": f"cat{i % 4}"} for i in range(9)],
+    )
+    engine.create_table(
+        "t_flag",
+        schema=TableSchema.of(("id", int), ("nm", str)),
+        rows=[{"id": i, "nm": f"flag{i % 2}"} for i in range(7)],
+    )
+    server = SimulatedServer(name="hp", store=engine)
+    capabilities = (
+        None if with_rename else CapabilitySet.of("get", "project", "select", "join")
+    )
+    mediator = Mediator(name="pushdiff")
+    mediator.register_wrapper(
+        "w0", RelationalWrapper("w0", server, capabilities=capabilities)
+    )
+    mediator.create_repository("r0")
+    mediator.define_interface(
+        "Cat", [("id", "Long"), ("cat", "String")], extent_name="cats"
+    )
+    mediator.define_interface(
+        "Flag", [("id", "Long"), ("flag", "String")], extent_name="flags"
+    )
+    mediator.add_extent(
+        "cat0",
+        "Cat",
+        "w0",
+        "r0",
+        map=LocalTransformationMap.from_pairs([("t_cat", "cat0"), ("nm", "cat")]),
+    )
+    mediator.add_extent(
+        "flag0",
+        "Flag",
+        "w0",
+        "r0",
+        map=LocalTransformationMap.from_pairs([("t_flag", "flag0"), ("nm", "flag")]),
+    )
+    return mediator, server
+
+
+@pytest.mark.parametrize("seed", PUSHDOWN_SEEDS)
+def test_engines_agree_on_pushed_colliding_joins(seed):
+    from repro.algebra.expressions import Comparison, Const, Path, Var
+
+    rng = random.Random(77_000 + seed)
+    with_rename = rng.random() < 0.5
+    mediator, server = build_pushdown_mediator(with_rename)
+    try:
+        expression = Join(Get("cat0"), Get("flag0"), "id")
+        if rng.random() < 0.5:
+            predicate = Comparison(">", Path(Var("x"), "id"), Const(rng.randint(0, 6)))
+            expression = Select("x", predicate, expression)
+        plan = implement(Submit("r0", expression, extent_name="cat0"))
+
+        healthy = mediator.executor.execute(plan)
+        assert not healthy.is_partial
+        reference = multiset(healthy.data.to_list())
+        # The mediator vocabulary survives the collision in every row.
+        for row in healthy.data.to_list():
+            fields = dict(row)
+            assert "cat" in fields and "flag" in fields and "nm" not in fields
+
+        fault = rng.random() < 0.25
+        if fault:
+            server.take_down()
+        barrier = mediator.executor.execute(plan)
+        stream = mediator.executor.execute_stream(plan)
+        streamed_rows = stream.to_list()
+        if fault:
+            assert barrier.is_partial and stream.is_partial
+            assert set(barrier.unavailable_sources) == {"cat0"}
+            assert set(stream.unavailable_sources) == {"cat0"}
+            assert report_shape(stream.reports) == report_shape(barrier.reports)
+        else:
+            assert multiset(barrier.data.to_list()) == reference
+            assert multiset(streamed_rows) == reference
+            assert report_shape(stream.reports) == report_shape(barrier.reports)
+            expected_split = 0 if with_rename else 2
+            for report in (*barrier.reports, *stream.reports):
+                assert report.split_calls == expected_split
     finally:
         mediator.close()

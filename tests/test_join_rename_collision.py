@@ -1,18 +1,20 @@
-"""Executable documentation of the multi-extent reverse-rename bug.
+"""Regression tests for the multi-extent reverse-rename collision.
 
-When a join is pushed down to one source, the executor merges the local
-transformation maps of *every* extent the expression references into a single
-reverse (source -> mediator) rename dictionary
-(:meth:`Executor._reverse_renames`).  If two extents map the *same* source
-attribute name to *different* mediator attributes -- here both source tables
-call the column ``nm`` but one extent maps it to ``name`` and the other to
-``label`` -- the merged dictionary can keep only one entry, and the joined
-rows come back with one of the mediator attributes missing or mis-valued.
-Disambiguating would need per-branch row tagging (ROADMAP item); until then
-this xfail pins the failure mode.
+When a join is pushed down to one source, the executor used to merge the
+local transformation maps of *every* extent the expression references into a
+single flat reverse (source -> mediator) rename dictionary.  If two extents
+map the *same* source attribute name to *different* mediator attributes --
+here both source tables call the column ``nm`` but one extent maps it to
+``name`` and the other to ``label`` -- the merged dictionary could keep only
+one entry, and the joined rows came back with one of the mediator attributes
+missing or mis-valued.
+
+The namespace planner (:meth:`Executor.namespace_plan`) now detects the
+collision and injects a per-branch ``rename`` alias into the submitted
+expression, so rows cross the submit boundary already uniquely named and the
+reverse map is collision-free by construction.  These tests pin the fixed
+behaviour (they were a strict xfail while the bug was open).
 """
-
-import pytest
 
 from repro import Mediator, RelationalWrapper
 from repro.algebra.logical import Get, Join, Submit
@@ -61,11 +63,6 @@ def build_colliding_mediator():
     return mediator
 
 
-@pytest.mark.xfail(
-    reason="colliding source attribute names across extents merge incorrectly "
-    "in the reverse rename map; needs per-branch row tagging (ROADMAP)",
-    strict=True,
-)
 def test_pushed_join_disambiguates_colliding_source_attributes():
     mediator = build_colliding_mediator()
     try:
@@ -78,9 +75,12 @@ def test_pushed_join_disambiguates_colliding_source_attributes():
         rows = sorted(result.data.to_list(), key=lambda row: row["id"])
         # The mediator vocabulary keeps the extents' attributes apart ...
         assert rows[0]["name"] == "mary"
-        assert rows[0]["label"] == "engineering"  # lost: both came from "nm"
+        assert rows[0]["label"] == "engineering"  # both came from "nm"
         assert rows[1]["name"] == "sam"
         assert rows[1]["label"] == "sales"
+        # ... because the submitted expression aliased each branch.
+        (report,) = result.reports
+        assert report.available and report.split_calls == 0
     finally:
         mediator.close()
 
