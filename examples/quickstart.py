@@ -1,8 +1,15 @@
 """Quickstart: the paper's running example, end to end.
 
 Builds the two-source Person mediator of Sections 1.2-1.3, runs the
-introductory query, shows the optimizer's plan, then takes one source down to
-demonstrate partial-answer semantics and re-submission.
+introductory query, shows the optimizer's plan, takes one source down to
+demonstrate partial-answer semantics and re-submission, then kills a source
+*mid-stream* to show the streaming engine's resume-token recovery.
+
+Execution knobs (`ExecutorConfig`, see the README table): `timeout`,
+`max_parallel_calls`, `max_retries`, `retry_backoff`, `degrade_pushdown`,
+`resume_midstream`, `replay_resume`, `type_check`.  The first four are
+`Mediator(...)` constructor arguments; everything is settable on
+`mediator.executor.config`.
 
 Run with:  python examples/quickstart.py
 """
@@ -77,6 +84,28 @@ def main() -> None:
     mediator.create_repository("r2", host="inria")
     mediator.add_extent("person2", "Person", "w2", "r2")
     print(f"answer:  {mediator.query(query).data}")
+
+    print("\n-- streaming: rodin's connection drops mid-stream; the resume token recovers it --")
+    # Grow rodin's extent so there is a mid-stream to die in, then kill the
+    # connection after two rows.  One retry of budget is all the recovery
+    # needs; the relational wrapper declares the `token` resume capability,
+    # so the reopened call seeks past the two delivered rows *source-side*
+    # and ships only the remainder -- every row crosses the wire exactly once.
+    server0.store.table("person0").insert_many(
+        {"id": 10 + i, "name": f"Colleague{i}", "salary": 80 + i} for i in range(5)
+    )
+    mediator.executor.config.max_retries = 1
+    server0.availability.kill_after(2)
+    streamed = mediator.query_stream("select x.name from x in person")
+    rows = sorted(streamed.iter_rows())
+    report = next(r for r in streamed.reports if r.extent_name == "person0")
+    print(f"rows:    {rows}")
+    print(f"person0: resumed_calls={report.resumed_calls}, "
+          f"replayed_rows={report.replayed_rows}, attempts={report.attempts}")
+    print(f"rodin:   rows skipped source-side on resume = "
+          f"{server0.statistics.rows_skipped}")
+
+    mediator.close()
 
 
 if __name__ == "__main__":

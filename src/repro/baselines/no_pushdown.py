@@ -21,6 +21,9 @@ class GetOnlyWrapper(Wrapper):
     def __init__(self, inner: Wrapper):
         super().__init__(f"{inner.name}-get-only", CapabilitySet.get_only())
         self.inner = inner
+        # Stripping capabilities does not change how the source's cursor
+        # behaves: mid-stream resume support passes through.
+        self.resume_support = inner.resume_support
 
     def _execute(self, expression: LogicalOp) -> list[Row]:
         if not isinstance(expression, Get):
@@ -36,6 +39,13 @@ class GetOnlyWrapper(Wrapper):
                 f"{self.name!r} only evaluates get(collection); got {expression.to_text()}"
             )
         return self.inner.submit_stream(expression)
+
+    def _resume_stream(self, expression: LogicalOp, token):
+        if not isinstance(expression, Get):
+            raise WrapperError(
+                f"{self.name!r} only evaluates get(collection); got {expression.to_text()}"
+            )
+        return self.inner.submit_stream(expression, resume_from=token)
 
     def source_collections(self) -> list[str]:
         return self.inner.source_collections()

@@ -143,6 +143,17 @@ class CostModel:
         raise OptimizationError(f"no cost function for physical operator {plan.to_text()}")
 
     def _estimate_exec(self, plan: phys.Exec) -> Cost:
+        """Estimate one exec call from its recorded history.
+
+        Mid-stream deaths feed this estimate from both sides: a recovered
+        call records the death as a failure observation (lowering the
+        extent's availability EWMA, which inflates ``time`` below) *and* a
+        token-resumed reopen charges only the remaining rows at the simulated
+        server, so the learned latency of a flaky-but-resumable source stays
+        close to what one clean transfer of the extent costs -- rather than
+        the cost of shipping it twice, which is what reopen-and-skip replays
+        (and what keeps token capability worth declaring).
+        """
         estimate = self.history.estimate(plan.extent_name, plan.expression)
         rows = max(estimate.rows, 0.0)
         cap = pushed_limit(plan.expression)

@@ -10,10 +10,13 @@ path check it cooperatively:
   set it when the call is written off (deadline expiry, query abort, or a
   satisfied ``limit``);
 * the worker thread installs its event in a thread-local slot around the
-  wrapper round trip (:func:`activate`);
+  wrapper round trip (:func:`activate`) -- including mid-stream *reopens*,
+  which run on the consumer thread but must still wake when the call is
+  written off;
 * anything downstream that would block -- the simulated server's latency
-  sleep, a retry backoff -- calls :func:`sleep` / :func:`cancelled` instead
-  of :func:`time.sleep`, and returns early when the event fires.
+  sleep, a retry backoff, the pre-reopen backoff of a mid-stream resume --
+  calls :func:`sleep` / :func:`cancelled` instead of :func:`time.sleep`, and
+  returns early when the event fires.
 
 This is what keeps the shared worker pool free of zombie threads under
 sustained timeouts: a cancelled call stops sleeping immediately instead of

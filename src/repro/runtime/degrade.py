@@ -24,6 +24,20 @@ the call, so the ladder stops there.
 
 Both execution engines use this module: the barrier executor inside
 :meth:`Executor._run_exec` and the streaming engine when opening a call.
+
+Interplay with mid-stream resume (the streaming engine's recovery of calls
+that die *after* delivering rows): compensation changes the relationship
+between source cursor positions and delivered rows -- a stripped ``select``
+filters, a stripped ``flatten`` expands -- so a degraded call can never be
+resumed from a source-side token.  A degraded resubmission after partial
+delivery therefore always takes the *replay* path: the reopened stream is
+re-compensated from scratch with the same stripped operators (every rung of
+the ladder computes the same overall expression, so a deterministic source
+reproduces the identical output prefix whatever rung the reopen lands on)
+and the mediator skips the rows it already delivered.  Symmetrically, when a
+*reopen* itself hits a capability failure and degrades mid-recovery, the
+streaming engine abandons the token it was about to use and falls back to
+replay-and-skip for the same reason.
 """
 
 from __future__ import annotations

@@ -179,6 +179,18 @@ class ExecReport:
     #: the aliases a colliding multi-extent expression needs); 0 when the
     #: expression was pushed whole.
     split_calls: int = 0
+    #: number of successful mid-stream recoveries: the call died after
+    #: delivering rows and was reopened (source-side resume token, or
+    #: deterministic replay) without duplicating or dropping a row.  Always 0
+    #: on the barrier path, which materializes whole calls -- a barrier call
+    #: that dies mid-transfer is retried from scratch, nothing having been
+    #: delivered.
+    resumed_calls: int = 0
+    #: rows that were re-shipped by a replay reopen and silently dropped at
+    #: the mediator because they had already been delivered (dedup by
+    #: delivered-row count).  0 for token resumes: the source itself skipped
+    #: them and shipped only the remainder.
+    replayed_rows: int = 0
 
 
 @dataclass
@@ -210,17 +222,26 @@ class ExecutorConfig:
         seconds, for the whole batch of exec calls a query issues.  Sources
         that have not answered when it expires are declared unavailable and
         the query degrades into a partial answer.  ``None`` waits
-        indefinitely.
+        indefinitely.  Per-query override: ``mediator.query(text,
+        timeout=...)``.  Under the streaming engine the same deadline also
+        bounds lazy cursor drains, not just call opens.
     ``max_parallel_calls``
         Size of the long-lived thread pool shared by every query this
         executor runs; also the maximum number of wrapper round trips in
-        flight at once.
+        flight at once.  The pool is created lazily on the first query and
+        released by ``Executor.close()``.
     ``max_retries``
         Extra wrapper calls attempted after a failure before the source is
-        declared unavailable.  ``0`` (the default) fails fast.
+        declared unavailable.  ``0`` (the default) fails fast.  This is the
+        *whole* per-call budget: transient re-submissions, degrading-pushdown
+        rungs and mid-stream reopens all draw from it, so give flaky,
+        mis-declared or mid-stream-dying sources a budget at least as deep as
+        the recovery they need.
     ``retry_backoff``
         Sleep before the first retry, in seconds; doubled for each further
-        attempt.
+        attempt.  The sleep is cancellation-aware: a written-off call wakes
+        immediately instead of serving it out.  Also applied before a
+        mid-stream reopen (the death was transient, not deterministic).
     ``degrade_pushdown``
         When True (the default), a retry after a capability/translation
         failure re-submits a strictly smaller pushdown (stripping the
@@ -228,6 +249,24 @@ class ExecutorConfig:
         repeating the expression that was just rejected; the stripped
         operators are replayed at the mediator.  Degrading retries skip the
         backoff sleep -- the failure was deterministic, not a load problem.
+    ``resume_midstream``
+        Streaming engine only.  When True (the default), a call that dies
+        *after delivering rows* is reopened with exactly-once row delivery
+        instead of being written off, provided retries remain in
+        ``max_retries`` and the wrapper declares resume support: ``token``
+        wrappers resume source-side (only the remaining rows are shipped),
+        ``replay`` wrappers are reopened and the mediator skips the
+        already-delivered prefix.  Wrappers declaring neither keep the
+        write-off -- without a token or a determinism guarantee, reopening a
+        half-consumed cursor risks duplicated or dropped rows.  With the
+        default ``max_retries=0`` there is no budget, so recovery stays off
+        until retries are enabled.
+    ``replay_resume``
+        Permits the reopen-and-skip fallback (used by ``replay`` wrappers,
+        and by ``token`` wrappers whose call was degraded or split, where
+        token positions no longer match the delivered stream).  Turn off to
+        allow only true source-side token resumes -- e.g. when re-shipping
+        already-delivered rows is costlier than losing the source.
     ``type_check``
         Whether the mediator checks source attribute names against the
         mediator interface (the run-time type check of Section 2.1).
@@ -238,6 +277,8 @@ class ExecutorConfig:
     max_retries: int = 0
     retry_backoff: float = 0.05
     degrade_pushdown: bool = True
+    resume_midstream: bool = True
+    replay_resume: bool = True
     type_check: bool = True
 
 

@@ -128,8 +128,15 @@ class PartialAnswerBuilder:
         data))`` so that the data branch collapses to plain values and the
         answer keeps the paper's ``union(<query>, Bag(<data>))`` shape.
         Cascades such as ``apply(project(union(...)))`` distribute fully.
+
+        Only *per-element* operators distribute.  ``distinct`` does not:
+        ``distinct(union(a, b))`` must deduplicate across branches, so
+        per-branch distincts would let a row present in both the data and the
+        recovered source survive resubmission twice.  It stays above the
+        union (its submit-free branches still collapse during
+        :meth:`simplify`).  ``limit`` likewise stays put.
         """
-        if isinstance(plan, (log.Apply, log.Project, log.Rename, log.Select, log.Flatten, log.Distinct)):
+        if isinstance(plan, (log.Apply, log.Project, log.Rename, log.Select, log.Flatten)):
             child = self._distribute_over_union(plan.child)
             if isinstance(child, log.Union):
                 distributed = tuple(

@@ -15,18 +15,28 @@ caller *while* sources are still answering.
 * Early termination -- a satisfied ``mklimit``, or :meth:`close` -- closes
   the pipeline and cancels the in-flight exec calls cooperatively (their
   workers wake from latency sleeps instead of draining them).
-* A source that fails, times out, or dies mid-stream contributes no further
-  rows; the failure is recorded on the per-call :class:`ExecReport` exactly
-  like the barrier path records it, and surfaces through
-  :attr:`unavailable_sources` / :meth:`errors` once the stream ends.  No
-  resubmittable partial *query* is built: rows already delivered cannot be
-  embedded back into one.
+* A source that fails or times out contributes no further rows; the failure
+  is recorded on the per-call :class:`ExecReport` exactly like the barrier
+  path records it, and surfaces through :attr:`unavailable_sources` /
+  :meth:`errors` once the stream ends.  No resubmittable partial *query* is
+  built: rows already delivered cannot be embedded back into one.
 * A call that fails while being *opened* (no rows delivered yet) is retried
   with the same policy as the barrier path (:attr:`ExecutorConfig.max_retries`
   with backoff), including the degrading-pushdown ladder for
-  capability/translation failures (:mod:`repro.runtime.degrade`).  Mid-stream
-  failures are not retried -- a half-consumed cursor cannot be reopened
-  without re-delivering rows.
+  capability/translation failures (:mod:`repro.runtime.degrade`).
+* A call that dies *mid-stream* (after delivering rows) is recovered with
+  **exactly-once row delivery** when retries remain
+  (:attr:`ExecutorConfig.resume_midstream`).  Wrappers declaring the
+  ``token`` resume capability reopen *source-side*: the stream's last
+  :class:`~repro.wrappers.base.ResumableStream` token is handed back through
+  ``submit_stream(expr, resume_from=token)`` and the source ships only the
+  rows still owed.  Wrappers declaring deterministic ``replay`` (and token
+  wrappers whose call was degraded or split, where token positions no longer
+  line up) are reopened from scratch and the mediator skips the rows it
+  already delivered -- dedup by delivered-row count, counted as
+  ``ExecReport.replayed_rows``.  Wrappers declaring neither are written off
+  as before: without a token or a determinism guarantee, reopening a
+  half-consumed cursor risks duplicating or dropping rows.
 
 Iteration is replayable: the execution buffers what it has yielded, so a
 second ``iter()`` (or :meth:`to_list` after a partial read) replays the
@@ -43,10 +53,12 @@ from concurrent.futures import TimeoutError as _FuturesTimeoutError
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Mapping
 
+from repro.algebra import logical as log
 from repro.algebra import physical as phys
 from repro.runtime import cancellation
 from repro.runtime.degrade import compensate_rows, degrade_pushdown, is_capability_failure
 from repro.runtime.executor import ExecReport, collect_errors, normalize_row
+from repro.wrappers.base import RESUME_REPLAY, RESUME_TOKEN, ResumableStream
 
 
 @dataclass
@@ -69,6 +81,35 @@ class _Opened:
     #: per-leaf wrapper calls when the pushdown was split at the mediator
     #: (refuse-to-push fallback); 0 when the expression was pushed whole.
     split_calls: int = 0
+    #: the wrapper's declared mid-stream resume support (token/replay/None);
+    #: decides whether a death during the drain is recoverable.
+    resume_mode: str | None = None
+    #: the wrapper's :class:`ResumableStream` when it returned one -- its
+    #: ``token`` at death time is where a token resume restarts the source.
+    stream: ResumableStream | None = None
+    #: final (mediator-namespace) pushdown and the operators stripped off it,
+    #: kept so a reopen re-enters the degradation ladder at the same rung.
+    pushdown: log.LogicalOp | None = None
+    stripped: tuple = ()
+    #: rows the consumer must silently drop from this segment because they
+    #: were already delivered before a replay reopen (0 for token resumes --
+    #: the source itself skipped them).
+    skip: int = 0
+
+
+@dataclass(frozen=True)
+class _ResumeRequest:
+    """Consumer-side decision to reopen a call that died mid-stream."""
+
+    #: ``token`` -- restart the source past ``token``; ``replay`` -- reopen
+    #: from scratch, the consumer drops the first ``skip`` delivered rows.
+    mode: str
+    token: Any = None
+    skip: int = 0
+    #: the pushdown rung (and its stripped operators) the dying segment was
+    #: running at; the reopen starts there instead of re-climbing the ladder.
+    pushdown: log.LogicalOp | None = None
+    stripped: tuple = ()
 
 
 class _ExecState:
@@ -84,6 +125,8 @@ class _ExecState:
         "lock",
         "recorded",
         "attempts",
+        "resumed",
+        "replayed",
     )
 
     def __init__(self, node: phys.Exec):
@@ -102,7 +145,13 @@ class _ExecState:
         # write-off report states the true count -- the same number the
         # barrier dispatcher tracks in ``attempts_made`` (the two engines'
         # attempt accounting must agree; the equivalence harness asserts it).
+        # Mid-stream reopens consume attempts from the same budget.
         self.attempts = 0
+        #: successful mid-stream recoveries (ExecReport.resumed_calls).
+        self.resumed = 0
+        #: already-delivered rows re-shipped and skipped at the mediator
+        #: during replay reopens (ExecReport.replayed_rows).
+        self.replayed = 0
 
 
 class StreamingExecution:
@@ -241,8 +290,11 @@ class StreamingExecution:
         return collect_errors(self.reports)
 
     # -- worker side ------------------------------------------------------------------------
-    def _open_exec(self, state: _ExecState) -> _Opened:
-        """Run in the pool: one wrapper round trip, opened as a row iterable.
+    def _open_exec(self, state: _ExecState, resume: _ResumeRequest | None = None) -> _Opened:
+        """One wrapper round trip, opened as a row iterable.
+
+        Runs in the pool for the initial open; mid-stream reopens call it
+        synchronously on the consumer thread with a ``resume`` request.
 
         Mediator-side failures (unknown extent, type-check conflict) raise --
         they abort the query exactly as in the barrier path.  Wrapper
@@ -254,6 +306,14 @@ class StreamingExecution:
         recorded here (the count is known); lazy cursors -- and degraded
         calls, whose compensation wraps the iterable -- are recorded by the
         consumer at drain time.
+
+        A reopen starts the attempt counter at :attr:`_ExecState.attempts`
+        (the calls the dying segments already consumed) and, for a token
+        resume, passes the token through ``submit_stream(resume_from=...)``.
+        If a token reopen hits a capability failure and degrades, token
+        positions no longer line up with the degraded stream, so the reopen
+        falls back to a full replay and tells the consumer to skip the rows
+        it already delivered (:attr:`_Opened.skip`).
         """
         executor = self._executor
         config = executor.config
@@ -261,12 +321,20 @@ class StreamingExecution:
         meta = executor.registry.extent(node.extent_name)
         wrapper = executor.registry.wrapper_object(meta.wrapper)
         executor._check_types(meta, wrapper)
-        pushdown = node.expression
-        stripped: list = []
+        if resume is not None and resume.pushdown is not None:
+            pushdown = resume.pushdown
+            stripped = list(resume.stripped)
+        else:
+            pushdown = node.expression
+            stripped = []
+        token = resume.token if resume is not None and resume.mode == RESUME_TOKEN else None
+        skip = resume.skip if resume is not None else 0
         plan = executor.namespace_plan(pushdown, meta, wrapper)
-        state.started = time.monotonic()
+        if state.started is None:
+            state.started = time.monotonic()
         attempts = max(1, config.max_retries + 1)
-        attempt = 0
+        attempt = state.attempts
+        open_started = time.monotonic()
         while True:
             attempt_started = time.monotonic()
             try:
@@ -277,6 +345,8 @@ class StreamingExecution:
                         # barrier path); the recombination over them stays a
                         # lazy mediator-vocabulary iterator.
                         rows = executor._split_pushdown(plan, wrapper)
+                    elif token is not None:
+                        rows = wrapper.submit_stream(plan.expression, resume_from=token)
                     else:
                         rows = wrapper.submit_stream(plan.expression)
             except Exception as exc:
@@ -301,17 +371,48 @@ class StreamingExecution:
                         )
                         if terminal:
                             state.recorded = True
+                if resume is not None:
+                    # Reopens run synchronously on the consumer thread: the
+                    # query deadline must bound their retry loop too (the
+                    # initial open is bounded by the consumer's
+                    # future.result(timeout=...) instead).
+                    remaining = self._remaining()
+                    if remaining is not None and remaining <= 0:
+                        terminal = True
                 if not terminal:
                     if step is not None:
+                        if token is not None and not config.replay_resume:
+                            # The token indexed the previous pushdown's
+                            # stream, so degrading means replaying -- which
+                            # the configuration forbids.  Give up rather than
+                            # re-ship delivered rows.
+                            return _Opened(
+                                error=f"{type(exc).__name__}: {exc}",
+                                elapsed=time.monotonic() - state.started,
+                                attempts=attempt,
+                                degraded_to=plan.expression.to_text() if stripped else None,
+                                split_calls=len(plan.split or ()),
+                            )
                         # Degrading retry: strictly smaller pushdown, no
                         # backoff -- the failure was deterministic, not load.
                         # Re-planning per rung keeps the alias layer coherent
                         # with whatever operators remain.
                         pushdown, removed = step
                         stripped.append(removed)
+                        if token is not None:
+                            # The token indexed the *previous* pushdown's
+                            # stream; a degraded stream has different
+                            # positions.  Fall back to a deterministic full
+                            # replay: the consumer drops the rows it already
+                            # has (token wrappers can reposition, so they can
+                            # certainly replay).
+                            token = None
+                            skip = state.consumed
                         plan = executor.namespace_plan(pushdown, meta, wrapper)
                         continue
                     backoff = config.retry_backoff * (2 ** (attempt - 1))
+                    if resume is not None and remaining is not None:
+                        backoff = min(backoff, remaining)
                     # Event-aware: a write-off wakes the backoff immediately.
                     state.event.wait(backoff)
                     if not state.event.is_set():
@@ -324,8 +425,10 @@ class StreamingExecution:
                     split_calls=len(plan.split or ()),
                 )
             break
-        elapsed = time.monotonic() - state.started
+        state.attempts = attempt + 1
+        elapsed = time.monotonic() - (state.started if resume is None else open_started)
         degraded_to = plan.expression.to_text() if stripped else None
+        stream = rows if isinstance(rows, ResumableStream) else None
         # Split-pushdown rows arrive already in mediator vocabulary.
         renames: dict = {} if plan.split is not None else dict(plan.reverse)
         if stripped:
@@ -339,8 +442,15 @@ class StreamingExecution:
             )
             renames = {}
         sized = None
-        if isinstance(rows, (list, tuple)):
-            sized = len(rows)
+        if resume is None and not stripped:
+            if isinstance(rows, (list, tuple)):
+                sized = len(rows)
+            elif stream is not None:
+                # A ResumableStream over a materialized (RPC-style) answer:
+                # still a sized reply, so the history fast path applies --
+                # the count is known at open, before any consumer drain.
+                sized = stream.sized
+        if sized is not None:
             with state.lock:
                 if not state.recorded and not state.event.is_set():
                     executor.history.record(node.extent_name, node.expression, elapsed, sized)
@@ -353,6 +463,11 @@ class StreamingExecution:
             attempts=attempt + 1,
             degraded_to=degraded_to,
             split_calls=len(plan.split or ()),
+            resume_mode=getattr(wrapper, "resume_support", None),
+            stream=stream,
+            pushdown=pushdown,
+            stripped=tuple(stripped),
+            skip=skip,
         )
 
     # -- consumer side ------------------------------------------------------------------------
@@ -371,6 +486,8 @@ class StreamingExecution:
             elapsed=elapsed,
             rows=state.consumed,
             available=True,
+            resumed_calls=state.resumed,
+            replayed_rows=state.replayed,
         )
         values.update(overrides)
         return ExecReport(**values)
@@ -392,6 +509,94 @@ class StreamingExecution:
                     state.node.extent_name, state.node.expression, elapsed
                 )
                 state.recorded = True
+
+    def _resume_after(
+        self, state: _ExecState, opened: _Opened, segment_time: float
+    ) -> _Opened | None:
+        """Try to reopen a call that died after delivering rows.
+
+        Returns the reopened segment (possibly an error outcome whose
+        attempts the caller folds into the failure report), or ``None`` when
+        the death is not recoverable: recovery disabled, no retry budget
+        left, the call written off, the deadline expired, or the wrapper
+        declares no resume support.  Runs synchronously on the consumer
+        thread -- the reopen happens exactly where the next row was needed.
+
+        Mode selection: a token resume needs a live token for the *same*
+        stream the source produced -- a degraded or split call compensates or
+        recombines rows at the mediator, so delivered-row positions no longer
+        equal source positions and the reopen falls back to the
+        deterministic-replay path (reopen from scratch, skip the rows already
+        delivered).  Replay is sound for ``token`` wrappers too: being able
+        to reposition a cursor implies being able to re-produce the stream.
+        """
+        executor = self._executor
+        config = executor.config
+        if not config.resume_midstream:
+            return None
+        if self._finished or state.event.is_set():
+            return None
+        remaining = self._remaining()
+        if remaining is not None and remaining <= 0:
+            return None
+        budget = max(1, config.max_retries + 1)
+        if state.attempts >= budget:
+            return None
+        mode = opened.resume_mode
+        if mode not in (RESUME_TOKEN, RESUME_REPLAY):
+            return None
+        clean_token = (
+            mode == RESUME_TOKEN
+            and opened.stream is not None
+            and not opened.stripped
+            and not opened.split_calls
+        )
+        if not clean_token and not config.replay_resume:
+            return None
+        # The death itself is a (non-terminal) failure observation charging
+        # the dying segment's own time: the cost model should learn the
+        # source is flaky even when recovery succeeds.
+        with state.lock:
+            if state.recorded or state.event.is_set():
+                return None
+            executor.history.record_failure(
+                state.node.extent_name, state.node.expression, segment_time
+            )
+        # Transient-failure backoff before touching the source again; a
+        # write-off wakes it immediately and the query deadline caps it (the
+        # reopen runs on the consumer thread, so the caller's iter_rows() is
+        # blocked for the duration).
+        backoff = config.retry_backoff * (2 ** (max(state.attempts, 1) - 1))
+        if remaining is not None:
+            backoff = min(backoff, remaining)
+        if state.event.wait(backoff):
+            # Written off during the backoff: the record above becomes the
+            # call's terminal observation (the caller must not add another).
+            with state.lock:
+                state.recorded = True
+            return None
+        remaining = self._remaining()
+        if remaining is not None and remaining <= 0:
+            # The deadline expired during the backoff; the death report
+            # stands (the record above is the terminal observation).
+            with state.lock:
+                state.recorded = True
+            return None
+        if clean_token:
+            request = _ResumeRequest(
+                mode=RESUME_TOKEN,
+                token=opened.stream.token,
+                pushdown=opened.pushdown,
+                stripped=opened.stripped,
+            )
+        else:
+            request = _ResumeRequest(
+                mode=RESUME_REPLAY,
+                skip=state.consumed,
+                pushdown=opened.pushdown,
+                stripped=opened.stripped,
+            )
+        return self._open_exec(state, resume=request)
 
     def _stream_state(self, state: _ExecState) -> Iterator[Any]:
         node = state.node
@@ -427,54 +632,87 @@ class StreamingExecution:
                 split_calls=opened.split_calls,
             )
             return
-        renames = opened.renames
-        iterator = iter(opened.rows)
-        # Time attributed to the *source*: the open round trip plus the time
+        # Time attributed to the *source*: the open round trips plus the time
         # spent inside its cursor pulls -- not the consumer wall clock, which
         # includes time this generator sat suspended behind other branches.
+        # ``source_time`` spans the whole call (the success observation and
+        # the user-facing elapsed); ``segment_time`` restarts per (re)opened
+        # segment, so each failure observation charges only the time *its*
+        # segment wasted, matching the barrier path's per-attempt recording.
         source_time = opened.elapsed
-        try:
-            while True:
-                if self._deadline is not None and time.monotonic() > self._deadline:
-                    # The designated time period expired mid-drain: the rows
-                    # already delivered stand, the rest of this source is a
-                    # timeout.
-                    state.event.set()
-                    self._record_failure_once(state, source_time)
-                    state.report = self._report(
-                        state,
-                        available=False,
-                        error=self._timeout_text(),
-                        attempts=opened.attempts,
-                        degraded_to=opened.degraded_to,
-                        split_calls=opened.split_calls,
-                    )
-                    return
-                pulled = time.monotonic()
-                try:
-                    raw = iterator.__next__()
-                    row = normalize_row(raw, renames)
-                except StopIteration:
-                    break
-                except Exception as exc:  # the source died mid-stream
-                    source_time += time.monotonic() - pulled
-                    self._record_failure_once(state, source_time)
-                    state.report = self._report(
-                        state,
-                        available=False,
-                        error=f"{type(exc).__name__}: {exc}",
-                        attempts=opened.attempts,
-                        degraded_to=opened.degraded_to,
-                        split_calls=opened.split_calls,
-                    )
-                    return
-                source_time += time.monotonic() - pulled
-                state.consumed += 1
-                yield row
-        finally:
-            close = getattr(iterator, "close", None)
-            if close is not None:
-                close()
+        while True:  # one iteration per (re)opened stream segment
+            segment_time = opened.elapsed
+            renames = opened.renames
+            iterator = iter(opened.rows)
+            #: rows of this segment that were already delivered before a
+            #: replay reopen; dropped silently (dedup by delivered-row count).
+            to_skip = opened.skip
+            died: BaseException | None = None
+            try:
+                while True:
+                    if self._deadline is not None and time.monotonic() > self._deadline:
+                        # The designated time period expired mid-drain: the
+                        # rows already delivered stand, the rest of this
+                        # source is a timeout.
+                        state.event.set()
+                        self._record_failure_once(state, segment_time)
+                        state.report = self._report(
+                            state,
+                            available=False,
+                            error=self._timeout_text(),
+                            attempts=opened.attempts,
+                            degraded_to=opened.degraded_to,
+                            split_calls=opened.split_calls,
+                        )
+                        return
+                    pulled = time.monotonic()
+                    try:
+                        raw = iterator.__next__()
+                        row = normalize_row(raw, renames)
+                    except StopIteration:
+                        break
+                    except Exception as exc:  # the source died mid-stream
+                        pull_time = time.monotonic() - pulled
+                        source_time += pull_time
+                        segment_time += pull_time
+                        died = exc
+                        break
+                    pull_time = time.monotonic() - pulled
+                    source_time += pull_time
+                    segment_time += pull_time
+                    if to_skip > 0:
+                        to_skip -= 1
+                        state.replayed += 1
+                        continue
+                    state.consumed += 1
+                    yield row
+            finally:
+                close = getattr(iterator, "close", None)
+                if close is not None:
+                    close()
+            if died is None:
+                break  # fully drained
+            reopened = self._resume_after(state, opened, segment_time)
+            if reopened is None or reopened.error is not None:
+                # Unrecoverable (no capability, no budget, write-off, or the
+                # reopen attempts themselves failed out): report the death.
+                # The reopen loop already recorded its own attempt failures.
+                if reopened is None:
+                    self._record_failure_once(state, segment_time)
+                error = f"{type(died).__name__}: {died}"
+                attempts = opened.attempts if reopened is None else reopened.attempts
+                state.report = self._report(
+                    state,
+                    available=False,
+                    error=error,
+                    attempts=attempts,
+                    degraded_to=opened.degraded_to,
+                    split_calls=opened.split_calls,
+                )
+                return
+            state.resumed += 1
+            source_time += reopened.elapsed
+            opened = reopened
         with state.lock:
             if not state.recorded:
                 # Lazy cursor fully drained: one success observation with the

@@ -65,7 +65,11 @@ class AvailabilityModel:
       *arbitrary* exception instead of the clean
       :class:`~repro.errors.UnavailableSourceError`, modelling sources that
       die mid-flight (connection reset, bad row, wrapper bug) rather than
-      refusing service.
+      refusing service;
+    * ``kill_after(rows, n)`` -- let the next ``n`` requests *succeed*, then
+      kill the returned row stream after ``rows`` rows have been delivered:
+      the mid-stream death (dropped connection, lost cursor) that exercises
+      the streaming engine's resume-token recovery.
     """
 
     available: bool = True
@@ -73,6 +77,7 @@ class AvailabilityModel:
     seed: int = 0
     _forced_failures: int = field(default=0, repr=False)
     _forced_crashes: list = field(default_factory=list, repr=False)
+    _forced_kills: list = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.failure_probability <= 1.0:
@@ -93,6 +98,30 @@ class AvailabilityModel:
         the mediator isolates generic wrapper crashes.
         """
         self._forced_crashes.extend([exception] * count)
+
+    def kill_after(
+        self, rows: int, exception: BaseException | type | None = None, count: int = 1
+    ) -> None:
+        """Arm the next ``count`` requests to die after delivering ``rows`` rows.
+
+        The request itself succeeds (the availability check passes and the
+        call returns a row stream), but the stream raises once ``rows`` rows
+        have been consumed -- a source that answered and then dropped the
+        connection mid-transfer.  ``exception`` follows the
+        :meth:`crash_next` conventions (instance raised as-is, class
+        instantiated with a message); the default is a clean
+        :class:`UnavailableSourceError`.  A stream shorter than ``rows``
+        never reaches the kill point and completes normally.
+        """
+        if rows < 0:
+            raise ValueError("rows must be non-negative")
+        self._forced_kills.extend([(rows, exception)] * count)
+
+    def take_kill(self) -> tuple[int, BaseException | type | None] | None:
+        """Pop the armed kill for the request being served, if any."""
+        if self._forced_kills:
+            return self._forced_kills.pop(0)
+        return None
 
     def set_available(self, available: bool) -> None:
         """Flip the hard availability switch."""

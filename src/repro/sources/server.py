@@ -10,9 +10,10 @@ mediator does: as things that may be slow or silent.
 
 from __future__ import annotations
 
+import itertools
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
 from repro.errors import UnavailableSourceError
 from repro.runtime import cancellation
@@ -26,6 +27,9 @@ class ServerStatistics:
     requests: int = 0
     failures: int = 0
     rows_returned: int = 0
+    #: rows a resume token let the source skip instead of re-shipping them
+    #: (they never cross the simulated wire and are never charged latency).
+    rows_skipped: int = 0
     simulated_seconds: float = 0.0
 
 
@@ -57,12 +61,24 @@ class SimulatedServer:
         return self.availability.available
 
     # -- the request path -------------------------------------------------------------
-    def call(self, operation: Callable[[Any], Any]) -> Any:
+    def call(self, operation: Callable[[Any], Any], resume_from: int | None = None) -> Any:
         """Run ``operation(store)`` as one remote request.
 
         Applies the availability check first (an unavailable source never does
         work), runs the operation, then charges the latency of shipping the
         result back.  Returns the operation's result unchanged.
+
+        ``resume_from`` is the server's resume capability: the first
+        ``resume_from`` rows of the result are skipped *source-side* (a cursor
+        seek), so they are neither shipped nor charged -- only the remaining
+        rows cross the simulated wire.  This is what makes a resumed exec
+        call cost only the rows still owed, instead of a full replay.
+
+        A kill armed via :meth:`AvailabilityModel.kill_after` lets the call
+        succeed but returns a lazy stream that raises after the armed number
+        of rows -- the mid-stream death the streaming engine must recover
+        from.  Latency is charged only for the rows delivered before the
+        death.
 
         The latency sleep checks the caller's cooperative-cancellation event
         (see :mod:`repro.runtime.cancellation`): when the mediator writes the
@@ -81,7 +97,29 @@ class SimulatedServer:
                 self.statistics.failures += 1
                 raise
         result = operation(self.store)
-        row_count = len(result) if isinstance(result, (list, tuple)) else 0
+        if resume_from:
+            if isinstance(result, (list, tuple)):
+                skipped = min(resume_from, len(result))
+                result = list(result)[resume_from:]
+            else:
+                # Lazy cursor: seek by consuming quietly; the skipped rows are
+                # produced at the source but never shipped.
+                skipped = resume_from
+                result = itertools.islice(result, resume_from, None)
+            with self._lock:
+                self.statistics.rows_skipped += skipped
+        sized_count = len(result) if isinstance(result, (list, tuple)) else None
+        row_count = sized_count or 0
+        with self._lock:
+            kill = self.availability.take_kill()
+        if kill is not None:
+            kill_rows, kill_exc = kill
+            result = self._die_after(result, kill_rows, kill_exc)
+            # Charge only the rows that cross the wire before the death.  A
+            # lazy cursor's length is unknown without draining it, so the
+            # kill point is the best estimate; a cursor that ends sooner is
+            # (slightly) overcharged.
+            row_count = min(sized_count, kill_rows) if sized_count is not None else kill_rows
         delay = self.network.delay_for(row_count)
         with self._lock:
             self.statistics.rows_returned += row_count
@@ -92,6 +130,29 @@ class SimulatedServer:
                     self.name, f"{self.name!r}: call cancelled by mediator"
                 )
         return result
+
+    def _die_after(
+        self, rows: Any, count: int, exception: BaseException | type | None
+    ) -> Iterator[Any]:
+        """Wrap ``rows`` into a stream that raises after ``count`` rows."""
+
+        def stream() -> Iterator[Any]:
+            delivered = 0
+            for row in iter(rows):
+                if delivered >= count:
+                    if isinstance(exception, BaseException):
+                        raise exception
+                    if exception is not None:
+                        raise exception(
+                            f"{self.name!r}: connection lost after {count} rows"
+                        )
+                    raise UnavailableSourceError(
+                        self.name, f"{self.name!r}: connection lost after {count} rows"
+                    )
+                delivered += 1
+                yield row
+
+        return stream()
 
     def reset_statistics(self) -> None:
         """Zero the accumulated counters."""

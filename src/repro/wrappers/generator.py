@@ -22,7 +22,13 @@ from typing import Callable, Iterable, Mapping, Sequence
 from repro.algebra.capabilities import CapabilitySet
 from repro.algebra.logical import LogicalOp
 from repro.errors import WrapperError
-from repro.wrappers.base import AlgebraEvaluator, Row, Wrapper
+from repro.wrappers.base import (
+    RESUME_TOKEN,
+    AlgebraEvaluator,
+    ResumableStream,
+    Row,
+    Wrapper,
+)
 
 ScanFactory = Callable[[], Iterable[Row]]
 
@@ -34,6 +40,14 @@ class GeneratorWrapper(Wrapper):
     fresh iterable of rows (a generator function, a cursor factory, ...).
     ``attributes`` optionally declares each collection's attribute names so
     the mediator's run-time type check can run without draining the source.
+
+    ``resume`` declares mid-stream resume support (see
+    :attr:`~repro.wrappers.base.Wrapper.resume_support`).  The default is
+    ``None``: an arbitrary generator may be non-deterministic (a live feed, a
+    sampling cursor), in which case neither resuming nor replaying a
+    half-consumed stream is sound and the streaming engine keeps the
+    write-off.  Declare ``"token"`` or ``"replay"`` only for scan factories
+    that re-produce the same row sequence on every call.
     """
 
     def __init__(
@@ -42,6 +56,7 @@ class GeneratorWrapper(Wrapper):
         scans: Mapping[str, ScanFactory],
         attributes: Mapping[str, Sequence[str]] | None = None,
         capabilities: CapabilitySet | None = None,
+        resume: str | None = None,
     ):
         super().__init__(
             name,
@@ -53,6 +68,7 @@ class GeneratorWrapper(Wrapper):
         self._scans = dict(scans)
         self._attributes = {k: list(v) for k, v in (attributes or {}).items()}
         self._evaluator = AlgebraEvaluator(scan=self._scan)
+        self.resume_support = resume
 
     def _scan(self, collection: str) -> Iterable[Row]:
         factory = self._scans.get(collection)
@@ -65,7 +81,12 @@ class GeneratorWrapper(Wrapper):
         return list(self._evaluator.evaluate_stream(expression))
 
     def _execute_stream(self, expression: LogicalOp):
-        return self._evaluator.evaluate_stream(expression)
+        rows = self._evaluator.evaluate_stream(expression)
+        if self.resume_support == RESUME_TOKEN:
+            # Tokens are ordinal cursor positions; the base _resume_stream
+            # seeks past them by consuming the fresh cursor quietly.
+            return ResumableStream(rows)
+        return rows
 
     # -- meta-data ------------------------------------------------------------------------
     def source_collections(self) -> list[str]:

@@ -28,11 +28,19 @@ from repro.algebra.logical import Get, Join, Limit, LogicalOp, Project, Rename, 
 from repro.errors import WrapperError
 from repro.sources.server import SimulatedServer
 from repro.sources.sql.engine import SqlEngine
-from repro.wrappers.base import Row, Wrapper
+from repro.wrappers.base import RESUME_REPLAY, Row, Wrapper
 
 
 class SqlWrapper(Wrapper):
-    """Wrapper over a :class:`SqlEngine` hosted by a simulated server."""
+    """Wrapper over a :class:`SqlEngine` hosted by a simulated server.
+
+    The mini-SQL dialect has no cursor handles, but the engine evaluates a
+    statement deterministically over stable table order, so the wrapper
+    declares ``replay`` resume support: after a mid-stream death the mediator
+    may re-run the same statement and skip the rows it already delivered.
+    """
+
+    resume_support = RESUME_REPLAY
 
     def __init__(self, name: str, server: SimulatedServer, capabilities: CapabilitySet | None = None):
         super().__init__(

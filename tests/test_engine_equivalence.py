@@ -17,7 +17,13 @@ The agreed semantics being pinned:
   answer (no rows), the streaming engine delivers the available sources' rows;
 * a streaming ``limit`` satisfied by healthy sources may *cancel* the failing
   branch before observing its failure, in which case the stream legitimately
-  completes -- the one sanctioned shape difference.
+  completes -- the one sanctioned shape difference;
+* a source killed *mid-stream* (after delivering rows) with retries remaining
+  recovers in both engines to the identical complete multiset -- the barrier
+  engine by retrying the whole materialization, the streaming engine by
+  resuming past the delivered rows (exactly-once: no duplicates, no gaps).
+  Per-call attempt shapes are *not* compared under a kill: which concurrent
+  call to the server consumes the armed kill is scheduling-dependent.
 """
 
 from __future__ import annotations
@@ -196,6 +202,17 @@ def test_engines_agree(seed):
         base_text, limit = random_query(rng)
         text = base_text if limit is None else f"{base_text} limit {limit}"
         fault_index = rng.choice([0, 1]) if rng.random() < 0.3 else None
+        # Mid-stream fault injection: kill one server's row stream after K
+        # rows, with enough retry budget for both engines to recover -- the
+        # barrier engine by retrying the whole call, the streaming engine by
+        # resuming past the delivered rows.  Kept disjoint from the
+        # hard-down scenario so each failure mode is pinned separately.
+        kill = None
+        if rng.random() < 0.3:
+            kill = (rng.choice([0, 1]), rng.randint(0, 8))
+            fault_index = None
+            mediator.executor.config.max_retries = 2
+            mediator.executor.config.retry_backoff = 0.001
 
         # The fault-free, unlimited answer is the reference every comparison
         # is anchored to (computed before any server goes down).
@@ -204,8 +221,12 @@ def test_engines_agree(seed):
         if fault_index is not None:
             servers[fault_index].take_down()
 
+        if kill is not None:
+            servers[kill[0]].availability.kill_after(kill[1])
         barrier = mediator.query(text)
         barrier_rows = barrier.rows()
+        if kill is not None:
+            servers[kill[0]].availability.kill_after(kill[1])
         streamed = mediator.query_stream(text)
         streamed_rows = list(streamed.iter_rows())
 
@@ -214,10 +235,25 @@ def test_engines_agree(seed):
             assert not barrier.is_partial and not streamed.is_partial
             assert streamed.errors() == {} and barrier.errors() == {}
             if limit is None:
+                # The headline exactly-once property: a killed-and-recovered
+                # stream is indistinguishable from a clean one -- identical
+                # complete multiset, no duplicated and no dropped rows.
                 assert multiset(barrier_rows) == reference
                 assert multiset(streamed_rows) == reference
-                # Attempt accounting agrees call for call.
-                assert report_shape(streamed.reports) == report_shape(barrier.reports)
+                if kill is None:
+                    # Attempt accounting agrees call for call.  (With a kill
+                    # armed, *which* concurrent call to the server consumes it
+                    # is scheduling-dependent, so per-call shapes may differ.)
+                    assert report_shape(streamed.reports) == report_shape(
+                        barrier.reports
+                    )
+                else:
+                    # A streaming recovery never re-delivers: any replayed
+                    # rows were dropped at the mediator, and a resumed call
+                    # reports the recovery.
+                    for report in streamed.reports:
+                        if report.resumed_calls:
+                            assert report.available and not report.cancelled
             else:
                 expected = min(limit, sum(reference.values()))
                 assert len(barrier_rows) == expected
@@ -263,6 +299,27 @@ def test_engines_agree(seed):
                     )
                 else:
                     assert len(streamed_rows) == min(limit, len(streamed_rows))
+    finally:
+        mediator.close()
+
+
+def test_resubmitted_distinct_deduplicates_across_union_branches():
+    """Regression (found by the 1000-seed sweep): ``distinct`` must stay
+    *above* the union in a partial answer.  Distributing it per branch let a
+    name present in both the embedded data and the recovered source survive
+    resubmission twice."""
+    mediator, servers = build_mediator()
+    try:
+        query = "select distinct x.name from x in person where x.id >= 3"
+        reference = multiset(mediator.query(query).rows())
+        servers[1].take_down()
+        partial = mediator.query(query)
+        assert partial.is_partial
+        servers[1].bring_up()
+        resubmitted = mediator.resubmit(partial)
+        assert multiset(resubmitted.rows()) == reference
+        # The text round trip deduplicates too: the answer *is* a query.
+        assert multiset(mediator.query(partial.partial_query).rows()) == reference
     finally:
         mediator.close()
 

@@ -1,0 +1,459 @@
+"""Mid-stream retries via source-side resume tokens (exactly-once delivery).
+
+The streaming engine's last structural failure-matrix gap: a source that dies
+*after delivering rows*.  These tests pin the recovery contract:
+
+* ``token`` wrappers resume source-side -- only the remaining rows are
+  shipped (``ServerStatistics.rows_skipped`` counts the seek), delivery is
+  exactly-once (no duplicates, no gaps), and the reopen consumes one
+  ``max_retries`` attempt;
+* ``replay`` wrappers reopen from scratch and the mediator skips the
+  already-delivered prefix (``ExecReport.replayed_rows`` counts the re-ship);
+* wrappers declaring no resume support -- and configurations without retry
+  budget -- keep the documented write-off;
+* a persistent mid-stream fault exhausts the budget instead of looping;
+* a degraded (compensated) call recovers through the replay path, because
+  token positions no longer line up with mediator-compensated rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Mediator, RelationalWrapper
+from repro.errors import UnavailableSourceError, WrapperError
+from repro.sources import RelationalEngine, SimulatedServer
+from repro.wrappers.base import ResumableStream
+from repro.wrappers.generator import GeneratorWrapper
+
+ROWS = [{"id": i, "name": f"p{i}", "salary": i} for i in range(30)]
+QUERY = "select x.name from x in person0"
+EXPECTED = [f"p{i}" for i in range(30)]
+
+
+def build_relational_mediator(resume="token", capabilities=None, **mediator_kwargs):
+    engine = RelationalEngine(name="db0")
+    engine.create_table("person0", rows=[dict(row) for row in ROWS])
+    server = SimulatedServer(name="h0", store=engine)
+    wrapper = RelationalWrapper("w0", server, capabilities=capabilities, resume=resume)
+    mediator = Mediator(name="resume", **mediator_kwargs)
+    mediator.register_wrapper("w0", wrapper)
+    mediator.create_repository("r0")
+    mediator.define_interface(
+        "Person",
+        [("id", "Long"), ("name", "String"), ("salary", "Short")],
+        extent_name="person",
+    )
+    mediator.add_extent("person0", "Person", "w0", "r0")
+    return mediator, server
+
+
+class TestTokenResume:
+    def test_killed_call_completes_exactly_once(self):
+        mediator, server = build_relational_mediator(max_retries=1)
+        server.availability.kill_after(10)
+        result = mediator.query_stream(QUERY)
+        assert list(result.iter_rows()) == EXPECTED  # no dupes, no gaps
+        assert not result.is_partial and result.errors() == {}
+        report = result.reports[0]
+        assert report.available
+        assert report.resumed_calls == 1
+        assert report.replayed_rows == 0  # the source skipped, nothing re-shipped
+        assert report.attempts == 2  # the reopen consumed one retry
+        assert report.rows == 30
+        # The server's resume capability seeked past the delivered rows.
+        assert server.statistics.rows_skipped == 10
+        # Shipped: 10 before the death + the 20 remaining. Never 30 again.
+        assert server.statistics.rows_returned == 30
+        mediator.close()
+
+    def test_two_consecutive_deaths_need_two_retries(self):
+        mediator, server = build_relational_mediator(max_retries=2)
+        server.availability.kill_after(5)
+        server.availability.kill_after(7)  # dies again 7 rows into the resume
+        result = mediator.query_stream(QUERY)
+        assert list(result.iter_rows()) == EXPECTED
+        report = result.reports[0]
+        assert report.resumed_calls == 2
+        assert report.attempts == 3
+        assert server.statistics.rows_skipped == 5 + 12
+        mediator.close()
+
+    def test_death_consumes_budget_with_open_retries(self):
+        """Open failure + mid-stream death share one max_retries budget."""
+        mediator, server = build_relational_mediator(max_retries=2)
+        server.availability.fail_next(1)  # open fails once first
+        server.availability.kill_after(4)
+        result = mediator.query_stream(QUERY)
+        assert list(result.iter_rows()) == EXPECTED
+        report = result.reports[0]
+        assert report.attempts == 3  # failed open + killed open + resume
+        assert report.resumed_calls == 1
+        mediator.close()
+
+    def test_persistent_death_exhausts_the_budget(self):
+        mediator, server = build_relational_mediator(max_retries=2)
+        for _ in range(3):
+            server.availability.kill_after(6)
+        result = mediator.query_stream(QUERY)
+        rows = list(result.iter_rows())
+        # Three segments of 6 delivered before the budget ran out.
+        assert rows == [f"p{i}" for i in range(18)]
+        assert result.is_partial
+        assert "person0" in result.errors()
+        report = result.reports[0]
+        assert not report.available
+        assert report.resumed_calls == 2  # two successful recoveries, then out
+        assert report.attempts == 3
+        mediator.close()
+
+    def test_failure_history_still_learns_from_recovered_deaths(self):
+        mediator, server = build_relational_mediator(max_retries=1)
+        server.availability.kill_after(10)
+        result = mediator.query_stream(QUERY)
+        assert len(list(result.iter_rows())) == 30
+        # The death was recorded as a failure observation even though the
+        # call recovered: availability drops below the optimistic 1.0.
+        assert mediator.history.failures == 1
+        assert mediator.history.availability("person0") < 1.0
+        mediator.close()
+
+
+class TestReplayResume:
+    def test_replay_wrapper_reopens_and_skips(self):
+        mediator, server = build_relational_mediator(resume="replay", max_retries=1)
+        server.availability.kill_after(10)
+        result = mediator.query_stream(QUERY)
+        assert list(result.iter_rows()) == EXPECTED
+        report = result.reports[0]
+        assert report.available
+        assert report.resumed_calls == 1
+        assert report.replayed_rows == 10  # delivered prefix re-shipped, dropped
+        assert server.statistics.rows_skipped == 0
+        # Shipped: 10 before the death, then the full 30 again.
+        assert server.statistics.rows_returned == 40
+        mediator.close()
+
+    def test_replay_disabled_keeps_the_write_off(self):
+        mediator, server = build_relational_mediator(resume="replay", max_retries=1)
+        mediator.executor.config.replay_resume = False
+        server.availability.kill_after(10)
+        result = mediator.query_stream(QUERY)
+        assert list(result.iter_rows()) == [f"p{i}" for i in range(10)]
+        assert result.is_partial
+        assert result.reports[0].resumed_calls == 0
+        mediator.close()
+
+
+class TestWriteOffPreserved:
+    def test_no_resume_support_keeps_the_write_off(self):
+        mediator, server = build_relational_mediator(resume=None, max_retries=3)
+        server.availability.kill_after(10)
+        result = mediator.query_stream(QUERY)
+        assert list(result.iter_rows()) == [f"p{i}" for i in range(10)]
+        assert result.is_partial
+        assert "person0" in result.errors()
+        assert result.reports[0].resumed_calls == 0
+        mediator.close()
+
+    def test_no_retry_budget_keeps_the_write_off(self):
+        """max_retries=0 (the default): behavior is unchanged from before."""
+        mediator, server = build_relational_mediator()
+        server.availability.kill_after(10)
+        result = mediator.query_stream(QUERY)
+        assert list(result.iter_rows()) == [f"p{i}" for i in range(10)]
+        assert result.is_partial
+        assert result.reports[0].resumed_calls == 0
+        assert result.reports[0].attempts == 1
+        mediator.close()
+
+    def test_resume_midstream_off_keeps_the_write_off(self):
+        mediator, server = build_relational_mediator(max_retries=3)
+        mediator.executor.config.resume_midstream = False
+        server.availability.kill_after(10)
+        result = mediator.query_stream(QUERY)
+        assert list(result.iter_rows()) == [f"p{i}" for i in range(10)]
+        assert result.is_partial
+        mediator.close()
+
+    def test_barrier_engine_retries_whole_calls_and_never_resumes(self):
+        """The barrier path materializes calls: a death is a whole-call retry."""
+        mediator, server = build_relational_mediator(max_retries=1)
+        server.availability.kill_after(10)
+        result = mediator.query(QUERY)
+        assert sorted(result.rows()) == sorted(EXPECTED)
+        report = result.reports[0]
+        assert report.attempts == 2
+        assert report.resumed_calls == 0 and report.replayed_rows == 0
+        mediator.close()
+
+
+class FlakyScan:
+    """A deterministic cursor factory whose first ``failures`` opens die at
+    ``fail_at`` rows; later opens stream clean.  Counts rows actually pulled."""
+
+    def __init__(self, total, fail_at, failures=1):
+        self.total = total
+        self.fail_at = fail_at
+        self.failures = failures
+        self.opens = 0
+
+    def __call__(self):
+        self.opens += 1
+        dying = self.opens <= self.failures
+
+        def rows():
+            for i in range(self.total):
+                if dying and i >= self.fail_at:
+                    raise RuntimeError("cursor lost mid-stream")
+                yield {"id": i, "name": f"p{i}", "salary": i}
+
+        return rows()
+
+
+def build_generator_mediator(scan, resume=None, **mediator_kwargs):
+    mediator = Mediator(name="genresume", **mediator_kwargs)
+    mediator.define_interface(
+        "Person",
+        [("id", "Long"), ("name", "String"), ("salary", "Short")],
+        extent_name="person",
+    )
+    mediator.register_wrapper(
+        "w0",
+        GeneratorWrapper(
+            "w0",
+            {"person0": scan},
+            attributes={"person0": ["id", "name", "salary"]},
+            resume=resume,
+        ),
+    )
+    mediator.create_repository("r0")
+    mediator.add_extent("person0", "Person", "w0", "r0")
+    return mediator
+
+
+class TestGeneratorCursorResume:
+    def test_token_resume_on_a_cursor_source(self):
+        scan = FlakyScan(50, fail_at=20)
+        mediator = build_generator_mediator(scan, resume="token", max_retries=1)
+        result = mediator.query_stream(QUERY)
+        assert list(result.iter_rows()) == [f"p{i}" for i in range(50)]
+        report = result.reports[0]
+        assert report.resumed_calls == 1 and report.replayed_rows == 0
+        assert scan.opens == 2
+        mediator.close()
+
+    def test_deterministically_dying_cursor_gives_up(self):
+        """Every reopen dies at the same row: the budget bounds the attempts."""
+        scan = FlakyScan(50, fail_at=20, failures=99)
+        mediator = build_generator_mediator(scan, resume="token", max_retries=2)
+        result = mediator.query_stream(QUERY)
+        rows = list(result.iter_rows())
+        assert rows == [f"p{i}" for i in range(20)]  # still exactly-once
+        assert result.is_partial
+        assert scan.opens == 3
+        mediator.close()
+
+    def test_undeclared_generator_is_never_replayed(self):
+        """No resume declaration on an arbitrary generator: write-off, even
+        though retries remain -- replaying an undeclared source is unsound."""
+        scan = FlakyScan(50, fail_at=20)
+        mediator = build_generator_mediator(scan, resume=None, max_retries=3)
+        result = mediator.query_stream(QUERY)
+        assert list(result.iter_rows()) == [f"p{i}" for i in range(20)]
+        assert result.is_partial
+        assert scan.opens == 1
+        mediator.close()
+
+
+class LyingRelationalWrapper(RelationalWrapper):
+    """Declares select but its translator rejects it (forces degradation)."""
+
+    def _execute(self, expression):
+        from repro.algebra.logical import Select, walk
+
+        if any(isinstance(node, Select) for node in walk(expression)):
+            raise WrapperError("translator cannot handle select")
+        return super()._execute(expression)
+
+
+class TestDegradedCallResume:
+    def test_degraded_call_recovers_via_replay(self):
+        """A compensated call cannot use token positions; replay must kick in
+        and re-apply the stripped operators over the reopened stream."""
+        engine = RelationalEngine(name="db0")
+        engine.create_table("person0", rows=[dict(row) for row in ROWS])
+        server = SimulatedServer(name="h0", store=engine)
+        wrapper = LyingRelationalWrapper("w0", server)
+        mediator = Mediator(name="degres", max_retries=3)
+        mediator.register_wrapper("w0", wrapper)
+        mediator.create_repository("r0")
+        mediator.define_interface(
+            "Person",
+            [("id", "Long"), ("name", "String"), ("salary", "Short")],
+            extent_name="person",
+        )
+        mediator.add_extent("person0", "Person", "w0", "r0")
+        # Attempt 1 submits select(...) -> rejected; attempt 2 submits the
+        # degraded bare get, which the kill then murders after 10 rows.
+        server.availability.kill_after(10, count=1)
+        result = mediator.query_stream(
+            "select x.name from x in person0 where x.salary >= 0"
+        )
+        assert list(result.iter_rows()) == EXPECTED
+        report = result.reports[0]
+        assert report.available
+        assert report.degraded_to is not None
+        assert report.resumed_calls == 1
+        # The mediator skipped the already-delivered compensated prefix.
+        assert report.replayed_rows == 10
+        mediator.close()
+
+
+class DriftingRelationalWrapper(RelationalWrapper):
+    """Accepts ``select`` on the first call, rejects it afterwards -- a source
+    whose capabilities drift mid-query, forcing a *reopen* to degrade."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.calls = 0
+
+    def _drift(self, expression):
+        from repro.algebra.logical import Select, walk
+
+        self.calls += 1
+        if self.calls > 1 and any(isinstance(n, Select) for n in walk(expression)):
+            raise WrapperError("translator no longer handles select")
+
+    def _execute(self, expression):
+        self._drift(expression)
+        return super()._execute(expression)
+
+    def _resume_stream(self, expression, token):
+        self._drift(expression)
+        return super()._resume_stream(expression, token)
+
+
+class TestReopenEdgeCases:
+    QUERY = "select x.name from x in person0 where x.salary >= 0"
+
+    def build_drifting(self, **mediator_kwargs):
+        engine = RelationalEngine(name="db0")
+        engine.create_table("person0", rows=[dict(row) for row in ROWS])
+        server = SimulatedServer(name="h0", store=engine)
+        wrapper = DriftingRelationalWrapper("w0", server)
+        mediator = Mediator(name="drift", **mediator_kwargs)
+        mediator.register_wrapper("w0", wrapper)
+        mediator.create_repository("r0")
+        mediator.define_interface(
+            "Person",
+            [("id", "Long"), ("name", "String"), ("salary", "Short")],
+            extent_name="person",
+        )
+        mediator.add_extent("person0", "Person", "w0", "r0")
+        return mediator, server
+
+    def test_token_reopen_that_degrades_falls_back_to_replay(self):
+        """Capability drift during recovery: the token no longer matches the
+        degraded stream, so the reopen replays and skips the delivered rows."""
+        mediator, server = self.build_drifting(max_retries=3)
+        server.availability.kill_after(10)
+        result = mediator.query_stream(self.QUERY)
+        assert list(result.iter_rows()) == EXPECTED
+        report = result.reports[0]
+        assert report.resumed_calls == 1
+        assert report.replayed_rows == 10  # re-shipped, deduped at the mediator
+        assert report.degraded_to is not None
+        mediator.close()
+
+    def test_token_reopen_that_degrades_respects_replay_resume_off(self):
+        """replay_resume=False forbids re-shipping delivered rows; a reopen
+        that can only proceed by replaying must give up instead."""
+        mediator, server = self.build_drifting(max_retries=3)
+        mediator.executor.config.replay_resume = False
+        server.availability.kill_after(10)
+        result = mediator.query_stream(self.QUERY)
+        assert list(result.iter_rows()) == [f"p{i}" for i in range(10)]
+        assert result.is_partial
+        assert result.reports[0].resumed_calls == 0
+        # Nothing was ever re-shipped: one killed call, one rejected reopen.
+        assert server.statistics.rows_returned == 10
+        mediator.close()
+
+    def test_reopen_backoff_is_bounded_by_the_deadline(self):
+        """Reopens run on the consumer thread: a huge retry backoff must not
+        block iter_rows() past the query's designated time period."""
+        import time
+
+        mediator, server = build_relational_mediator(max_retries=2)
+        mediator.executor.config.retry_backoff = 30.0
+        server.availability.kill_after(10)
+        started = time.monotonic()
+        result = mediator.query_stream(QUERY, timeout=0.3)
+        rows = list(result.iter_rows())
+        elapsed = time.monotonic() - started
+        assert elapsed < 5.0  # nowhere near the 30s backoff
+        assert rows == [f"p{i}" for i in range(10)]  # still exactly-once
+        assert result.is_partial
+        mediator.close()
+
+
+class TestResumableStreamProtocol:
+    def test_token_tracks_ordinal_position(self):
+        stream = ResumableStream(iter([{"a": 1}, {"a": 2}, {"a": 3}]))
+        assert stream.token == 0
+        next(stream)
+        assert stream.token == 1
+        assert [row["a"] for row in stream] == [2, 3]
+        assert stream.token == 3
+
+    def test_sized_answers_keep_the_open_time_history_fast_path(self):
+        """A ResumableStream over a materialized reply is still a sized
+        answer: a streaming call cancelled before full drain must record its
+        open-time success observation exactly as it did pre-resume-tokens."""
+        from repro.algebra.capabilities import CapabilitySet
+
+        # No limit capability: the mklimit stays at the mediator and cancels
+        # the call mid-drain once satisfied -- the open-time record is all
+        # the history ever gets for this call.
+        mediator, _server = build_relational_mediator(
+            capabilities=CapabilitySet.of("get", "project", "select")
+        )
+        result = mediator.query_stream("select x.name from x in person0 limit 5")
+        assert len(list(result.iter_rows())) == 5
+        mediator.close()  # reap the cancelled remainder
+        assert mediator.history.recorded_calls() == 1
+        assert mediator.history.availability("person0") == 1.0
+
+    def test_base_wrapper_rejects_resume_tokens(self):
+        from repro.algebra.capabilities import CapabilitySet
+        from repro.algebra.logical import Get
+        from repro.errors import CapabilityError
+        from repro.wrappers.base import Wrapper
+
+        class Plain(Wrapper):
+            def _execute(self, expression):
+                return []
+
+        wrapper = Plain("plain", CapabilitySet.get_only())
+        with pytest.raises(CapabilityError):
+            wrapper.submit_stream(Get("c"), resume_from=3)
+
+    def test_kill_after_validates_and_arms(self):
+        from repro.sources.network import AvailabilityModel
+
+        model = AvailabilityModel()
+        with pytest.raises(ValueError):
+            model.kill_after(-1)
+        model.kill_after(2, count=2)
+        assert model.take_kill() == (2, None)
+        assert model.take_kill() == (2, None)
+        assert model.take_kill() is None
+
+    def test_kill_after_with_custom_exception_class(self):
+        mediator, server = build_relational_mediator(resume=None)
+        server.availability.kill_after(3, exception=UnavailableSourceError)
+        result = mediator.query_stream(QUERY)
+        assert list(result.iter_rows()) == [f"p{i}" for i in range(3)]
+        assert "UnavailableSourceError" in result.errors()["person0"]
+        mediator.close()
