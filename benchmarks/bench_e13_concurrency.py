@@ -1,0 +1,157 @@
+"""E13: concurrent serving -- throughput, tail latency, and answer integrity.
+
+One long-lived mediator behind a :class:`~repro.serving.MediatorServer`, hit
+by a wave of N simulated clients (64 by default, raise via
+``DISCO_E13_CLIENTS=64,256,1024``) with **fault injection on**: every source
+call fails with 5% probability and the executor retries.  Each client issues
+one of four distinguishable queries (different salary thresholds, so answers
+differ row-for-row) at one of two priority classes, over both engines:
+
+* **barrier** submissions settle with the whole answer at once;
+* **streamed** submissions deliver rows through the backpressure queue.
+
+Measured per wave: sustained queries/sec and the p50/p99 of end-to-end
+latency (queue wait + execution, the client-observable number).  Asserted
+per wave -- the serving contract under load:
+
+* **zero cross-query corruption**: every answer is a sub-multiset of *its
+  own* query's fault-free reference (a single leaked row from a concurrent
+  query, a duplicate, or a torn row fails the wave);
+* every submission is admitted and settles (no hangs, no lost futures);
+* p99 stays bounded -- overload shows up as queue wait, not as lockup.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import Counter
+
+from benchmarks.conftest import SRC, build_person_federation  # noqa: F401
+
+#: client counts per wave; the nightly sweep raises this to 1024.
+CLIENTS = [int(c) for c in os.environ.get("DISCO_E13_CLIENTS", "64,256").split(",")]
+SOURCES = 4
+ROWS_PER_SOURCE = 60
+WORKERS = 8
+FAILURE_PROBABILITY = 0.05
+#: four distinguishable answers -- cross-query row leakage is detectable.
+THRESHOLDS = [50, 150, 250, 350]
+P99_BOUND_SECONDS = 10.0
+
+
+def query_for(client: int) -> tuple[str, int]:
+    threshold = THRESHOLDS[client % len(THRESHOLDS)]
+    return f"select x.name from x in person where x.salary > {threshold}", threshold
+
+
+def fault_free_references() -> dict[int, Counter]:
+    """The exact multiset each query must (sub-)answer, from a healthy twin
+    federation (same seed, zero failure probability)."""
+    mediator = build_person_federation(SOURCES, rows_per_source=ROWS_PER_SOURCE)
+    try:
+        return {
+            threshold: Counter(
+                mediator.query(
+                    f"select x.name from x in person where x.salary > {threshold}"
+                ).rows()
+            )
+            for threshold in THRESHOLDS
+        }
+    finally:
+        mediator.close()
+
+
+def run_wave(clients: int, stream: bool, references: dict[int, Counter]) -> dict:
+    """One wave: ``clients`` concurrent submissions; returns the wave summary."""
+    mediator = build_person_federation(
+        SOURCES,
+        rows_per_source=ROWS_PER_SOURCE,
+        failure_probability=FAILURE_PROBABILITY,
+    )
+    mediator.executor.config.max_retries = 2
+    mediator.executor.config.retry_backoff = 0.0
+    server = mediator.serve(
+        workers=WORKERS,
+        max_queue_depth=None,  # the wave itself is the arrival bound
+        stream_buffer_rows=SOURCES * ROWS_PER_SOURCE + 16,  # streams settle unaided
+    )
+    corrupted = 0
+    incomplete = 0
+    latencies: list[float] = []
+    try:
+        started = time.monotonic()
+        futures = []
+        for client in range(clients):
+            text, threshold = query_for(client)
+            priority = 3.0 if client % 4 == 0 else 1.0
+            futures.append(
+                (threshold, server.submit(text, stream=stream, priority=priority))
+            )
+        for threshold, future in futures:
+            if stream:
+                rows = list(future.rows())
+                future.result(timeout=120)  # settled once the stream drained
+            else:
+                result = future.result(timeout=120)
+                rows = result.rows()
+            report = future.report
+            assert report is not None and report.verdict == "admitted"
+            latencies.append(report.queue_wait + report.execution_time)
+            # The integrity check: nothing beyond this query's own answer.
+            if Counter(rows) - references[threshold]:
+                corrupted += 1
+            if Counter(rows) != references[threshold]:
+                incomplete += 1  # fault injection struck and retries ran out
+        wall = time.monotonic() - started
+        stats = server.stats()
+    finally:
+        server.close()
+        mediator.close()
+    latencies.sort()
+    return {
+        "clients": clients,
+        "stream": stream,
+        "wall": wall,
+        "qps": clients / wall,
+        "p50": latencies[len(latencies) // 2],
+        "p99": latencies[min(len(latencies) - 1, int(0.99 * (len(latencies) - 1)))],
+        "corrupted": corrupted,
+        "incomplete": incomplete,
+        "completed": stats["completed"],
+        "max_queue_depth": stats["max_queue_depth"],
+    }
+
+
+def test_e13_concurrent_serving_under_faults(benchmark):
+    references = fault_free_references()
+    waves = []
+    for clients in CLIENTS:
+        for stream in (False, True):
+            waves.append(run_wave(clients, stream, references))
+
+    for wave in waves:
+        # The headline invariant: faults degrade answers, never cross wires.
+        assert wave["corrupted"] == 0, wave
+        assert wave["completed"] == wave["clients"], wave
+        assert wave["p99"] < P99_BOUND_SECONDS, wave
+        # The worker pool is the in-flight bound; the rest of the wave queued.
+        assert wave["max_queue_depth"] <= wave["clients"]
+
+    # With 5% per-call failure and 2 retries, most answers recover fully --
+    # the wave is a serving benchmark, not an outage simulation.
+    total = sum(wave["clients"] for wave in waves)
+    assert sum(wave["incomplete"] for wave in waves) <= total * 0.25
+
+    # Benchmark the smallest barrier wave end to end (fresh federation,
+    # faults armed, every answer integrity-checked, server drained).
+    summary = benchmark(lambda: run_wave(CLIENTS[0], False, references))
+    assert summary["corrupted"] == 0
+    benchmark.extra_info["workers"] = WORKERS
+    benchmark.extra_info["failure_probability"] = FAILURE_PROBABILITY
+    for wave in waves:
+        mode = "stream" if wave["stream"] else "barrier"
+        prefix = f"{mode}_{wave['clients']}"
+        benchmark.extra_info[f"{prefix}_qps"] = round(wave["qps"], 1)
+        benchmark.extra_info[f"{prefix}_p99_ms"] = round(wave["p99"] * 1000, 2)
+        benchmark.extra_info[f"{prefix}_incomplete"] = wave["incomplete"]

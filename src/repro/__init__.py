@@ -25,6 +25,7 @@ from repro.datamodel.mapping import LocalTransformationMap
 from repro.datamodel.repository import Repository
 from repro.datamodel.values import Bag, Struct, make_bag, make_struct
 from repro.errors import (
+    AdmissionError,
     CapabilityError,
     DiscoError,
     NameResolutionError,
@@ -33,6 +34,7 @@ from repro.errors import (
     TypeConflictError,
     UnavailableSourceError,
 )
+from repro.serving import MediatorServer, ServerConfig, ServerReport
 from repro.wrappers import (
     CsvWrapper,
     GeneratorWrapper,
@@ -70,5 +72,9 @@ __all__ = [
     "TypeConflictError",
     "CapabilityError",
     "UnavailableSourceError",
+    "AdmissionError",
+    "MediatorServer",
+    "ServerConfig",
+    "ServerReport",
     "__version__",
 ]

@@ -37,6 +37,9 @@ class Mediator:
         use_plan_cache: bool = True,
         max_parallel_calls: int = 16,
         max_retries: int = 0,
+        max_resumes: int | None = None,
+        max_concurrent_queries: int | None = None,
+        admission_queue_depth: int | None = None,
     ):
         self.name = name
         self.registry = Registry()
@@ -52,20 +55,42 @@ class Mediator:
                 type_check=type_check,
                 max_parallel_calls=max_parallel_calls,
                 max_retries=max_retries,
+                max_resumes=max_resumes,
+                max_concurrent_queries=max_concurrent_queries,
+                admission_queue_depth=admission_queue_depth,
             ),
             subquery_planner=self.planner.logical_for_bound,
         )
         self.odl_loader = OdlLoader(self.registry)
 
     # -- lifecycle ----------------------------------------------------------------------------
-    def close(self) -> None:
+    def close(self, drain: bool = False, timeout: float | None = None) -> None:
         """Release the executor's shared thread pool.
+
+        By default in-flight queries are *cancelled*: their source calls are
+        written off cooperatively (each degrades into a partial answer or a
+        finished stream -- no exception is raised into another thread's
+        query) and the pool's workers are joined, so no threads leak.
+        ``drain=True`` instead waits up to ``timeout`` seconds (``None`` =
+        forever) for in-flight queries and streams to complete first.
 
         A mediator remains usable after ``close()`` -- the next query simply
         recreates the pool -- so this is safe to call from ``finally`` blocks
         and context-manager exits.
         """
-        self.executor.close()
+        self.executor.close(drain=drain, timeout=timeout)
+
+    def serve(self, **config: Any):
+        """Start a :class:`~repro.serving.MediatorServer` over this mediator.
+
+        Keyword arguments populate :class:`~repro.serving.ServerConfig`
+        (worker count, queue depth, stream buffering, ...).  The server owns
+        admission and fairness for concurrent clients; close it before (or
+        instead of) closing the mediator.
+        """
+        from repro.serving import MediatorServer, ServerConfig  # local: avoid cycle
+
+        return MediatorServer(self, config=ServerConfig(**config))
 
     def __enter__(self) -> "Mediator":
         return self
@@ -149,12 +174,22 @@ class Mediator:
         return self.query(text)
 
     # -- application interface: queries ------------------------------------------------------------
-    def query(self, text: str, timeout: float | None = None) -> QueryResult:
-        """Evaluate an OQL query and return its (possibly partial) answer."""
-        planned = self.planner.plan(text)
-        return self._run(planned, timeout=timeout)
+    def query(
+        self, text: str, timeout: float | None = None, priority: float = 1.0
+    ) -> QueryResult:
+        """Evaluate an OQL query and return its (possibly partial) answer.
 
-    def query_stream(self, text: str, timeout: float | None = None) -> QueryResult:
+        ``priority`` matters only under admission control
+        (``max_concurrent_queries``): queued queries are scheduled
+        weighted-fair by priority class, and higher priorities get
+        proportionally more slots under contention.
+        """
+        planned = self.planner.plan(text)
+        return self._run(planned, timeout=timeout, priority=priority)
+
+    def query_stream(
+        self, text: str, timeout: float | None = None, priority: float = 1.0
+    ) -> QueryResult:
         """Evaluate an OQL query with the streaming engine.
 
         Returns immediately; the result's :meth:`~QueryResult.iter_rows`
@@ -179,7 +214,9 @@ class Mediator:
             return self._run_scalar(planned, timeout=timeout)
         if planned.optimized is None or planned.logical is None:
             raise QueryExecutionError(f"query {planned.text!r} produced no plan")
-        stream = self.executor.execute_stream(planned.optimized.physical, timeout=timeout)
+        stream = self.executor.execute_stream(
+            planned.optimized.physical, timeout=timeout, priority=priority
+        )
         return QueryResult(
             query_text=planned.text,
             stream=stream,
@@ -217,12 +254,19 @@ class Mediator:
         )
 
     # -- internals -----------------------------------------------------------------------------------
-    def _run(self, planned: PlannedQuery, timeout: float | None = None) -> QueryResult:
+    def _run(
+        self,
+        planned: PlannedQuery,
+        timeout: float | None = None,
+        priority: float = 1.0,
+    ) -> QueryResult:
         if planned.is_scalar:
             return self._run_scalar(planned, timeout=timeout)
         if planned.optimized is None or planned.logical is None:
             raise QueryExecutionError(f"query {planned.text!r} produced no plan")
-        execution = self.executor.execute(planned.optimized.physical, timeout=timeout)
+        execution = self.executor.execute(
+            planned.optimized.physical, timeout=timeout, priority=priority
+        )
         return QueryResult(
             query_text=planned.text,
             data=execution.data,
@@ -254,10 +298,25 @@ class Mediator:
     def statistics(self) -> dict[str, Any]:
         """Operational statistics: recorded exec signatures, plan-cache state."""
         cache = self.planner.plan_cache
-        return {
+        cache_stats = cache.stats() if cache is not None else {}
+        stats = {
             "exec_signatures": self.history.recorded_calls(),
-            "plan_cache_entries": len(cache) if cache is not None else 0,
-            "plan_cache_hits": cache.hits if cache is not None else 0,
-            "plan_cache_misses": cache.misses if cache is not None else 0,
+            "plan_cache_entries": cache_stats.get("entries", 0),
+            "plan_cache_hits": cache_stats.get("hits", 0),
+            "plan_cache_misses": cache_stats.get("misses", 0),
+            "plan_cache_invalidations": cache_stats.get("invalidations", 0),
+            "plan_cache_evictions": cache_stats.get("evictions", 0),
             "schema_version": self.registry.schema_version,
         }
+        admission = self.executor.admission
+        if admission is not None:
+            stats["admission"] = {
+                "admitted": admission.stats.admitted,
+                "rejected": admission.stats.rejected,
+                "timed_out": admission.stats.timed_out,
+                "inflight": admission.inflight,
+                "queued": admission.queued,
+                "max_inflight_seen": admission.stats.max_inflight_seen,
+                "max_queue_depth": admission.stats.max_queue_depth,
+            }
+        return stats

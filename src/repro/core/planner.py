@@ -33,7 +33,19 @@ class PlannedQuery:
 
 
 class QueryPlanner:
-    """Turns OQL text into an optimized physical plan against one registry."""
+    """Turns OQL text into an optimized physical plan against one registry.
+
+    Thread-safety: the planner itself holds no per-query mutable state -- the
+    binder, translator, rewriter and optimizer are configured once and then
+    only read; shared mutable state lives in the registry, the plan cache and
+    the exec-call history, each of which carries its own lock (see their
+    module docstrings for the discipline).  Concurrent ``plan`` calls are
+    therefore safe, including against a DBA thread mutating the schema:
+    :meth:`plan` snapshots the schema version *once*, keys the cache lookup
+    on it, and refuses to store a plan when the version moved mid-planning
+    (the plan may have resolved names against a half-new schema, and storing
+    it under either version could serve a stale plan forever).
+    """
 
     def __init__(
         self,
@@ -66,8 +78,9 @@ class QueryPlanner:
     # -- the pipeline -----------------------------------------------------------------------
     def plan(self, text: str, use_cache: bool = True) -> PlannedQuery:
         """Parse, bind, translate and optimize ``text``."""
+        version = self.registry.schema_version
         if self.plan_cache is not None and use_cache:
-            cached = self.plan_cache.get(text, self.registry.schema_version)
+            cached = self.plan_cache.get(text, version)
             if cached is not None:
                 return PlannedQuery(
                     text=text,
@@ -81,7 +94,11 @@ class QueryPlanner:
         ast = parse_query(text)
         planned = self.plan_ast(ast, text=text)
         if self.plan_cache is not None and use_cache:
-            self.plan_cache.put(text, self.registry.schema_version, planned)
+            # Store under the version snapshotted *before* planning, and only
+            # if it still holds: a schema change mid-planning means this plan
+            # may mix old and new resolutions -- don't cache it at all.
+            if self.registry.schema_version == version:
+                self.plan_cache.put(text, version, planned)
         return planned
 
     def plan_ast(self, ast: QueryNode, text: str | None = None) -> PlannedQuery:

@@ -7,10 +7,21 @@ query processing needs: collection-name resolution for the binder (including
 implicit type extents, ``type*`` and ``metaextent``), wrapper-object lookup
 for the run-time system, a schema version for plan-cache invalidation and the
 MetaExtent rows exposed to queries.
+
+Lock discipline: one registry-wide :class:`threading.RLock` guards every
+schema mutation *and* every lookup -- concurrent queries resolve names and
+fetch wrappers while a DBA thread may be adding or dropping extents, and the
+underlying :class:`Schema` dicts must never be resized under an iterating
+reader.  The version bump happens inside the same critical section as the
+mutation it describes, so a reader can never observe a new schema under the
+old version (the invariant the plan cache and the executor's type-check
+verdict cache both key on).  RLock, not Lock, because resolution recurses
+(view expansion re-enters :meth:`resolve_collection`).
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any
 
 from repro.datamodel.mapping import LocalTransformationMap
@@ -30,22 +41,34 @@ class Registry:
 
     def __init__(self, schema: Schema | None = None):
         self.schema = schema or Schema()
-        self.schema_version = 0
+        self._schema_version = 0
+        # Guards the schema and the version together; see the module
+        # docstring for the discipline.
+        self._lock = threading.RLock()
+
+    @property
+    def schema_version(self) -> int:
+        """Monotonic version, bumped inside the mutation's critical section."""
+        with self._lock:
+            return self._schema_version
 
     # -- definitions (delegate to the schema, bump the version where needed) ----------------
     def define_interface(self, interface: InterfaceType) -> InterfaceType:
         """Register an interface type."""
-        result = self.schema.define_interface(interface)
-        self._bump()
-        return result
+        with self._lock:
+            result = self.schema.define_interface(interface)
+            self._bump()
+            return result
 
     def add_repository(self, repository: Repository) -> Repository:
         """Register a repository object."""
-        return self.schema.add_repository(repository)
+        with self._lock:
+            return self.schema.add_repository(repository)
 
     def add_wrapper(self, name: str, wrapper: Any) -> Any:
         """Register a wrapper object under ``name``."""
-        return self.schema.add_wrapper(name, wrapper)
+        with self._lock:
+            return self.schema.add_wrapper(name, wrapper)
 
     def add_extent(
         self,
@@ -57,49 +80,57 @@ class Registry:
         source_collection: str | None = None,
     ):
         """Declare an extent; this is the DBA action that adds a data source."""
-        meta = self.schema.add_extent(
-            name,
-            interface_name,
-            wrapper_name,
-            repository_name,
-            map=map,
-            source_collection=source_collection,
-        )
-        self._bump()
-        return meta
+        with self._lock:
+            meta = self.schema.add_extent(
+                name,
+                interface_name,
+                wrapper_name,
+                repository_name,
+                map=map,
+                source_collection=source_collection,
+            )
+            self._bump()
+            return meta
 
     def drop_extent(self, name: str) -> None:
         """Remove an extent (deleting its MetaExtent object)."""
-        self.schema.drop_extent(name)
-        self._bump()
+        with self._lock:
+            self.schema.drop_extent(name)
+            self._bump()
 
     def define_view_text(self, name: str, query_text: str) -> ViewDefinition:
         """Register a ``define <name> as <query>`` view from raw OQL text."""
-        view = ViewDefinition(name=name, query_text=query_text)
-        self.schema.define_view(view)
-        self._bump()
-        return view
+        with self._lock:
+            view = ViewDefinition(name=name, query_text=query_text)
+            self.schema.define_view(view)
+            self._bump()
+            return view
 
     def _bump(self) -> None:
-        self.schema_version += 1
+        self._schema_version += 1
 
     # -- lookups used by the planner and the run-time system -----------------------------------
     def wrapper_object(self, name: str) -> Any:
         """Return the wrapper object registered under ``name``."""
-        return self.schema.wrapper(name)
+        with self._lock:
+            return self.schema.wrapper(name)
 
     def extent(self, name: str):
         """Return the MetaExtent for extent ``name``."""
-        return self.schema.extent(name)
+        with self._lock:
+            return self.schema.extent(name)
 
     def interface_attributes(self, interface_name: str) -> list[str]:
         """Attribute names of an interface (used by the run-time type check)."""
-        return self.schema.interface(interface_name).attribute_names()
+        with self._lock:
+            return self.schema.interface(interface_name).attribute_names()
 
     def metaextent_rows(self) -> list[Struct]:
         """The ``metaextent`` collection: one struct per declared extent."""
         rows = []
-        for meta in self.schema.extents():
+        with self._lock:
+            extents = list(self.schema.extents())
+        for meta in extents:
             rows.append(
                 Struct(
                     {
@@ -117,19 +148,24 @@ class Registry:
     # -- collection-name resolution (the binder's resolver) ---------------------------------------
     def resolve_collection(self, name: str, recursive: bool = False) -> ResolvedCollection:
         """Resolve a collection name appearing in a query."""
-        if name == METAEXTENT_NAME:
-            return ResolvedCollection(kind="metaextent")
-        if not recursive and self.schema.has_extent(name):
-            return ResolvedCollection(kind="extents", extents=(self.schema.extent(name),))
-        if not recursive and self.schema.has_view(name):
-            view = self.schema.view(name)
-            if view.ast is None:
-                view.ast = parse_query(view.query_text)
-            return ResolvedCollection(kind="view", view_query=view.ast, view_name=name)
-        interface = self._interface_for_implicit_extent(name)
-        if interface is not None:
-            extents = self.schema.extents_of_interface(interface.name, recursive=recursive)
-            return ResolvedCollection(kind="extents", extents=tuple(extents))
+        with self._lock:
+            if name == METAEXTENT_NAME:
+                return ResolvedCollection(kind="metaextent")
+            if not recursive and self.schema.has_extent(name):
+                return ResolvedCollection(
+                    kind="extents", extents=(self.schema.extent(name),)
+                )
+            if not recursive and self.schema.has_view(name):
+                view = self.schema.view(name)
+                if view.ast is None:
+                    view.ast = parse_query(view.query_text)
+                return ResolvedCollection(kind="view", view_query=view.ast, view_name=name)
+            interface = self._interface_for_implicit_extent(name)
+            if interface is not None:
+                extents = self.schema.extents_of_interface(
+                    interface.name, recursive=recursive
+                )
+                return ResolvedCollection(kind="extents", extents=tuple(extents))
         raise NameResolutionError(
             f"{name!r} does not name an extent, a view, an implicit type extent or "
             f"{METAEXTENT_NAME!r}"
@@ -148,10 +184,12 @@ class Registry:
     # -- catalog support ----------------------------------------------------------------------------
     def describe(self) -> dict[str, Any]:
         """Catalog-friendly description of everything this mediator knows."""
-        description = self.schema.describe()
-        description["schema_version"] = self.schema_version
-        return description
+        with self._lock:
+            description = self.schema.describe()
+            description["schema_version"] = self._schema_version
+            return description
 
     def statement_count(self) -> int:
         """Number of DBA-level definitions (integration-effort experiments)."""
-        return self.schema.statement_count()
+        with self._lock:
+            return self.schema.statement_count()

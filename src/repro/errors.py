@@ -73,6 +73,22 @@ class WrapperError(DiscoError):
     """A wrapper failed while translating or executing a submitted expression."""
 
 
+class AdmissionError(DiscoError):
+    """A query was refused by admission control instead of being executed.
+
+    Raised by the serving layer (and by an :class:`~repro.runtime.admission.
+    AdmissionController`-equipped executor) when the in-flight budget and the
+    wait queue are both full, or when a query's deadline expires while it is
+    still queued.  ``verdict`` is the machine-readable reason -- one of
+    ``"rejected"`` (queue full) or ``"queue timeout"`` (deadline passed
+    before a slot freed up).
+    """
+
+    def __init__(self, message: str, verdict: str = "rejected"):
+        super().__init__(message)
+        self.verdict = verdict
+
+
 class QueryExecutionError(DiscoError):
     """The run-time system could not evaluate a physical plan."""
 

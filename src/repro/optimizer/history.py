@@ -122,6 +122,13 @@ class ExecCallHistory:
     average of call success (1.0) and failure (0.0).  The cost model uses it
     to penalize plans that depend on flaky sources -- a failure is not just
     lost time, it turns the whole answer partial.
+
+    Lock discipline: one history-wide lock guards every signature deque and
+    the availability map, on the *read* paths too -- ``estimate`` smooths a
+    deque that concurrent exec workers are appending to, and a deque mutated
+    mid-iteration raises.  Calls never block inside the lock (no I/O, no
+    user code), so planners and workers of concurrent queries serialize only
+    for the microseconds of an append or a smoothing pass.
     """
 
     def __init__(
@@ -186,7 +193,8 @@ class ExecCallHistory:
 
         1.0 for extents never observed -- the paper's optimistic default.
         """
-        return self._availability.get(extent_name, 1.0)
+        with self._lock:
+            return self._availability.get(extent_name, 1.0)
 
     def _append(self, store: dict[str, Deque[_Observation]], key: str, observation: _Observation) -> None:
         queue = store.setdefault(key, deque(maxlen=self.window))
@@ -194,15 +202,24 @@ class ExecCallHistory:
 
     # -- estimation ----------------------------------------------------------------------
     def estimate(self, extent_name: str, expression: LogicalOp) -> CostEstimate:
-        """Estimate the cost of an exec call from history (exact, close or default)."""
-        exact = self._exact.get(exact_signature(extent_name, expression))
-        if exact:
-            time, rows = self._smooth(exact)
-            return CostEstimate(time=time, rows=rows, kind="exact", samples=len(exact))
-        close = self._close.get(close_signature(extent_name, expression))
-        if close:
-            time, rows = self._smooth(close)
-            return CostEstimate(time=time, rows=rows, kind="close", samples=len(close))
+        """Estimate the cost of an exec call from history (exact, close or default).
+
+        The signatures are computed outside the lock (they walk the
+        expression tree); the smoothing pass runs under it, so a concurrent
+        worker appending an observation can never mutate the deque
+        mid-iteration.
+        """
+        exact_key = exact_signature(extent_name, expression)
+        close_key = close_signature(extent_name, expression)
+        with self._lock:
+            exact = self._exact.get(exact_key)
+            if exact:
+                time, rows = self._smooth(exact)
+                return CostEstimate(time=time, rows=rows, kind="exact", samples=len(exact))
+            close = self._close.get(close_key)
+            if close:
+                time, rows = self._smooth(close)
+                return CostEstimate(time=time, rows=rows, kind="close", samples=len(close))
         return CostEstimate(
             time=DEFAULT_TIME_COST, rows=DEFAULT_DATA_COST, kind="default", samples=0
         )
@@ -223,11 +240,13 @@ class ExecCallHistory:
     # -- inspection ----------------------------------------------------------------------
     def recorded_calls(self) -> int:
         """Total number of exact signatures currently tracked."""
-        return len(self._exact)
+        with self._lock:
+            return len(self._exact)
 
     def clear(self) -> None:
         """Forget everything (used between experiment runs)."""
-        self._exact.clear()
-        self._close.clear()
-        self._availability.clear()
-        self.failures = 0
+        with self._lock:
+            self._exact.clear()
+            self._close.clear()
+            self._availability.clear()
+            self.failures = 0

@@ -14,10 +14,19 @@ does not parse falls back to whitespace collapsing, so a malformed query
 still produces a stable key (and its ParseError is raised by the planner,
 not here).  Normalization results are memoized per text, so a cache hit
 costs one dict lookup, not a parse.
+
+Lock discipline: one cache-wide :class:`threading.RLock` guards the entry
+map, the key memo and every counter -- the cache is shared by all the
+concurrent queries of one mediator (see :mod:`repro.serving`), and an
+``OrderedDict`` being reordered by ``move_to_end`` while another thread
+iterates or resizes it corrupts the recency list.  The lock is never held
+while parsing: key normalization happens outside it, so a cache hit under
+contention costs one short critical section.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
@@ -83,7 +92,7 @@ def _normalize_whitespace(query_text: str) -> str:
 
 @dataclass
 class PlanCache:
-    """A small query-text -> optimized-plan LRU cache."""
+    """A small query-text -> optimized-plan LRU cache (thread-safe)."""
 
     capacity: int = 128
     _entries: OrderedDict[str, _CachedPlan] = field(default_factory=OrderedDict)
@@ -92,46 +101,73 @@ class PlanCache:
     hits: int = 0
     misses: int = 0
     invalidations: int = 0
+    #: entries pushed out by the LRU policy (capacity pressure, not staleness).
+    evictions: int = 0
+
+    def __post_init__(self) -> None:
+        # RLock, not Lock: get()/put() are called from every serving thread.
+        self._lock = threading.RLock()
 
     def _key_for(self, query_text: str) -> str:
-        key = self._keys.get(query_text)
-        if key is None:
+        with self._lock:
+            key = self._keys.get(query_text)
+        if key is not None:
+            return key
+        # Parse outside the lock: normalization is the expensive part, and
+        # two threads racing the same text derive the same key anyway.
+        key = _normalize(query_text)
+        with self._lock:
             if len(self._keys) >= 4 * self.capacity:
                 self._keys.clear()
-            key = _normalize(query_text)
             self._keys[query_text] = key
         return key
 
     def get(self, query_text: str, schema_version: int) -> Any | None:
         """Return the cached plan, or None when absent or stale."""
         key = self._key_for(query_text)
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        if entry.schema_version != schema_version:
-            del self._entries[key]
-            self.invalidations += 1
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry.plan
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            if entry.schema_version != schema_version:
+                del self._entries[key]
+                self.invalidations += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry.plan
 
     def put(self, query_text: str, schema_version: int, plan: Any) -> None:
         """Store a plan built under ``schema_version``."""
         key = self._key_for(query_text)
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        elif len(self._entries) >= self.capacity:
-            # Evict the least recently used entry to stay within capacity.
-            self._entries.popitem(last=False)
-        self._entries[key] = _CachedPlan(plan=plan, schema_version=schema_version)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            elif len(self._entries) >= self.capacity:
+                # Evict the least recently used entry to stay within capacity.
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            self._entries[key] = _CachedPlan(plan=plan, schema_version=schema_version)
 
     def clear(self) -> None:
         """Drop every cached plan."""
-        self._entries.clear()
-        self._keys.clear()
+        with self._lock:
+            self._entries.clear()
+            self._keys.clear()
+
+    def stats(self) -> dict[str, int]:
+        """One consistent snapshot of the cache counters."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "evictions": self.evictions,
+            }
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)

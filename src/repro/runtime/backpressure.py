@@ -1,0 +1,124 @@
+"""Backpressure between a streaming producer and a slow consumer.
+
+The streaming engine is pull-based: rows are computed on the consumer's
+thread, so a direct caller of ``Mediator.query_stream`` can never out-run
+itself.  A *serving* layer breaks that property: a worker thread drains the
+pipeline on behalf of a remote client, and if the client reads slowly the
+worker must **stall** rather than buffer the whole answer in memory.
+
+:class:`BoundedRowQueue` is the bridge: the producer's ``put`` blocks while
+the queue holds ``capacity`` undelivered rows, the consumer's iteration
+unblocks it row by row, and either side can end the transfer -- the
+producer by ``finish`` (optionally with the error that ended the stream),
+the consumer by ``close`` (which wakes a blocked producer with
+:class:`StreamClosed`, so the upstream pipeline is cancelled instead of
+computing rows nobody will read).
+
+Lock discipline: one :class:`threading.Condition` guards the deque and the
+closed/finished flags; ``put``/``get`` block only on that condition and no
+user code runs under it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Deque, Iterator
+
+from repro.errors import DiscoError
+
+
+class StreamClosed(DiscoError):
+    """The consumer closed the stream; the producer must stop computing rows."""
+
+
+_END = object()  # sentinel queued by finish()
+
+
+class BoundedRowQueue:
+    """A bounded, closeable handoff queue for one streaming result.
+
+    One producer, any number of (externally serialized) consumers.  The
+    bound is what turns a slow reader into backpressure: ``put`` blocks once
+    ``capacity`` rows are undelivered, which suspends the producer's pull
+    from the operator pipeline, which leaves the source cursors untouched --
+    nothing upstream buffers unboundedly on behalf of a lagging client.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._condition = threading.Condition()
+        self._rows: Deque[Any] = deque()
+        self._closed = False
+        self._finished = False
+        self._error: BaseException | None = None
+        #: rows handed over so far (serving-layer statistics).
+        self.delivered = 0
+        #: how many times the producer blocked on a full queue.
+        self.stalls = 0
+
+    # -- producer side -----------------------------------------------------------------
+    def put(self, row: Any) -> None:
+        """Enqueue one row; block while the consumer is ``capacity`` rows behind.
+
+        Raises :class:`StreamClosed` once the consumer has closed -- the
+        producer should treat it as cancellation, not failure.
+        """
+        with self._condition:
+            if len(self._rows) >= self.capacity and not self._closed:
+                self.stalls += 1
+            while len(self._rows) >= self.capacity:
+                if self._closed:
+                    raise StreamClosed("consumer closed the stream")
+                self._condition.wait()
+            if self._closed:
+                raise StreamClosed("consumer closed the stream")
+            self._rows.append(row)
+            self._condition.notify_all()
+
+    def finish(self, error: BaseException | None = None) -> None:
+        """Mark the stream complete (``error`` re-raises on the consumer side)."""
+        with self._condition:
+            if self._finished:
+                return
+            self._finished = True
+            self._error = error
+            self._rows.append(_END)
+            self._condition.notify_all()
+
+    # -- consumer side -----------------------------------------------------------------
+    def __iter__(self) -> Iterator[Any]:
+        """Yield rows until the producer finishes; re-raise its terminal error."""
+        while True:
+            with self._condition:
+                while not self._rows:
+                    if self._closed:
+                        return
+                    self._condition.wait()
+                row = self._rows.popleft()
+                if row is _END:
+                    error = self._error
+                    if error is not None:
+                        raise error
+                    return
+                self.delivered += 1
+                self._condition.notify_all()
+            yield row
+
+    def close(self) -> None:
+        """Consumer gives up: drop queued rows and wake a blocked producer."""
+        with self._condition:
+            self._closed = True
+            self._rows.clear()
+            self._condition.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._condition:
+            return self._closed
+
+    def __len__(self) -> int:
+        with self._condition:
+            return len(self._rows)

@@ -52,7 +52,8 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+import weakref
+from concurrent.futures import FIRST_COMPLETED, CancelledError, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Mapping, Protocol
 
@@ -66,6 +67,7 @@ from repro.optimizer.history import ExecCallHistory
 from repro.optimizer.implementation import implement
 from repro.runtime import cancellation
 from repro.runtime import operators as ops
+from repro.runtime.admission import AdmissionController, AdmissionTicket
 from repro.runtime.degrade import compensate_rows, degrade_pushdown, is_capability_failure
 from repro.runtime.partial_eval import UNAVAILABLE, PartialAnswerBuilder, Unavailable
 
@@ -191,6 +193,10 @@ class ExecReport:
     #: delivered-row count).  0 for token resumes: the source itself skipped
     #: them and shipped only the remainder.
     replayed_rows: int = 0
+    #: mid-stream reopen attempts charged to the dedicated ``max_resumes``
+    #: budget (successful or not).  0 when ``max_resumes`` is unset -- legacy
+    #: accounting charges reopens to ``attempts`` instead.
+    resume_attempts: int = 0
 
 
 @dataclass
@@ -258,15 +264,40 @@ class ExecutorConfig:
         ``replay`` wrappers are reopened and the mediator skips the
         already-delivered prefix.  Wrappers declaring neither keep the
         write-off -- without a token or a determinism guarantee, reopening a
-        half-consumed cursor risks duplicated or dropped rows.  With the
-        default ``max_retries=0`` there is no budget, so recovery stays off
-        until retries are enabled.
+        half-consumed cursor risks duplicated or dropped rows.  Reopens draw
+        down ``max_retries`` unless ``max_resumes`` grants them a dedicated
+        budget; with the defaults (``max_retries=0``, ``max_resumes=None``)
+        there is no budget, so recovery stays off until one is granted.
     ``replay_resume``
         Permits the reopen-and-skip fallback (used by ``replay`` wrappers,
         and by ``token`` wrappers whose call was degraded or split, where
         token positions no longer match the delivered stream).  Turn off to
         allow only true source-side token resumes -- e.g. when re-shipping
         already-delivered rows is costlier than losing the source.
+    ``max_resumes``
+        Streaming engine only.  A *dedicated* per-call budget for mid-stream
+        reopens.  ``None`` (the default) keeps the legacy accounting: reopens
+        draw down the shared ``max_retries`` budget.  When set, a call that
+        dies after delivering rows may be reopened up to ``max_resumes``
+        times *without* consuming retries -- so ``max_retries=0,
+        max_resumes=2`` fails fresh calls fast yet still recovers a stream
+        that dies mid-transfer.  ``0`` disables mid-stream recovery outright
+        (equivalent to ``resume_midstream=False`` for budgeting purposes).
+        Reopens are accounted separately on :attr:`ExecReport.resume_attempts`.
+    ``max_concurrent_queries``
+        Admission control for the shared pool.  ``None`` (the default) admits
+        every query immediately.  When set, at most this many queries execute
+        at once; excess queries wait in a weighted-fair queue (stride
+        scheduling over ``priority`` classes, so a flood of low-priority
+        queries cannot starve the rest) and their queue wait is deducted from
+        their timeout before execution starts.  A query whose deadline
+        expires while queued fails with
+        :class:`~repro.errors.AdmissionError` (verdict "queue timeout").
+    ``admission_queue_depth``
+        Bound on the admission *wait queue* (only meaningful with
+        ``max_concurrent_queries``).  When the queue is full, further queries
+        are rejected immediately with verdict "rejected" instead of waiting
+        -- the load-shedding knob.  ``None`` queues without bound.
     ``type_check``
         Whether the mediator checks source attribute names against the
         mediator interface (the run-time type check of Section 2.1).
@@ -279,6 +310,9 @@ class ExecutorConfig:
     degrade_pushdown: bool = True
     resume_midstream: bool = True
     replay_resume: bool = True
+    max_resumes: int | None = None
+    max_concurrent_queries: int | None = None
+    admission_queue_depth: int | None = None
     type_check: bool = True
 
 
@@ -313,8 +347,25 @@ class Executor:
         #: any schema change (e.g. re-registering an extent with a different
         #: map) invalidates them.
         self._type_checked_version: Any = None
+        # Guards the verdict cache: concurrent queries share it, and a set
+        # being mutated under an iterating reader is undefined.  The type
+        # check itself (a wrapper call) runs outside the lock.
+        self._types_lock = threading.Lock()
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
+        #: shared-pool admission gate; ``None`` when admission is off.
+        self.admission: AdmissionController | None = None
+        if self.config.max_concurrent_queries is not None:
+            self.admission = AdmissionController(
+                max_inflight=self.config.max_concurrent_queries,
+                max_queue_depth=self.config.admission_queue_depth,
+            )
+        # Active-work tracking for close(): per-dispatch cancel closures and
+        # the live streaming executions.  The condition is notified whenever
+        # a dispatch or a stream finishes, so a draining close can wait.
+        self._active = threading.Condition()
+        self._dispatch_cancels: dict[int, Callable[[], None]] = {}
+        self._active_streams: "weakref.WeakSet[Any]" = weakref.WeakSet()
         self.partial_builder = PartialAnswerBuilder(subquery_evaluator=self.evaluate_subquery)
 
     # -- pool lifecycle ----------------------------------------------------------------------
@@ -328,12 +379,56 @@ class Executor:
                 )
             return self._pool
 
-    def close(self) -> None:
-        """Shut the shared pool down; a later query transparently recreates it."""
+    def _live_streams(self) -> list[Any]:
+        return [s for s in list(self._active_streams) if not s.finished]
+
+    def close(self, drain: bool = False, timeout: float | None = None) -> None:
+        """Shut the shared pool down; a later query transparently recreates it.
+
+        ``drain=False`` (the default) *cancels*: every in-flight dispatch is
+        written off (its calls report "mediator closed" and the queries
+        degrade into partial answers), every live stream is finished, and
+        the pool is shut down waiting for its workers -- no leaked threads,
+        and no exception is ever raised into an unrelated query's worker.
+
+        ``drain=True`` waits (up to ``timeout`` seconds, ``None`` = forever)
+        for in-flight queries and streams to finish before taking the pool
+        down; work still active after the timeout is cancelled as above.
+        """
+        if drain:
+            with self._active:
+                self._active.wait_for(
+                    lambda: not self._dispatch_cancels and not self._live_streams(),
+                    timeout=timeout,
+                )
+        # Cancel whatever is (still) active: mark every dispatch's calls
+        # abandoned (their workers wake from sleeps and return write-off
+        # outcomes) and finish every live stream.
+        with self._active:
+            cancels = list(self._dispatch_cancels.values())
+        for cancel in cancels:
+            cancel()
+        for stream in self._live_streams():
+            stream._finish()
         with self._pool_lock:
             pool, self._pool = self._pool, None
         if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
+            # wait=True: every worker has returned when close() returns, so
+            # the pool's threads are truly released, not leaked.
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    # -- admission ---------------------------------------------------------------------------
+    def _admit(self, priority: float, timeout: float | None) -> AdmissionTicket | None:
+        """Pass the admission gate (no-op when admission is off).
+
+        Raises :class:`~repro.errors.AdmissionError` on rejection or queue
+        timeout; on success the caller owns one in-flight slot and must
+        ``release()`` it when the query ends.
+        """
+        if self.admission is None:
+            return None
+        deadline = None if timeout is None else time.monotonic() + timeout
+        return self.admission.acquire(priority=priority, deadline=deadline)
 
     # -- public entry point ------------------------------------------------------------------
     def execute(
@@ -341,32 +436,47 @@ class Executor:
         plan: phys.PhysicalOp,
         base_env: Mapping[str, Any] | None = None,
         timeout: float | None = None,
+        priority: float = 1.0,
     ) -> ExecutionResult:
-        """Execute ``plan``; unavailable or failing sources yield a partial answer."""
+        """Execute ``plan``; unavailable or failing sources yield a partial answer.
+
+        With admission control configured, the query first passes the gate
+        (which may queue it, fairly, behind its ``priority`` class); queue
+        wait is deducted from ``timeout``, so the deadline a caller sets is
+        end-to-end, not execution-only.
+        """
         timeout = self.config.timeout if timeout is None else timeout
-        exec_nodes = phys.execs_in(plan)
-        outcomes, reports = self._dispatch(exec_nodes, timeout)
-        unavailable = tuple(
-            report.extent_name for report in reports if not report.available
-        )
-        if unavailable:
-            partial_plan = self.partial_builder.build(plan, outcomes, base_env=base_env)
-            return ExecutionResult(
-                data=Bag(),
-                is_partial=True,
-                partial_plan=partial_plan,
-                partial_query=self.partial_builder.to_oql(partial_plan),
-                unavailable_sources=unavailable,
-                reports=tuple(reports),
+        ticket = self._admit(priority, timeout)
+        if ticket is not None and timeout is not None:
+            timeout = max(timeout - ticket.queue_wait, 0.0)
+        try:
+            exec_nodes = phys.execs_in(plan)
+            outcomes, reports = self._dispatch(exec_nodes, timeout)
+            unavailable = tuple(
+                report.extent_name for report in reports if not report.available
             )
-        values = list(self._evaluate(plan, outcomes, base_env))
-        return ExecutionResult(data=Bag(values), reports=tuple(reports))
+            if unavailable:
+                partial_plan = self.partial_builder.build(plan, outcomes, base_env=base_env)
+                return ExecutionResult(
+                    data=Bag(),
+                    is_partial=True,
+                    partial_plan=partial_plan,
+                    partial_query=self.partial_builder.to_oql(partial_plan),
+                    unavailable_sources=unavailable,
+                    reports=tuple(reports),
+                )
+            values = list(self._evaluate(plan, outcomes, base_env))
+            return ExecutionResult(data=Bag(values), reports=tuple(reports))
+        finally:
+            if ticket is not None and self.admission is not None:
+                self.admission.release()
 
     def execute_stream(
         self,
         plan: phys.PhysicalOp,
         base_env: Mapping[str, Any] | None = None,
         timeout: float | None = None,
+        priority: float = 1.0,
     ):
         """Execute ``plan`` with the streaming engine.
 
@@ -378,11 +488,38 @@ class Executor:
         out contribute no rows; the failures are reported on the execution
         object once the stream ends (no resubmittable partial query is built,
         since delivered rows cannot be embedded back into one).
+
+        With admission control configured the stream holds its in-flight
+        slot until it finishes (fully drained, closed, or cancelled by
+        ``Executor.close``), not merely until this call returns.
         """
         from repro.runtime.streaming import StreamingExecution  # local: avoid cycle
 
         timeout = self.config.timeout if timeout is None else timeout
-        return StreamingExecution(self, plan, base_env=base_env, timeout=timeout)
+        ticket = self._admit(priority, timeout)
+        if ticket is not None and timeout is not None:
+            timeout = max(timeout - ticket.queue_wait, 0.0)
+        released = threading.Event()
+
+        def on_finish() -> None:
+            # _finish runs exactly once, but be idempotent anyway: the slot
+            # must never be double-released.
+            if ticket is not None and self.admission is not None:
+                if not released.is_set():
+                    released.set()
+                    self.admission.release()
+            with self._active:
+                self._active.notify_all()
+
+        try:
+            stream = StreamingExecution(
+                self, plan, base_env=base_env, timeout=timeout, on_finish=on_finish
+            )
+        except BaseException:
+            on_finish()
+            raise
+        self._active_streams.add(stream)
+        return stream
 
     # -- exec dispatch ------------------------------------------------------------------------
     def _dispatch(
@@ -410,65 +547,9 @@ class Executor:
         # from the dispatcher's write-off, never both.
         guard = threading.Lock()
         deadline = None if timeout is None else time.monotonic() + timeout
-        futures = {
-            pool.submit(
-                self._run_exec,
-                node,
-                started_at,
-                abandoned,
-                recorded,
-                guard,
-                events[id(node)],
-                attempts_made,
-            ): node
-            for node in exec_nodes
-        }
         by_node: dict[int, ExecReport] = {}
-        pending = set(futures)
-        try:
-            while pending:
-                remaining = None if deadline is None else max(deadline - time.monotonic(), 0.0)
-                done, pending = wait(pending, timeout=remaining, return_when=FIRST_COMPLETED)
-                if not done:
-                    break  # global deadline expired with calls still in flight
-                for future in done:
-                    node = futures[future]
-                    self._note_outcome(node, future.result(), outcomes, by_node)
-        except BaseException:
-            # A mediator-side error (e.g. a failed type check) aborts the
-            # query; write off the surviving calls so their workers stop
-            # retrying and stop recording, and free the shared pool's queue.
-            with guard:
-                for future in pending:
-                    abandoned.add(id(futures[future]))
-            for future in pending:
-                events[id(futures[future])].set()
-                future.cancel()
-            raise
-        now = time.monotonic()
-        for future in pending:
-            future.cancel()
-            node = futures[future]
-            error = f"timed out after {timeout:.4g}s"
-            with guard:
-                # Mark the call abandoned and record its failure atomically,
-                # so the zombie worker neither keeps retrying nor adds a
-                # second observation for it when it finally returns.  A call
-                # whose worker beat us to a terminal record (finished in the
-                # instant after the deadline) is taken as completed instead.
-                finished_late = id(node) in recorded
-                if not finished_late:
-                    abandoned.add(id(node))
-                    events[id(node)].set()
-                    started = started_at.get(id(node))
-                    elapsed = 0.0 if started is None else now - started
-                    if started is not None:
-                        # The call really ran for this long before the
-                        # deadline cut it off; let the cost model see it.
-                        self.history.record_failure(node.extent_name, node.expression, elapsed)
-            if finished_late:
-                self._note_outcome(node, future.result(), outcomes, by_node)
-                continue
+
+        def write_off(node: phys.Exec, error: str, elapsed: float = 0.0) -> None:
             outcomes[id(node)] = Unavailable(error)
             by_node[id(node)] = ExecReport(
                 extent_name=node.extent_name,
@@ -480,6 +561,97 @@ class Executor:
                 error=error,
                 attempts=max(1, attempts_made.get(id(node), 1)),
             )
+
+        futures: dict[Any, phys.Exec] = {}
+        for node in exec_nodes:
+            try:
+                future = pool.submit(
+                    self._run_exec,
+                    node,
+                    started_at,
+                    abandoned,
+                    recorded,
+                    guard,
+                    events[id(node)],
+                    attempts_made,
+                )
+            except RuntimeError:
+                # The pool shut down between _ensure_pool and this submit
+                # (mediator closing): the call degrades into an unavailable
+                # source instead of raising into the query.
+                write_off(node, "mediator closed")
+                continue
+            futures[future] = node
+
+        def cancel_dispatch() -> None:
+            """Write this dispatch's calls off (Executor.close cancel path)."""
+            with guard:
+                for node in exec_nodes:
+                    abandoned.add(id(node))
+            for node in exec_nodes:
+                events[id(node)].set()
+
+        token = object()
+        with self._active:
+            self._dispatch_cancels[id(token)] = cancel_dispatch
+        pending = set(futures)
+        try:
+            try:
+                while pending:
+                    remaining = None if deadline is None else max(deadline - time.monotonic(), 0.0)
+                    done, pending = wait(pending, timeout=remaining, return_when=FIRST_COMPLETED)
+                    if not done:
+                        break  # global deadline expired with calls still in flight
+                    for future in done:
+                        node = futures[future]
+                        try:
+                            outcome = future.result()
+                        except CancelledError:
+                            # Cancelled before its worker ever started (the
+                            # mediator closed): unavailable, not a crash.
+                            write_off(node, "mediator closed")
+                            continue
+                        self._note_outcome(node, outcome, outcomes, by_node)
+            except BaseException:
+                # A mediator-side error (e.g. a failed type check) aborts the
+                # query; write off the surviving calls so their workers stop
+                # retrying and stop recording, and free the shared pool's queue.
+                with guard:
+                    for future in pending:
+                        abandoned.add(id(futures[future]))
+                for future in pending:
+                    events[id(futures[future])].set()
+                    future.cancel()
+                raise
+            now = time.monotonic()
+            for future in pending:
+                future.cancel()
+                node = futures[future]
+                error = f"timed out after {timeout:.4g}s"
+                with guard:
+                    # Mark the call abandoned and record its failure atomically,
+                    # so the zombie worker neither keeps retrying nor adds a
+                    # second observation for it when it finally returns.  A call
+                    # whose worker beat us to a terminal record (finished in the
+                    # instant after the deadline) is taken as completed instead.
+                    finished_late = id(node) in recorded
+                    if not finished_late:
+                        abandoned.add(id(node))
+                        events[id(node)].set()
+                        started = started_at.get(id(node))
+                        elapsed = 0.0 if started is None else now - started
+                        if started is not None:
+                            # The call really ran for this long before the
+                            # deadline cut it off; let the cost model see it.
+                            self.history.record_failure(node.extent_name, node.expression, elapsed)
+                if finished_late:
+                    self._note_outcome(node, future.result(), outcomes, by_node)
+                    continue
+                write_off(node, error, elapsed)
+        finally:
+            with self._active:
+                self._dispatch_cancels.pop(id(token), None)
+                self._active.notify_all()
         # Reports in submission order, whatever order the calls finished in.
         reports = [by_node[id(node)] for node in exec_nodes]
         return outcomes, reports
@@ -866,11 +1038,15 @@ class Executor:
         if not self.config.type_check:
             return
         version = getattr(self.registry, "schema_version", None)
-        if version != self._type_checked_version:
-            self._type_checked_extents.clear()
-            self._type_checked_version = version
-        if meta.name in self._type_checked_extents:
-            return
+        with self._types_lock:
+            if version != self._type_checked_version:
+                self._type_checked_extents.clear()
+                self._type_checked_version = version
+            if meta.name in self._type_checked_extents:
+                return
+        # The check itself (a wrapper call) runs outside the lock; two
+        # threads racing the same extent both check, both reach the same
+        # verdict, and the cache insert below is idempotent.
         interface_attributes = self.registry.interface_attributes(meta.interface)
         source_attributes = wrapper.source_attributes(meta.e.source_name())
         if source_attributes:
@@ -883,11 +1059,14 @@ class Executor:
                     f"required by interface {meta.interface!r}; declare a map to resolve "
                     "the conflict"
                 )
-        self._type_checked_extents.add(meta.name)
+        with self._types_lock:
+            if version == self._type_checked_version:
+                self._type_checked_extents.add(meta.name)
 
     def invalidate_type_checks(self) -> None:
         """Forget cached type checks (after schema changes)."""
-        self._type_checked_extents.clear()
+        with self._types_lock:
+            self._type_checked_extents.clear()
 
     # -- mediator-side evaluation -----------------------------------------------------------------
     def compose_rows(

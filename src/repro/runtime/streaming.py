@@ -25,8 +25,11 @@ caller *while* sources are still answering.
   with backoff), including the degrading-pushdown ladder for
   capability/translation failures (:mod:`repro.runtime.degrade`).
 * A call that dies *mid-stream* (after delivering rows) is recovered with
-  **exactly-once row delivery** when retries remain
-  (:attr:`ExecutorConfig.resume_midstream`).  Wrappers declaring the
+  **exactly-once row delivery** when budget remains
+  (:attr:`ExecutorConfig.resume_midstream`) -- reopens draw from the shared
+  ``max_retries`` budget, or from the dedicated ``max_resumes`` budget when
+  one is configured (so a fail-fast ``max_retries=0`` mediator can still
+  recover streams that die mid-transfer).  Wrappers declaring the
   ``token`` resume capability reopen *source-side*: the stream's last
   :class:`~repro.wrappers.base.ResumableStream` token is handed back through
   ``submit_stream(expr, resume_from=token)`` and the source ships only the
@@ -127,6 +130,7 @@ class _ExecState:
         "attempts",
         "resumed",
         "replayed",
+        "resume_opens",
     )
 
     def __init__(self, node: phys.Exec):
@@ -152,6 +156,10 @@ class _ExecState:
         #: already-delivered rows re-shipped and skipped at the mediator
         #: during replay reopens (ExecReport.replayed_rows).
         self.replayed = 0
+        #: reopen wrapper calls charged to the *dedicated* ``max_resumes``
+        #: budget (ExecReport.resume_attempts); stays 0 under the legacy
+        #: accounting where reopens draw from ``max_retries``.
+        self.resume_opens = 0
 
 
 class StreamingExecution:
@@ -162,12 +170,17 @@ class StreamingExecution:
     exposes it through ``iter_rows()``.
     """
 
-    def __init__(self, executor, plan: phys.PhysicalOp, base_env=None, timeout=None):
+    def __init__(
+        self, executor, plan: phys.PhysicalOp, base_env=None, timeout=None, on_finish=None
+    ):
         self._executor = executor
         self._plan = plan
         self._base_env = base_env
         self._timeout = timeout
         self._deadline = None if timeout is None else time.monotonic() + timeout
+        #: executor callback run exactly once when the stream ends (releases
+        #: the admission slot, wakes a draining close).
+        self._on_finish = on_finish
         exec_nodes = phys.execs_in(plan)
         self._states: dict[int, _ExecState] = {
             id(node): _ExecState(node) for node in exec_nodes
@@ -181,7 +194,15 @@ class StreamingExecution:
         self._pipeline: Iterator[Any] | None = None
         pool = executor._ensure_pool()
         for state in self._states.values():
-            state.future = pool.submit(self._open_exec, state)
+            try:
+                state.future = pool.submit(self._open_exec, state)
+            except RuntimeError:
+                # The pool shut down between _ensure_pool and this submit
+                # (mediator closing): the call degrades into an unavailable
+                # source instead of raising into the query.
+                future: Future = Future()
+                future.set_result(_Opened(error="mediator closed"))
+                state.future = future
         try:
             self._pipeline = executor.compose_rows(
                 plan,
@@ -332,10 +353,19 @@ class StreamingExecution:
         plan = executor.namespace_plan(pushdown, meta, wrapper)
         if state.started is None:
             state.started = time.monotonic()
-        attempts = max(1, config.max_retries + 1)
+        # A reopen under a dedicated ``max_resumes`` budget does not draw
+        # down ``max_retries``: its attempt bound is however many reopens the
+        # call still has left, on top of the attempts already made.
+        dedicated = resume is not None and config.max_resumes is not None
+        if dedicated:
+            attempts = state.attempts + max(0, config.max_resumes - state.resume_opens)
+        else:
+            attempts = max(1, config.max_retries + 1)
         attempt = state.attempts
         open_started = time.monotonic()
         while True:
+            if dedicated:
+                state.resume_opens += 1
             attempt_started = time.monotonic()
             try:
                 with cancellation.activate(state.event):
@@ -488,6 +518,7 @@ class StreamingExecution:
             available=True,
             resumed_calls=state.resumed,
             replayed_rows=state.replayed,
+            resume_attempts=state.resume_opens,
         )
         values.update(overrides)
         return ExecReport(**values)
@@ -539,9 +570,15 @@ class StreamingExecution:
         remaining = self._remaining()
         if remaining is not None and remaining <= 0:
             return None
-        budget = max(1, config.max_retries + 1)
-        if state.attempts >= budget:
-            return None
+        if config.max_resumes is not None:
+            # Dedicated reopen budget: independent of max_retries, so a
+            # fail-fast configuration can still recover mid-stream deaths.
+            if state.resume_opens >= config.max_resumes:
+                return None
+        else:
+            budget = max(1, config.max_retries + 1)
+            if state.attempts >= budget:
+                return None
         mode = opened.resume_mode
         if mode not in (RESUME_TOKEN, RESUME_REPLAY):
             return None
@@ -810,3 +847,5 @@ class StreamingExecution:
                                     split_calls=opened.split_calls,
                                 )
                     state.report = self._report(state, **overrides)
+            if self._on_finish is not None:
+                self._on_finish()

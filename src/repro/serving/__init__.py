@@ -1,0 +1,21 @@
+"""Concurrent serving of one mediator to many clients.
+
+See :mod:`repro.serving.server` for the full story: admission with explicit
+verdicts, weighted-fair scheduling, end-to-end deadline propagation, and
+backpressure on streamed answers.  The usual entry point is
+:meth:`repro.core.mediator.Mediator.serve`.
+"""
+
+from repro.serving.server import (
+    MediatorServer,
+    ServerConfig,
+    ServerFuture,
+    ServerReport,
+)
+
+__all__ = [
+    "MediatorServer",
+    "ServerConfig",
+    "ServerFuture",
+    "ServerReport",
+]

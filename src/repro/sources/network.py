@@ -5,11 +5,20 @@ react to are (a) how long a call takes -- which drives the learned cost model
 of Section 3.3 -- and (b) whether the source answers at all -- which drives
 the partial-evaluation semantics of Section 4.  Both are modelled explicitly
 and deterministically (seeded) so experiments are repeatable.
+
+Lock discipline: one lock per model instance, guarding the seeded generator
+and the armed-failure lists -- with concurrent queries (the serving layer,
+the concurrency bench) many exec workers hit the same source model at once,
+and an unguarded ``random.Random`` or a list popped by two threads corrupts
+the injection schedule.  Under concurrency the *order* in which workers draw
+from the generator is scheduling-dependent, so cross-run repeatability is
+per-draw-set, not per-draw -- same multiset of delays, different assignment.
 """
 
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass, field
 
 from repro.errors import UnavailableSourceError
@@ -26,12 +35,14 @@ class NetworkProfile:
 
     def __post_init__(self) -> None:
         self._rng = random.Random(self.seed)
+        self._lock = threading.Lock()
 
     def delay_for(self, row_count: int = 0) -> float:
         """Return the simulated transfer delay for a reply of ``row_count`` rows."""
         delay = self.base_latency + self.per_row_latency * max(row_count, 0)
         if self.jitter > 0:
-            delay += self._rng.uniform(0, self.jitter)
+            with self._lock:
+                delay += self._rng.uniform(0, self.jitter)
         return max(delay, 0.0)
 
     @classmethod
@@ -83,10 +94,12 @@ class AvailabilityModel:
         if not 0.0 <= self.failure_probability <= 1.0:
             raise ValueError("failure_probability must be within [0, 1]")
         self._rng = random.Random(self.seed)
+        self._lock = threading.Lock()
 
     def fail_next(self, count: int = 1) -> None:
         """Force the next ``count`` requests to be treated as unavailable."""
-        self._forced_failures += count
+        with self._lock:
+            self._forced_failures += count
 
     def crash_next(self, exception: BaseException | type, count: int = 1) -> None:
         """Force the next ``count`` requests to raise ``exception``.
@@ -97,7 +110,8 @@ class AvailabilityModel:
         :class:`UnavailableSourceError` -- this is the hook for testing that
         the mediator isolates generic wrapper crashes.
         """
-        self._forced_crashes.extend([exception] * count)
+        with self._lock:
+            self._forced_crashes.extend([exception] * count)
 
     def kill_after(
         self, rows: int, exception: BaseException | type | None = None, count: int = 1
@@ -115,13 +129,15 @@ class AvailabilityModel:
         """
         if rows < 0:
             raise ValueError("rows must be non-negative")
-        self._forced_kills.extend([(rows, exception)] * count)
+        with self._lock:
+            self._forced_kills.extend([(rows, exception)] * count)
 
     def take_kill(self) -> tuple[int, BaseException | type | None] | None:
         """Pop the armed kill for the request being served, if any."""
-        if self._forced_kills:
-            return self._forced_kills.pop(0)
-        return None
+        with self._lock:
+            if self._forced_kills:
+                return self._forced_kills.pop(0)
+            return None
 
     def set_available(self, available: bool) -> None:
         """Flip the hard availability switch."""
@@ -129,20 +145,23 @@ class AvailabilityModel:
 
     def check(self, source_name: str) -> None:
         """Raise :class:`UnavailableSourceError` when this request should fail."""
-        if self._forced_crashes:
-            crash = self._forced_crashes.pop(0)
-            if isinstance(crash, BaseException):
-                raise crash
-            raise crash(f"{source_name!r}: injected crash")
-        if self._forced_failures > 0:
-            self._forced_failures -= 1
-            raise UnavailableSourceError(source_name, f"{source_name!r}: injected failure")
-        if not self.available:
-            raise UnavailableSourceError(source_name)
-        if self.failure_probability and self._rng.random() < self.failure_probability:
-            raise UnavailableSourceError(
-                source_name, f"{source_name!r}: transient network failure"
-            )
+        with self._lock:
+            if self._forced_crashes:
+                crash = self._forced_crashes.pop(0)
+                if isinstance(crash, BaseException):
+                    raise crash
+                raise crash(f"{source_name!r}: injected crash")
+            if self._forced_failures > 0:
+                self._forced_failures -= 1
+                raise UnavailableSourceError(
+                    source_name, f"{source_name!r}: injected failure"
+                )
+            if not self.available:
+                raise UnavailableSourceError(source_name)
+            if self.failure_probability and self._rng.random() < self.failure_probability:
+                raise UnavailableSourceError(
+                    source_name, f"{source_name!r}: transient network failure"
+                )
 
     def would_fail(self) -> bool:
         """Non-destructive peek used by analytical availability models."""

@@ -46,6 +46,11 @@ from repro.sources import RelationalEngine, SimulatedServer, TableSchema
 NAMES = ["ann", "bob", "cleo", "dan", "eve"]
 #: the nightly CI job raises this to 1000 via DISCO_EQUIV_SEEDS.
 SEEDS = range(int(os.environ.get("DISCO_EQUIV_SEEDS", "104")))
+#: set DISCO_EQUIV_SERVER=1 to additionally run every seed's query through a
+#: MediatorServer (both barrier and streamed submissions) and hold the served
+#: answers to the same multiset contract -- the serving layer must be
+#: answer-transparent.  Off by default: it roughly doubles the sweep's cost.
+RUN_THROUGH_SERVER = os.environ.get("DISCO_EQUIV_SERVER", "") not in ("", "0")
 
 
 def build_mediator():
@@ -217,6 +222,27 @@ def test_engines_agree(seed):
         # The fault-free, unlimited answer is the reference every comparison
         # is anchored to (computed before any server goes down).
         reference = multiset(mediator.query(base_text).rows())
+
+        if RUN_THROUGH_SERVER:
+            # Serving-layer transparency: the same query submitted through a
+            # MediatorServer -- once barrier, once streamed -- must satisfy
+            # the same multiset contract as a direct call.  Run before any
+            # fault is armed so the injection choreography below is untouched.
+            with mediator.serve(workers=2) as query_server:
+                served = query_server.submit(text).result(timeout=30)
+                served_stream_rows = list(
+                    query_server.submit(text, stream=True).rows()
+                )
+            assert not served.is_partial
+            if limit is None:
+                assert multiset(served.rows()) == reference
+                assert multiset(served_stream_rows) == reference
+            else:
+                expected = min(limit, sum(reference.values()))
+                assert len(served.rows()) == expected
+                assert len(served_stream_rows) == expected
+                assert not multiset(served.rows()) - reference
+                assert not multiset(served_stream_rows) - reference
 
         if fault_index is not None:
             servers[fault_index].take_down()

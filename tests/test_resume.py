@@ -457,3 +457,75 @@ class TestResumableStreamProtocol:
         assert list(result.iter_rows()) == [f"p{i}" for i in range(3)]
         assert "UnavailableSourceError" in result.errors()["person0"]
         mediator.close()
+
+
+class TestDedicatedResumeBudget:
+    """``max_resumes``: mid-stream reopens get their own budget.
+
+    The shared accounting makes fail-fast mediators unrecoverable: with
+    ``max_retries=0`` a stream that dies mid-transfer is written off even
+    though the source could resume it.  ``max_resumes`` decouples the two
+    budgets -- fresh-call failures still fail fast, reopens draw from their
+    own allowance, and ``ExecReport.resume_attempts`` accounts for them.
+    """
+
+    def test_fail_fast_mediator_still_recovers_midstream(self):
+        # max_retries=0 (fresh calls fail fast) + max_resumes=2: previously
+        # impossible -- the headline configuration this knob exists for.
+        mediator, server = build_relational_mediator(max_retries=0, max_resumes=2)
+        server.availability.kill_after(10)
+        result = mediator.query_stream(QUERY)
+        assert list(result.iter_rows()) == EXPECTED
+        report = result.reports[0]
+        assert report.available
+        assert report.resumed_calls == 1
+        assert report.resume_attempts == 1  # charged to the dedicated budget
+        assert server.statistics.rows_skipped == 10
+        mediator.close()
+
+    def test_resumes_do_not_draw_down_retries(self):
+        # One retry, one resume: a killed stream consumes the resume budget
+        # and the attempt counter still shows the retry untouched (attempts
+        # stays at the initial open).
+        mediator, server = build_relational_mediator(max_retries=1, max_resumes=1)
+        server.availability.kill_after(10)
+        result = mediator.query_stream(QUERY)
+        assert list(result.iter_rows()) == EXPECTED
+        report = result.reports[0]
+        assert report.resumed_calls == 1
+        assert report.resume_attempts == 1
+        mediator.close()
+
+    def test_budget_exhaustion_writes_off(self):
+        mediator, server = build_relational_mediator(max_retries=0, max_resumes=1)
+        server.availability.kill_after(5)
+        server.availability.kill_after(5)  # second death: no budget left
+        result = mediator.query_stream(QUERY)
+        rows = list(result.iter_rows())
+        assert rows == [f"p{i}" for i in range(10)]  # 5 + 5 delivered, then cut
+        assert result.is_partial
+        report = result.reports[0]
+        assert report.resumed_calls == 1
+        assert report.resume_attempts == 1
+        mediator.close()
+
+    def test_zero_disables_recovery_outright(self):
+        mediator, server = build_relational_mediator(max_retries=3, max_resumes=0)
+        server.availability.kill_after(5)
+        result = mediator.query_stream(QUERY)
+        assert list(result.iter_rows()) == [f"p{i}" for i in range(5)]
+        assert result.is_partial
+        assert result.reports[0].resume_attempts == 0
+        mediator.close()
+
+    def test_legacy_accounting_reports_zero_resume_attempts(self):
+        # Without max_resumes the reopen is charged to attempts, exactly as
+        # before this knob existed; resume_attempts stays 0.
+        mediator, server = build_relational_mediator(max_retries=1)
+        server.availability.kill_after(10)
+        result = mediator.query_stream(QUERY)
+        assert list(result.iter_rows()) == EXPECTED
+        report = result.reports[0]
+        assert report.attempts == 2
+        assert report.resume_attempts == 0
+        mediator.close()

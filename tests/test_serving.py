@@ -1,0 +1,258 @@
+"""The MediatorServer serving layer: admission verdicts, fairness, deadlines,
+backpressure, and clean shutdown.
+
+Most tests drive a single-worker server and park that worker deterministically
+by submitting a *streamed* query whose client does not read: the worker fills
+the bounded row queue and stalls (backpressure), with no sleeps or simulated
+latency involved.  Reading the blocker's rows releases the worker.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import Mediator, MediatorServer, RelationalWrapper, ServerConfig
+from repro.errors import AdmissionError
+from repro.runtime.admission import ADMITTED, CLOSED, QUEUE_TIMEOUT, REJECTED, QueueClosed
+from repro.sources import RelationalEngine, SimulatedServer
+
+ROWS = [{"id": i, "name": f"p{i}", "salary": i * 10} for i in range(40)]
+QUERY = "select x.name from x in person0"
+
+
+def build_mediator(**mediator_kwargs):
+    engine = RelationalEngine(name="db0")
+    engine.create_table("person0", rows=[dict(row) for row in ROWS])
+    server = SimulatedServer(name="h0", store=engine)
+    mediator = Mediator(name="serving", **mediator_kwargs)
+    mediator.register_wrapper("w0", RelationalWrapper("w0", server))
+    mediator.create_repository("r0")
+    mediator.define_interface(
+        "Person",
+        [("id", "Long"), ("name", "String"), ("salary", "Short")],
+        extent_name="person",
+    )
+    mediator.add_extent("person0", "Person", "w0", "r0")
+    return mediator, server
+
+
+def park_worker(server, buffer_rows):
+    """Occupy one worker with a stream nobody reads; returns the blocker future.
+
+    The worker stalls once the client-side row queue holds ``buffer_rows``
+    rows.  Release it with ``list(blocker.rows())`` or ``blocker.close()``.
+    """
+    blocker = server.submit(QUERY, stream=True)
+    deadline = time.monotonic() + 5
+    while blocker.stream_depth < buffer_rows:
+        assert time.monotonic() < deadline, "worker never stalled on the stream"
+        time.sleep(0.002)
+    return blocker
+
+
+class TestSubmitAndResult:
+    def test_barrier_submission_round_trip(self):
+        mediator, _ = build_mediator()
+        with MediatorServer(mediator) as server:
+            future = server.submit(QUERY)
+            result = future.result(timeout=10)
+            assert sorted(result.rows()) == sorted(f"p{i}" for i in range(40))
+            assert future.done()
+            report = future.report
+            assert report.verdict == ADMITTED
+            assert report.query == QUERY
+            assert report.rows == 40
+            assert not report.streamed and not report.is_partial
+            assert report.queue_wait >= 0.0 and report.execution_time > 0.0
+            assert report.error is None
+        mediator.close()
+
+    def test_results_match_direct_queries(self):
+        mediator, _ = build_mediator()
+        expected = sorted(map(repr, mediator.query(QUERY).rows()))
+        with MediatorServer(mediator, ServerConfig(workers=3)) as server:
+            futures = [server.submit(QUERY) for _ in range(12)]
+            for future in futures:
+                assert sorted(map(repr, future.result(timeout=10).rows())) == expected
+        mediator.close()
+
+    def test_mediator_error_settles_only_its_own_future(self):
+        mediator, _ = build_mediator()
+        with MediatorServer(mediator, ServerConfig(workers=1)) as server:
+            bad = server.submit("select x.name from x in no_such_extent")
+            good = server.submit(QUERY)
+            with pytest.raises(Exception):
+                bad.result(timeout=10)
+            assert bad.report.error is not None
+            # The worker survived the failure and served the next submission.
+            assert len(good.result(timeout=10).rows()) == 40
+        mediator.close()
+
+    def test_result_times_out_while_pending(self):
+        mediator, _ = build_mediator()
+        server = MediatorServer(mediator, ServerConfig(workers=1, stream_buffer_rows=4))
+        blocker = park_worker(server, 4)
+        queued = server.submit(QUERY)
+        with pytest.raises(TimeoutError):
+            queued.result(timeout=0.05)
+        assert list(blocker.rows()) and len(queued.result(timeout=10).rows()) == 40
+        server.close()
+        mediator.close()
+
+    def test_mediator_serve_entry_point(self):
+        mediator, _ = build_mediator()
+        with mediator.serve(workers=2) as server:
+            assert isinstance(server, MediatorServer)
+            assert len(server.submit(QUERY).result(timeout=10).rows()) == 40
+        mediator.close()
+
+
+class TestStreaming:
+    def test_streamed_rows_with_backpressure(self):
+        mediator, _ = build_mediator()
+        with MediatorServer(
+            mediator, ServerConfig(workers=1, stream_buffer_rows=4)
+        ) as server:
+            future = server.submit(QUERY, stream=True)
+            rows = []
+            for row in future.rows():
+                rows.append(row)
+                time.sleep(0.001)  # a slow client: the worker must stall
+            assert sorted(rows) == sorted(f"p{i}" for i in range(40))
+            report = future.report
+            assert report.streamed and report.rows == 40
+            assert report.stalls >= 1  # backpressure engaged
+            assert report.verdict == ADMITTED
+        mediator.close()
+
+    def test_client_close_cancels_a_stalled_worker(self):
+        mediator, _ = build_mediator()
+        server = MediatorServer(mediator, ServerConfig(workers=1, stream_buffer_rows=2))
+        blocker = park_worker(server, 2)
+        blocker.close()  # give up without reading
+        # The worker is released and serves the next submission.
+        assert len(server.submit(QUERY).result(timeout=10).rows()) == 40
+        assert blocker.done() and blocker.report.streamed
+        server.close()
+        mediator.close()
+
+
+class TestAdmission:
+    def test_full_queue_rejects_synchronously(self):
+        mediator, _ = build_mediator()
+        server = MediatorServer(
+            mediator, ServerConfig(workers=1, max_queue_depth=1, stream_buffer_rows=4)
+        )
+        blocker = park_worker(server, 4)
+        server.submit(QUERY)  # fills the queue
+        with pytest.raises(AdmissionError) as excinfo:
+            server.submit(QUERY)
+        assert excinfo.value.verdict == REJECTED
+        assert server.stats()["rejected"] == 1
+        list(blocker.rows())
+        server.close()
+        mediator.close()
+
+    def test_deadline_expiring_in_queue_refuses_with_verdict(self):
+        mediator, _ = build_mediator()
+        server = MediatorServer(mediator, ServerConfig(workers=1, stream_buffer_rows=4))
+        blocker = park_worker(server, 4)
+        doomed = server.submit(QUERY, timeout=0.05)
+        time.sleep(0.15)  # let the deadline lapse while queued
+        list(blocker.rows())  # release the worker; it must now refuse `doomed`
+        with pytest.raises(AdmissionError) as excinfo:
+            doomed.result(timeout=10)
+        assert excinfo.value.verdict == QUEUE_TIMEOUT
+        assert doomed.report.verdict == QUEUE_TIMEOUT
+        assert doomed.report.queue_wait >= 0.05
+        assert server.stats()["timed_out"] == 1
+        server.close()
+        mediator.close()
+
+    def test_priority_classes_are_scheduled_fairly(self):
+        # One worker, parked; queue five priority-1 submissions and then one
+        # priority-3: stride scheduling serves the high class second, not
+        # last, despite it arriving after every low submission.
+        mediator, _ = build_mediator()
+        server = MediatorServer(mediator, ServerConfig(workers=1, stream_buffer_rows=4))
+        blocker = park_worker(server, 4)
+        low = [server.submit(QUERY, priority=1.0) for _ in range(5)]
+        high = server.submit(QUERY, priority=3.0)
+        list(blocker.rows())
+        high.result(timeout=10)
+        for future in low:
+            future.result(timeout=10)
+        assert high.report.priority == 3.0
+        # Served before at least four of the five earlier low submissions
+        # (queue_wait orders the single worker's serial pickups).
+        beaten = sum(high.report.queue_wait < f.report.queue_wait for f in low)
+        assert beaten >= 4
+        server.close()
+        mediator.close()
+
+
+class TestClose:
+    def test_graceful_drain_completes_queued_work(self):
+        mediator, _ = build_mediator()
+        server = MediatorServer(mediator, ServerConfig(workers=2))
+        futures = [server.submit(QUERY) for _ in range(10)]
+        server.close(drain=True, timeout=30)
+        for future in futures:
+            assert future.done()
+            assert len(future.result(timeout=0).rows()) == 40
+        stats = server.stats()
+        assert stats["completed"] == 10 and stats["inflight"] == 0
+        mediator.close()
+
+    def test_immediate_close_refuses_queued_work_with_verdict(self):
+        mediator, _ = build_mediator()
+        server = MediatorServer(mediator, ServerConfig(workers=1, stream_buffer_rows=4))
+        blocker = park_worker(server, 4)
+        queued = [server.submit(QUERY) for _ in range(3)]
+        blocker.close()  # release the worker so close() can join it
+        server.close(drain=False, timeout=30)
+        for future in queued:
+            with pytest.raises(AdmissionError) as excinfo:
+                future.result(timeout=0)
+            assert excinfo.value.verdict == CLOSED
+            assert future.report.verdict == CLOSED
+        mediator.close()
+
+    def test_submit_after_close_raises_closed(self):
+        mediator, _ = build_mediator()
+        server = MediatorServer(mediator)
+        server.close()
+        with pytest.raises(QueueClosed):
+            server.submit(QUERY)
+        mediator.close()
+
+    def test_close_joins_every_worker_thread(self):
+        mediator, _ = build_mediator()
+        server = MediatorServer(mediator, ServerConfig(workers=3))
+        server.submit(QUERY).result(timeout=10)
+        server.close()
+        assert not [
+            thread for thread in threading.enumerate() if thread.name.startswith("disco-serve")
+        ]
+        # The mediator itself stays usable after its server closes.
+        assert len(mediator.query(QUERY).rows()) == 40
+        mediator.close()
+
+
+class TestStats:
+    def test_counters_reflect_traffic(self):
+        mediator, _ = build_mediator()
+        with MediatorServer(mediator, ServerConfig(workers=2)) as server:
+            futures = [server.submit(QUERY) for _ in range(6)]
+            for future in futures:
+                future.result(timeout=10)
+            stats = server.stats()
+            assert stats["submitted"] == 6
+            assert stats["completed"] == 6
+            assert stats["rejected"] == 0 and stats["timed_out"] == 0
+            assert stats["workers"] == 2
+            assert stats["queue_wait_total"] >= 0.0
+        mediator.close()
