@@ -1,0 +1,150 @@
+"""E14: batched bind-join probes -- the ``in``-list capability terminal.
+
+A bind join whose outer side has ``FANOUT`` rows used to cost ``FANOUT``
+wrapper round trips: one ``select(y: y.id = k, get(right0))`` per binding.
+With the ``in`` terminal the mediator collects up to
+``ExecutorConfig.bind_batch_size`` *distinct* probe keys and submits them as
+one set-valued ``select(y: y.id in (...), get(right0))`` -- rendered as
+``IN (...)`` by the mini-SQL dialect -- so the wrapper-call count drops by
+roughly the batch size (250x at fanout 10^4 with the default batch of 256).
+
+The paper's claim is about communication, so the headline numbers are calls
+issued and wall clock, per-binding (``bind_batch_size=1``) versus batched.
+Adaptive re-planning is disabled here (``replan_blowup_factor=None``) to
+measure pure batching: with it on, the uninformed mediator would flip both
+modes into one full ship after a handful of probes, which is the *other*
+E14 story (see tests/test_bind_batching.py for the replan flip itself).
+
+``DISCO_E14_FANOUT`` overrides the headline fanout (the nightly CI run sets
+100000); the probed extent stays at 1000 rows so the baseline's cost scales
+with the probe *count*, not with a growing right side.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import SRC  # noqa: F401  (ensures src/ is importable)
+from repro import Mediator, RelationalWrapper
+from repro.sources import RelationalEngine, SimulatedServer
+
+FANOUT = int(os.environ.get("DISCO_E14_FANOUT", "10000"))
+RIGHT_ROWS = 1_000
+QUERY = (
+    "select struct(name: x.name, value: y.value) "
+    "from x in left0, y in right0 where x.id = y.id"
+)
+
+
+def build_probe_federation(
+    fanout: int, batch_size: int
+) -> tuple[Mediator, SimulatedServer, SimulatedServer]:
+    """Two sources: a ``fanout``-row outer extent probing a 1000-row inner."""
+    outer_engine = RelationalEngine(name="outerdb")
+    outer_engine.create_table(
+        "left0", rows=[{"id": i, "name": f"p{i}"} for i in range(fanout)]
+    )
+    inner_engine = RelationalEngine(name="innerdb")
+    inner_engine.create_table(
+        "right0", rows=[{"id": i, "value": i * 3} for i in range(RIGHT_ROWS)]
+    )
+    outer = SimulatedServer(name="outerhost", store=outer_engine)
+    inner = SimulatedServer(name="innerhost", store=inner_engine)
+    mediator = Mediator(
+        name="e14",
+        timeout=600.0,
+        bind_batch_size=batch_size,
+        replan_blowup_factor=None,
+    )
+    mediator.register_wrapper("wl", RelationalWrapper("wl", outer))
+    mediator.register_wrapper("wr", RelationalWrapper("wr", inner))
+    mediator.create_repository("rl", host=outer.name)
+    mediator.create_repository("rr", host=inner.name)
+    mediator.define_interface(
+        "Outer", [("id", "Long"), ("name", "String")], extent_name="left"
+    )
+    mediator.define_interface(
+        "Inner", [("id", "Long"), ("value", "Long")], extent_name="right"
+    )
+    mediator.add_extent("left0", "Outer", "wl", "rl")
+    mediator.add_extent("right0", "Inner", "wr", "rr")
+    return mediator, outer, inner
+
+
+def _run_once(fanout: int, batch_size: int, run) -> tuple[int, int, float]:
+    """(answer rows, probe-side wrapper calls, wall seconds) for one run."""
+    mediator, _outer, inner = build_probe_federation(fanout, batch_size)
+    try:
+        started = time.perf_counter()
+        rows = run(mediator)
+        elapsed = time.perf_counter() - started
+        return len(rows), inner.statistics.requests, elapsed
+    finally:
+        mediator.close()
+
+
+def test_e14_batched_probes_cut_wrapper_calls_50x(benchmark):
+    """Fanout-10^4 headline: >=50x fewer probe calls, >=5x wall clock."""
+
+    def barrier(mediator):
+        return mediator.query(QUERY).rows()
+
+    batched_rows, batched_calls, batched_wall = _run_once(FANOUT, 256, barrier)
+    baseline_rows, baseline_calls, baseline_wall = _run_once(FANOUT, 1, barrier)
+    assert batched_rows == baseline_rows == min(FANOUT, RIGHT_ROWS)
+    assert baseline_calls >= FANOUT  # one probe per binding
+    assert batched_calls * 50 <= baseline_calls  # the headline claim
+    assert batched_wall * 5 <= baseline_wall
+
+    # Benchmark the batched path end to end (plan cache warm after run 1).
+    mediator, _outer, _inner = build_probe_federation(FANOUT, 256)
+    try:
+        rows = benchmark(lambda: mediator.query(QUERY).rows())
+        assert len(rows) == min(FANOUT, RIGHT_ROWS)
+    finally:
+        mediator.close()
+    benchmark.extra_info["fanout"] = FANOUT
+    benchmark.extra_info["probe_calls_batched"] = batched_calls
+    benchmark.extra_info["probe_calls_per_binding"] = baseline_calls
+    benchmark.extra_info["wall_seconds_batched"] = round(batched_wall, 3)
+    benchmark.extra_info["wall_seconds_per_binding"] = round(baseline_wall, 3)
+
+
+def test_e14_call_count_scales_with_batches_not_bindings(benchmark):
+    """Across fanouts 10^2-10^3, probe calls track ceil(fanout / batch)."""
+
+    def barrier(mediator):
+        return mediator.query(QUERY).rows()
+
+    observed = {}
+    for fanout in (100, 1_000):
+        _rows, calls, _wall = _run_once(fanout, 256, barrier)
+        assert calls == -(-fanout // 256)  # ceil: every batch is one call
+        observed[fanout] = calls
+
+    mediator, _outer, _inner = build_probe_federation(1_000, 256)
+    try:
+        rows = benchmark(lambda: mediator.query(QUERY).rows())
+        assert len(rows) == 1_000
+    finally:
+        mediator.close()
+    benchmark.extra_info["probe_calls_by_fanout"] = observed
+
+
+def test_e14_streaming_engine_batches_the_same(benchmark):
+    """The streaming engine issues the same batched probe calls."""
+
+    def streamed(mediator):
+        return list(mediator.query_stream(QUERY).iter_rows())
+
+    rows, calls, _wall = _run_once(1_000, 256, streamed)
+    assert rows == 1_000
+    assert calls == -(-1_000 // 256)
+
+    mediator, _outer, _inner = build_probe_federation(1_000, 256)
+    try:
+        rows = benchmark(lambda: list(mediator.query_stream(QUERY).iter_rows()))
+        assert len(rows) == 1_000
+    finally:
+        mediator.close()

@@ -38,6 +38,11 @@ from repro.algebra.logical import (
 #: multi-extent expression is pushed to one source; wrappers that do not
 #: declare it never receive aliased pushdowns (the executor splits the call
 #: into per-leaf gets instead).
+#: ``in`` is a *predicate vocabulary* terminal rather than a tree operator: a
+#: wrapper declaring it accepts ``select`` predicates containing set-valued
+#: membership tests (:class:`~repro.algebra.expressions.InList`), which is
+#: what lets the mediator batch bind-join probe keys into one ``IN``-list
+#: submit instead of one submit per key.
 PUSHABLE_OPERATORS = (
     "get",
     "project",
@@ -47,6 +52,7 @@ PUSHABLE_OPERATORS = (
     "flatten",
     "limit",
     "rename",
+    "in",
 )
 
 
@@ -116,6 +122,8 @@ class Production:
             parts = ["COUNT", "COMMA", self.child_symbols[0]]
         elif self.operator == "rename":
             parts = ["ALIASES", "COMMA", self.child_symbols[0]]
+        elif self.operator == "in":
+            parts = ["PATH", "COMMA", "VALUES"]
         elif self.operator == "join":
             parts = [self.child_symbols[0], "COMMA", self.child_symbols[1], "COMMA", "ATTRIBUTE"]
         elif self.operator in ("union", "flatten", "get"):
@@ -161,9 +169,11 @@ class CapabilityGrammar:
                 expr.child, production.child_symbols[0]
             )
         if operator == "select":
-            return isinstance(expr, Select) and self.accepts(
-                expr.child, production.child_symbols[0]
-            )
+            if not isinstance(expr, Select):
+                return False
+            if not self._predicate_vocabulary_ok(expr.predicate):
+                return False
+            return self.accepts(expr.child, production.child_symbols[0])
         if operator == "join":
             return (
                 isinstance(expr, Join)
@@ -191,6 +201,14 @@ class CapabilityGrammar:
         if operator == "bag":
             return isinstance(expr, BagLiteral)
         return False
+
+    def _predicate_vocabulary_ok(self, predicate) -> bool:
+        """A pushed predicate may use ``in`` only when the grammar declares it."""
+        from repro.algebra.expressions import InList, walk_expr
+
+        if self.supports("in"):
+            return True
+        return not any(isinstance(node, InList) for node in walk_expr(predicate))
 
     def supported_operators(self) -> set[str]:
         """Operator names appearing in any production (the flat view)."""
@@ -243,6 +261,14 @@ def grammar_for(operators: Iterable[str], compose: bool = True) -> CapabilityGra
     if "rename" in operators:
         add("i", "rename", (child,))
 
+    in_productions: list[Production] = []
+    if "in" in operators:
+        # ``in`` is predicate vocabulary, not a tree shape: the production
+        # exists so ``supports("in")`` and the rendered grammar advertise it,
+        # but its head is deliberately left out of the alias/composition
+        # nonterminals -- ``accepts`` never derives a tree from it.
+        in_productions.append(Production(head="j", operator="in", child_symbols=()))
+
     alias_productions = [
         Production(head="a", operator=None, child_symbols=(head,)) for head in nonterminals
     ]
@@ -257,5 +283,7 @@ def grammar_for(operators: Iterable[str], compose: bool = True) -> CapabilityGra
         )
     return CapabilityGrammar(
         start="a",
-        productions=tuple(alias_productions + productions + composition_productions),
+        productions=tuple(
+            alias_productions + productions + in_productions + composition_productions
+        ),
     )

@@ -180,6 +180,63 @@ class Comparison(Expr):
 
 
 @dataclass(frozen=True, eq=False)
+class InList(Expr):
+    """Set-valued membership test ``operand in (item, ...)``.
+
+    This is the batched-probe predicate: a bind join collecting probe keys
+    issues one ``select(x: x.attr in (k1, ..., kn), get(...))`` submit per
+    batch instead of one submit per key.  Wrappers advertise the ``in``
+    capability terminal when they can evaluate it (the SQL dialect renders it
+    as ``IN (...)``).  Semantics mirror :class:`Comparison` equality: a None
+    operand matches nothing, None items match nothing, incomparable types
+    are simply not equal.
+    """
+
+    operand: Expr
+    items: tuple[Expr, ...]
+
+    def evaluate(self, env: Environment, evaluator=None) -> bool:
+        value = self.operand.evaluate(env, evaluator)
+        if value is None:
+            return False
+        for item in self.items:
+            candidate = item.evaluate(env, evaluator)
+            if candidate is None:
+                continue
+            try:
+                if value == candidate:
+                    return True
+            except TypeError:
+                continue
+        return False
+
+    def free_variables(self) -> set[str]:
+        result = set(self.operand.free_variables())
+        for item in self.items:
+            result |= item.free_variables()
+        return result
+
+    def attribute_paths(self) -> set[tuple[str, str]]:
+        result = set(self.operand.attribute_paths())
+        for item in self.items:
+            result |= item.attribute_paths()
+        return result
+
+    def rename_attributes(self, renames: Mapping[str, str]) -> "Expr":
+        return InList(
+            self.operand.rename_attributes(renames),
+            tuple(item.rename_attributes(renames) for item in self.items),
+        )
+
+    def to_oql(self) -> str:
+        return (
+            f"{self.operand.to_oql()} in ("
+            + ", ".join(item.to_oql() for item in self.items)
+            + ")"
+        )
+
+
+@dataclass(frozen=True, eq=False)
 class BooleanExpr(Expr):
     """``and`` / ``or`` / ``not`` combination of predicates."""
 
@@ -426,6 +483,10 @@ def walk_expr(expr: Expr):
     elif isinstance(expr, BooleanExpr):
         for operand in expr.operands:
             yield from walk_expr(operand)
+    elif isinstance(expr, InList):
+        yield from walk_expr(expr.operand)
+        for item in expr.items:
+            yield from walk_expr(item)
     elif isinstance(expr, StructExpr):
         for _, value in expr.fields:
             yield from walk_expr(value)
@@ -465,3 +526,24 @@ def split_conjuncts(predicate: Expr | None) -> list[Expr]:
             result.extend(split_conjuncts(operand))
         return result
     return [predicate]
+
+
+def find_equi_conjunct(
+    condition: Expr | None, left_variable: str, right_variable: str
+) -> tuple[Expr, Expr] | None:
+    """Find a ``left.a = right.b`` conjunct usable as a hash/probe-join key.
+
+    Returns the ``(left_expression, right_expression)`` pair oriented so the
+    first's free variables are exactly ``{left_variable}`` and the second's
+    exactly ``{right_variable}``, whichever way the comparison was written.
+    """
+    for conjunct in split_conjuncts(condition):
+        if not isinstance(conjunct, Comparison) or conjunct.op != "=":
+            continue
+        left_vars = conjunct.left.free_variables()
+        right_vars = conjunct.right.free_variables()
+        if left_vars == {left_variable} and right_vars == {right_variable}:
+            return conjunct.left, conjunct.right
+        if left_vars == {right_variable} and right_vars == {left_variable}:
+            return conjunct.right, conjunct.left
+    return None

@@ -248,6 +248,49 @@ class MkBindJoin(PhysicalOp):
 
 
 @dataclass(eq=False)
+class ProbeJoin(PhysicalOp):
+    """Batched bind join: probe the right source with ``IN``-lists of left keys.
+
+    Implements logical ``bindjoin`` when the right side is a single ``submit``
+    and the condition carries an equi-join conjunct.  Instead of shipping the
+    whole right extent (``MkBindJoin``) or probing one binding per call
+    (``evaluate_subquery``), the run-time system collects up to
+    ``ExecutorConfig.bind_batch_size`` distinct left-side keys and issues one
+    set-valued submit per batch: ``select(v: key in (k1, ..., kn), expr)``.
+
+    ``probe`` is deliberately *not* a child: ``execs_in`` must not see it, or
+    both engines would dispatch the full right-side exec eagerly before a
+    single probe key exists.
+    """
+
+    left: PhysicalOp
+    probe: Exec
+    left_variable: str
+    right_variable: str
+    condition: Expr
+    algo_name = "probejoin"
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.left,)
+
+    def with_children(self, children: Sequence[PhysicalOp]) -> "ProbeJoin":
+        (left,) = children
+        return ProbeJoin(
+            left,
+            self.probe,
+            self.left_variable,
+            self.right_variable,
+            self.condition,
+        )
+
+    def to_text(self) -> str:
+        return (
+            f"probejoin({self.left_variable}: {self.left.to_text()}, "
+            f"{self.right_variable}: {self.probe.to_text()}, {self.condition.to_oql()})"
+        )
+
+
+@dataclass(eq=False)
 class MkUnion(PhysicalOp):
     """``mkunion(children...)``: mediator-side bag union."""
 

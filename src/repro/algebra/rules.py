@@ -16,9 +16,16 @@ from __future__ import annotations
 from typing import Callable, Protocol
 
 from repro.algebra.capabilities import CapabilityGrammar
-from repro.algebra.expressions import Subquery, walk_expr_for_subqueries
+from repro.algebra.expressions import (
+    Subquery,
+    conjunction,
+    contains_subquery,
+    split_conjuncts,
+    walk_expr_for_subqueries,
+)
 from repro.algebra.logical import (
     Apply,
+    BindJoin,
     Join,
     Limit,
     LogicalOp,
@@ -147,6 +154,67 @@ class PushSelectThroughUnion:
                 Select(node.variable, node.predicate, child) for child in node.child.inputs
             )
         )
+        return [rewritten]
+
+
+def _bindjoin_bound_variables(join: BindJoin) -> set[str]:
+    """Every variable an element produced by ``join`` binds.
+
+    Left-deep chains use the placeholder variable ``_env`` for an environment
+    left side; the real bindings come from the nested bindjoin.
+    """
+    variables = {join.right_variable}
+    if isinstance(join.left, BindJoin):
+        variables |= _bindjoin_bound_variables(join.left)
+    else:
+        variables.add(join.left_variable)
+    return variables
+
+
+class PushConditionIntoBindJoin:
+    """``select(p, bindjoin(l, r))`` -> ``bindjoin(l, r, p')`` for join conjuncts.
+
+    The translator leaves the whole ``where`` clause in a select *above* the
+    bindjoin, which forces a cross product followed by a filter.  Sinking the
+    conjuncts that mention the join's right variable into the bindjoin's
+    condition activates the run-time's equi-hash path -- and gives the
+    batched-probe join (``ProbeJoin``) the key expression it probes with.
+    Conjuncts referencing outer variables or nested subqueries stay in a
+    residual select.
+    """
+
+    name = "push-condition-into-bindjoin"
+
+    def apply(self, node: LogicalOp, capabilities: CapabilityResolver) -> list[LogicalOp]:
+        if not isinstance(node, Select) or not isinstance(node.child, BindJoin):
+            return []
+        join = node.child
+        bound = _bindjoin_bound_variables(join)
+        sinkable, residual = [], []
+        for conjunct in split_conjuncts(node.predicate):
+            free = conjunct.free_variables()
+            if (
+                free
+                and free <= bound
+                and join.right_variable in free
+                and not contains_subquery(conjunct)
+            ):
+                sinkable.append(conjunct)
+            else:
+                residual.append(conjunct)
+        if not sinkable:
+            return []
+        condition = conjunction([join.condition] + sinkable)
+        rewritten = BindJoin(
+            join.left,
+            join.right,
+            join.left_variable,
+            join.right_variable,
+            condition=condition,
+        )
+        residual_predicate = conjunction(residual)
+        if residual_predicate is not None:
+            return [Select(node.variable, residual_predicate, rewritten)]
         return [rewritten]
 
 
@@ -286,6 +354,7 @@ class CollapseNestedLimits:
 
 
 DEFAULT_RULES: tuple[TransformationRule, ...] = (
+    PushConditionIntoBindJoin(),
     PushSelectThroughUnion(),
     PushProjectThroughUnion(),
     PushSelectIntoSubmit(),

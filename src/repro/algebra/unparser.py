@@ -251,6 +251,7 @@ def _substitute_variable(expression: Expr, old: str, new: str) -> Expr:
         BooleanExpr,
         Comparison,
         FunctionCall,
+        InList,
         StructExpr,
     )
 
@@ -274,6 +275,11 @@ def _substitute_variable(expression: Expr, old: str, new: str) -> Expr:
         return BooleanExpr(
             expression.op,
             tuple(_substitute_variable(operand, old, new) for operand in expression.operands),
+        )
+    if isinstance(expression, InList):
+        return InList(
+            _substitute_variable(expression.operand, old, new),
+            tuple(_substitute_variable(item, old, new) for item in expression.items),
         )
     if isinstance(expression, StructExpr):
         return StructExpr(

@@ -40,6 +40,8 @@ class Mediator:
         max_resumes: int | None = None,
         max_concurrent_queries: int | None = None,
         admission_queue_depth: int | None = None,
+        bind_batch_size: int = 256,
+        replan_blowup_factor: float | None = 8.0,
     ):
         self.name = name
         self.registry = Registry()
@@ -58,6 +60,8 @@ class Mediator:
                 max_resumes=max_resumes,
                 max_concurrent_queries=max_concurrent_queries,
                 admission_queue_depth=admission_queue_depth,
+                bind_batch_size=bind_batch_size,
+                replan_blowup_factor=replan_blowup_factor,
             ),
             subquery_planner=self.planner.logical_for_bound,
         )
@@ -307,6 +311,11 @@ class Mediator:
             "plan_cache_invalidations": cache_stats.get("invalidations", 0),
             "plan_cache_evictions": cache_stats.get("evictions", 0),
             "schema_version": self.registry.schema_version,
+            # Probe-join cache effectiveness (batched bind joins): a hit is a
+            # join key served from the per-query cache without re-hitting the
+            # source; a miss went into a batched (or degraded) probe call.
+            "probe_cache_hits": self.executor.probe_cache_hits,
+            "probe_cache_misses": self.executor.probe_cache_misses,
         }
         admission = self.executor.admission
         if admission is not None:

@@ -70,6 +70,10 @@ class CostModel:
     #: availability EWMA has dropped to 0.5 looks ~2x as expensive (with the
     #: default 2.0) and the optimizer prefers plans that avoid it.
     unavailability_penalty: float = 2.0
+    #: assumed probe-key batch size for :class:`~repro.algebra.physical.ProbeJoin`
+    #: costing.  Mirrors ``ExecutorConfig.bind_batch_size``; the run-time value
+    #: may differ, which only shifts the estimated number of probe calls.
+    probe_batch_size: float = 256.0
 
     def estimate(self, plan: phys.PhysicalOp) -> Cost:
         """Estimate the cost of executing ``plan``."""
@@ -124,6 +128,14 @@ class CostModel:
         if isinstance(plan, phys.NestedLoopJoin):
             left = self.estimate(plan.left)
             right = self.estimate(plan.right)
+            # Quadratic: the right side is materialized once and re-scanned
+            # per left row (see ``nested_loop_join_rows``, which shares that
+            # one materialization however many times the plan is iterated).
+            # This is also the cost floor for the *equi-join fallback* inside
+            # ``bind_join_rows``: a bindjoin whose condition carries no
+            # extractable equi conjunct degenerates to exactly this
+            # left x right pairing, which is why the condition-sinking rule
+            # (and the probe join it enables) matter.
             time = (
                 left.time
                 + right.time
@@ -139,6 +151,26 @@ class CostModel:
             # charge the hash-join cost plus a small setup factor.
             time = left.time + right.time + (left.rows + right.rows) * 2 * self.mediator_row_cost
             rows = max(left.rows, right.rows)
+            return Cost(time, rows)
+        if isinstance(plan, phys.ProbeJoin):
+            left = self.estimate(plan.left)
+            probe = self.history.estimate(plan.probe.extent_name, plan.probe.expression)
+            right_rows = max(probe.rows, 0.0)
+            # One set-valued submit per batch of distinct left keys; only the
+            # matching right rows cross the wire (bounded by the smaller of
+            # the two sides -- the per-query probe cache deduplicates keys).
+            batches = max(1.0, -(-left.rows // self.probe_batch_size))
+            shipped = min(right_rows, max(left.rows, 1.0))
+            time = (
+                left.time
+                + batches * (self.exec_call_overhead + probe.time)
+                + shipped * self.transfer_row_cost
+                + (left.rows + shipped) * self.mediator_row_cost
+            )
+            availability = self.history.availability(plan.probe.extent_name)
+            if availability < 1.0:
+                time *= 1.0 + self.unavailability_penalty * (1.0 - availability)
+            rows = max(left.rows, shipped)
             return Cost(time, rows)
         raise OptimizationError(f"no cost function for physical operator {plan.to_text()}")
 

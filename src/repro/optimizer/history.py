@@ -29,6 +29,7 @@ from repro.algebra.expressions import (
     Const,
     Expr,
     FunctionCall,
+    InList,
     Path,
     StructExpr,
 )
@@ -82,6 +83,11 @@ def _strip_constants_expr(expression: Expr) -> Expr:
             expression.op,
             tuple(_strip_constants_expr(operand) for operand in expression.operands),
         )
+    if isinstance(expression, InList):
+        # Collapse the item list to one placeholder so every probe batch of
+        # the same shape -- regardless of batch size or key values -- shares a
+        # single close signature.
+        return InList(_strip_constants_expr(expression.operand), (Const("?"),))
     if isinstance(expression, StructExpr):
         return StructExpr(
             tuple((name, _strip_constants_expr(value)) for name, value in expression.fields)

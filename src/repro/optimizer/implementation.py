@@ -13,7 +13,38 @@ from itertools import product
 
 from repro.algebra import logical as log
 from repro.algebra import physical as phys
+from repro.algebra.expressions import find_equi_conjunct
 from repro.errors import OptimizationError
+
+
+def _probe_join_for(
+    node: log.BindJoin, left: phys.PhysicalOp
+) -> phys.ProbeJoin | None:
+    """Build a batched-probe join for ``node`` when it is eligible.
+
+    Eligibility: the right side is a single ``submit`` (one probeable source)
+    and the condition carries an equi-join conjunct to extract probe keys
+    from.  Wrapper ``in`` support is *not* checked here -- a wrapper without
+    the terminal degrades to per-binding probes at run time, which still
+    beats shipping the extent when the key set is small.
+    """
+    if node.condition is None or not isinstance(node.right, log.Submit):
+        return None
+    if find_equi_conjunct(node.condition, node.left_variable, node.right_variable) is None:
+        return None
+    submit = node.right
+    probe = phys.Exec(
+        source=phys.Field(submit.source),
+        expression=submit.expression,
+        extent_name=submit.extent_name or submit.source,
+    )
+    return phys.ProbeJoin(
+        left,
+        probe,
+        node.left_variable,
+        node.right_variable,
+        node.condition,
+    )
 
 
 def implement(node: log.LogicalOp) -> phys.PhysicalOp:
@@ -73,6 +104,25 @@ def implementation_alternatives(node: log.LogicalOp) -> list[phys.PhysicalOp]:
         for left, right in product(lefts, rights):
             plans.append(phys.HashJoin(left, right, node.on))
             plans.append(phys.NestedLoopJoin(left, right, node.on))
+        return plans
+    if isinstance(node, log.BindJoin):
+        lefts = implementation_alternatives(node.left)
+        rights = implementation_alternatives(node.right)
+        plans = []
+        for left, right in product(lefts, rights):
+            plans.append(
+                phys.MkBindJoin(
+                    left,
+                    right,
+                    node.left_variable,
+                    node.right_variable,
+                    condition=node.condition,
+                )
+            )
+        for left in lefts:
+            probe_join = _probe_join_for(node, left)
+            if probe_join is not None:
+                plans.append(probe_join)
         return plans
     children = node.children()
     if not children:

@@ -12,6 +12,7 @@ from repro.algebra.expressions import (
     Const,
     Expr,
     FunctionCall,
+    InList,
     Path,
     StructExpr,
     Subquery,
@@ -41,6 +42,10 @@ class OqlParser:
         self.text = text
         self._tokens = OqlLexer(text).tokens()
         self._index = 0
+        #: >0 while parsing a from-clause collection expression.  ``and x in``
+        #: continues the from clause only there; at depth 0 it is an in-list
+        #: membership conjunct (``where flag and y in (1, 2)``).
+        self._from_depth = 0
 
     # -- public entry points --------------------------------------------------------
     def parse_query(self) -> QueryNode:
@@ -219,7 +224,11 @@ class OqlParser:
     def _binding(self) -> Binding:
         variable = self._expect("IDENT").text
         self._expect_keyword("in")
-        collection = self._collection_expression()
+        self._from_depth += 1
+        try:
+            collection = self._collection_expression()
+        finally:
+            self._from_depth -= 1
         return Binding(variable=variable, collection=collection)
 
     def _collection_expression(self) -> QueryNode:
@@ -255,7 +264,9 @@ class OqlParser:
 
     def _and_expression(self) -> Expr:
         operands = [self._not_expression()]
-        while self._peek().is_keyword("and") and not self._looks_like_binding(1):
+        while self._peek().is_keyword("and") and not (
+            self._from_depth > 0 and self._looks_like_binding(1)
+        ):
             self._advance()
             operands.append(self._not_expression())
         if len(operands) == 1:
@@ -275,6 +286,19 @@ class OqlParser:
             op = "!=" if token.text == "<>" else token.text
             right = self._additive()
             return Comparison(op, left, right)
+        # Set-valued membership: ``expr in (item, ...)``.  Only the form with
+        # a parenthesized literal list is an expression; a bare ``x in coll``
+        # remains a from-clause binding.
+        if token.is_keyword("in") and self._peek(1).is_op("("):
+            self._advance()
+            self._expect_op("(")
+            items: list[Expr] = []
+            if not self._peek().is_op(")"):
+                items.append(self._additive())
+                while self._match_op(","):
+                    items.append(self._additive())
+            self._expect_op(")")
+            return InList(left, tuple(items))
         return left
 
     def _additive(self) -> Expr:

@@ -59,6 +59,7 @@ from typing import Any, Callable, Iterable, Iterator, Mapping, Protocol
 
 from repro.algebra import logical as log
 from repro.algebra import physical as phys
+from repro.algebra.expressions import Comparison, Const, Expr, InList
 from repro.datamodel.extent import MetaExtent
 from repro.datamodel.mapping import rename_row
 from repro.datamodel.values import Bag
@@ -197,6 +198,12 @@ class ExecReport:
     #: budget (successful or not).  0 when ``max_resumes`` is unset -- legacy
     #: accounting charges reopens to ``attempts`` instead.
     resume_attempts: int = 0
+    #: True when a probe join was re-planned mid-query: the observed probe
+    #: cardinality blew past the cost model's estimate by more than
+    #: ``ExecutorConfig.replan_blowup_factor``, so the runner flipped from
+    #: batched probing to one full ship of the right side hash-joined at the
+    #: mediator.  Always False for ordinary exec calls.
+    replanned: bool = False
 
 
 @dataclass
@@ -301,6 +308,27 @@ class ExecutorConfig:
     ``type_check``
         Whether the mediator checks source attribute names against the
         mediator interface (the run-time type check of Section 2.1).
+    ``bind_batch_size``
+        Probe-key batch size for batched bind joins (``probejoin`` plans).
+        Up to this many distinct left-side join keys are collected and sent
+        to the right-hand source as *one* set-valued submit --
+        ``select(v: key in (k1, ..., kn), expr)`` -- instead of one call per
+        binding.  ``1`` degenerates to per-binding probing (the pre-batching
+        behaviour, and the baseline the E14 benchmark measures against).
+    ``replan_blowup_factor``
+        Mid-query re-planning trigger for probe joins.  The optimizer picked
+        the probe join because the cost model estimated the probed
+        expression small; when the rows actually fetched by probing exceed
+        this factor times that estimate, the estimate was wrong and batched
+        probing is fetching the extent the hard way.  The runner then flips
+        to one full ship of the right side and finishes the join against a
+        mediator-side hash table, recording the flip on
+        :attr:`ExecReport.replanned`.  ``None`` disables re-planning.  Note
+        the paper's no-history default estimate is 1 row, so an uninformed
+        mediator flips as soon as a probe stream returns more than this many
+        rows -- by design: with no evidence that probing pays, one cheap
+        ship is the safer plan, and the history the probes just recorded
+        informs the next query.
     """
 
     timeout: float | None = 5.0
@@ -314,6 +342,8 @@ class ExecutorConfig:
     max_concurrent_queries: int | None = None
     admission_queue_depth: int | None = None
     type_check: bool = True
+    bind_batch_size: int = 256
+    replan_blowup_factor: float | None = 8.0
 
 
 @dataclass
@@ -326,6 +356,305 @@ class _CallOutcome:
     error: str | None = None
     degraded_to: str | None = None
     split_calls: int = 0
+
+
+class _ProbeUnavailable(Exception):
+    """A probe join's right-hand source failed terminally.
+
+    On the barrier path this aborts evaluation into a partial answer (the
+    probe side stays the ``submit`` it implements); the streaming path
+    swallows it -- the source simply contributes no further rows and the
+    failure surfaces on the probe's aggregated :class:`ExecReport`.
+    """
+
+    def __init__(self, node: phys.Exec, error: str):
+        super().__init__(error)
+        self.node = node
+        self.error = error
+
+
+class _ProbeCancelled(Exception):
+    """A probe call was cancelled cooperatively (stream closed/written off)."""
+
+
+class _ProbeCapability(Exception):
+    """A probe submit failed deterministically: drop one probe-shape rung."""
+
+
+class _ProbeRunner:
+    """Issues one probe join's wrapper calls: batching, caching, degrade, replan.
+
+    One runner serves one :class:`~repro.algebra.physical.ProbeJoin` of one
+    query, on whichever engine composed it.  It owns:
+
+    * the **probe shape**: batches of distinct keys are submitted as one
+      set-valued ``select(v: key in (...), expr)`` when the wrapper's grammar
+      has the ``in`` terminal; otherwise the runner degrades to one ``=``
+      probe per key, and a wrapper that cannot even evaluate a selection gets
+      one full ship of ``expr`` hash-joined at the mediator.  A submit that
+      still fails with a capability error drops a rung the same way
+      (:func:`~repro.runtime.degrade.is_capability_failure`).
+    * the **per-query probe cache**: a key probed once is never sent to the
+      source again, whatever batch it reappears in; hit/miss counts aggregate
+      onto the executor for ``Mediator.statistics()``.
+    * **adaptive re-planning**: when the rows fetched by probing exceed
+      ``replan_blowup_factor`` times the cost model's estimate of the probed
+      expression, the runner flips to the full-ship shape mid-query
+      (:attr:`ExecReport.replanned`).
+    * **history**: every wrapper round trip is recorded in the exec-call
+      history under the probed extent, so the cost model learns real probe
+      latencies and cardinalities (the ``in``-list close signature collapses
+      all batch sizes onto one history entry).
+
+    The runner aggregates everything into one :class:`ExecReport` --
+    ``attempts`` is the total number of wrapper calls issued -- so the two
+    engines stay report-shape comparable.
+    """
+
+    def __init__(
+        self,
+        executor: "Executor",
+        plan: phys.ProbeJoin,
+        event: threading.Event | None = None,
+        remaining: Callable[[], float | None] | None = None,
+        raise_unavailable: bool = False,
+    ):
+        self._executor = executor
+        self._plan = plan
+        self._event = event
+        self._remaining = remaining
+        self._raise_unavailable = raise_unavailable
+        equi = ops._find_equi_conjunct(
+            plan.condition, plan.left_variable, plan.right_variable
+        )
+        if equi is None:  # the planner only builds ProbeJoin with one
+            raise QueryExecutionError("probe join requires an equi-join conjunct")
+        self._right_expr: Expr = equi[1]
+        self._meta: MetaExtent | None = None
+        self._wrapper: Any = None
+        self._estimate_rows = 1.0
+        #: None until the first fetch; then "in" | "per-key" | "ship".
+        self._mode: str | None = None
+        self._cache: dict[Any, list[Any]] = {}
+        self._ship_buckets: dict[Any, list[Any]] | None = None
+        self._capability_degraded = False
+        self._degraded_to: str | None = None
+        self._error: str | None = None
+        self.cancelled = False
+        self.replanned = False
+        self.calls = 0
+        self.rows_fetched = 0
+        self.elapsed = 0.0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- the prober closure handed to ops.probe_join_rows ---------------------------------
+    def probe(self, keys: list[Any]) -> dict[Any, list[Any]]:
+        """Rows for each requested key, from the cache or the source."""
+        buckets: dict[Any, list[Any]] = {}
+        if self._error is not None:
+            return buckets  # dead source: contributes no further rows
+        missing: list[Any] = []
+        for key in keys:
+            if self._ship_buckets is not None:
+                buckets[key] = self._ship_buckets.get(key, [])
+            elif key in self._cache:
+                self.cache_hits += 1
+                buckets[key] = self._cache[key]
+            else:
+                self.cache_misses += 1
+                missing.append(key)
+        if missing and self._ship_buckets is None:
+            try:
+                self._fetch(missing)
+            except _ProbeUnavailable:
+                if self._raise_unavailable:
+                    raise
+            for key in missing:
+                if self._ship_buckets is not None:
+                    buckets[key] = self._ship_buckets.get(key, [])
+                else:
+                    buckets[key] = self._cache.get(key, [])
+        return buckets
+
+    # -- fetching -------------------------------------------------------------------------
+    def _fetch(self, keys: list[Any]) -> None:
+        self._resolve()
+        pending = list(keys)
+        while True:
+            if self._mode is None:
+                self._select_mode(pending)
+            try:
+                if self._mode == "ship":
+                    self._ship(replanned=False)
+                    return
+                if self._mode == "per-key":
+                    while pending:
+                        rows = self._call(self._per_key_expression(pending[0]))
+                        self._cache[pending.pop(0)] = rows
+                        if self._blown():
+                            self._ship(replanned=True)
+                            return
+                    return
+                rows = self._call(self._in_expression(pending))
+                bucketed = self._bucket(rows)
+                for key in pending:
+                    self._cache[key] = bucketed.get(key, [])
+                if self._blown():
+                    self._ship(replanned=True)
+                return
+            except _ProbeCapability as exc:
+                if self._mode == "ship":
+                    # Even the bare expression is rejected: out of rungs.
+                    self._error = str(exc)
+                    raise _ProbeUnavailable(self._plan.probe, self._error)
+                self._mode = "per-key" if self._mode == "in" else "ship"
+                self._capability_degraded = True
+
+    def _resolve(self) -> None:
+        if self._wrapper is not None:
+            return
+        executor = self._executor
+        node = self._plan.probe
+        self._meta = executor.registry.extent(node.extent_name)
+        self._wrapper = executor.registry.wrapper_object(self._meta.wrapper)
+        # Mediator-side planning errors (type conflicts) raise, as for any
+        # exec; they are not source unavailability.
+        executor._check_types(self._meta, self._wrapper)
+        estimate = executor.history.estimate(node.extent_name, node.expression)
+        self._estimate_rows = max(estimate.rows, 1.0)
+
+    def _select_mode(self, keys: list[Any]) -> None:
+        """Pick the largest probe shape the wrapper's grammar accepts."""
+        if self._accepts(self._in_expression(keys[:1])):
+            self._mode = "in"
+        elif self._accepts(self._per_key_expression(keys[0])):
+            self._mode = "per-key"
+            self._capability_degraded = True
+        else:
+            self._mode = "ship"
+            self._capability_degraded = True
+
+    def _accepts(self, expression: log.LogicalOp) -> bool:
+        plan = self._executor.namespace_plan(expression, self._meta, self._wrapper)
+        if plan.split is not None:
+            return False
+        return _wrapper_accepts(self._wrapper, plan.expression)
+
+    def _in_expression(self, keys: list[Any]) -> log.LogicalOp:
+        predicate = InList(self._right_expr, tuple(Const(key) for key in keys))
+        return log.Select(
+            self._plan.right_variable, predicate, self._plan.probe.expression
+        )
+
+    def _per_key_expression(self, key: Any) -> log.LogicalOp:
+        predicate = Comparison("=", self._right_expr, Const(key))
+        return log.Select(
+            self._plan.right_variable, predicate, self._plan.probe.expression
+        )
+
+    def _bucket(self, rows: list[Any]) -> dict[Any, list[Any]]:
+        variable = self._plan.right_variable
+        buckets: dict[Any, list[Any]] = {}
+        for row in rows:
+            key = self._right_expr.evaluate({variable: row})
+            buckets.setdefault(key, []).append(row)
+        return buckets
+
+    def _blown(self) -> bool:
+        factor = self._executor.config.replan_blowup_factor
+        if factor is None or self._ship_buckets is not None:
+            return False
+        return self.rows_fetched > factor * self._estimate_rows
+
+    def _ship(self, replanned: bool) -> None:
+        """Fetch the whole right side once; later batches join locally."""
+        rows = self._call(self._plan.probe.expression)
+        self._ship_buckets = self._bucket(rows)
+        self.replanned = self.replanned or replanned
+
+    def _call(self, expression: log.LogicalOp) -> list[Any]:
+        """One wrapper round trip, with the barrier path's transient-retry policy."""
+        executor = self._executor
+        config = executor.config
+        node = self._plan.probe
+        attempts = max(1, config.max_retries + 1)
+        attempt = 0
+        while True:
+            remaining = self._remaining() if self._remaining is not None else None
+            if remaining is not None and remaining <= 0:
+                self._error = "timed out during probe"
+                raise _ProbeUnavailable(node, self._error)
+            started = time.monotonic()
+            try:
+                with cancellation.activate(self._event):
+                    plan = executor.namespace_plan(expression, self._meta, self._wrapper)
+                    if plan.split is not None:
+                        rows = list(executor._split_pushdown(plan, self._wrapper))
+                    else:
+                        raw_rows = self._wrapper.submit(plan.expression)
+                        rows = [normalize_row(row, plan.reverse) for row in raw_rows]
+            except Exception as exc:
+                call_elapsed = time.monotonic() - started
+                self.calls += 1
+                self.elapsed += call_elapsed
+                if self._event is not None and self._event.is_set():
+                    self.cancelled = True
+                    raise _ProbeCancelled from exc
+                executor.history.record_failure(
+                    node.extent_name, node.expression, call_elapsed
+                )
+                if is_capability_failure(exc):
+                    raise _ProbeCapability(f"{type(exc).__name__}: {exc}") from exc
+                attempt += 1
+                if attempt >= attempts:
+                    self._error = f"{type(exc).__name__}: {exc}"
+                    raise _ProbeUnavailable(node, self._error) from exc
+                backoff = config.retry_backoff * (2 ** (attempt - 1))
+                if remaining is not None:
+                    backoff = min(backoff, remaining)
+                if self._event is not None:
+                    if self._event.wait(backoff):
+                        self.cancelled = True
+                        raise _ProbeCancelled from exc
+                else:
+                    time.sleep(backoff)
+                continue
+            call_elapsed = time.monotonic() - started
+            self.calls += 1
+            self.elapsed += call_elapsed
+            self.rows_fetched += len(rows)
+            # Satellite: probe calls are first-class history observations
+            # under the probed extent (the in-list close signature collapses
+            # every batch size onto one entry).
+            executor.history.record(node.extent_name, expression, call_elapsed, len(rows))
+            if self._capability_degraded:
+                self._degraded_to = plan.expression.to_text()
+            return rows
+
+    # -- wrap-up --------------------------------------------------------------------------
+    def finish(self) -> None:
+        """Fold this run's cache counters into the executor-wide statistics."""
+        with self._executor._probe_lock:
+            self._executor.probe_cache_hits += self.cache_hits
+            self._executor.probe_cache_misses += self.cache_misses
+
+    def report(self, cancelled: bool = False) -> ExecReport:
+        """The probe side's one aggregated report (attempts = wrapper calls)."""
+        node = self._plan.probe
+        return ExecReport(
+            extent_name=node.extent_name,
+            source=node.source.name,
+            expression=node.expression.to_text(),
+            elapsed=self.elapsed,
+            rows=self.rows_fetched,
+            available=self._error is None,
+            error=self._error,
+            attempts=max(1, self.calls),
+            cancelled=cancelled or self.cancelled,
+            degraded_to=self._degraded_to,
+            replanned=self.replanned,
+        )
 
 
 class Executor:
@@ -366,6 +695,11 @@ class Executor:
         self._active = threading.Condition()
         self._dispatch_cancels: dict[int, Callable[[], None]] = {}
         self._active_streams: "weakref.WeakSet[Any]" = weakref.WeakSet()
+        # Probe-cache effectiveness counters, aggregated over every probe
+        # join this executor has run (surfaced via Mediator.statistics()).
+        self._probe_lock = threading.Lock()
+        self.probe_cache_hits = 0
+        self.probe_cache_misses = 0
         self.partial_builder = PartialAnswerBuilder(subquery_evaluator=self.evaluate_subquery)
 
     # -- pool lifecycle ----------------------------------------------------------------------
@@ -450,6 +784,15 @@ class Executor:
         if ticket is not None and timeout is not None:
             timeout = max(timeout - ticket.queue_wait, 0.0)
         try:
+            # One *global* deadline covers dispatch and evaluation alike:
+            # probe-join wrapper calls issued during evaluation draw on
+            # whatever budget the barrier wait left over.
+            deadline = None if timeout is None else time.monotonic() + timeout
+            remaining = (
+                None
+                if deadline is None
+                else lambda: max(deadline - time.monotonic(), 0.0)
+            )
             exec_nodes = phys.execs_in(plan)
             outcomes, reports = self._dispatch(exec_nodes, timeout)
             unavailable = tuple(
@@ -465,8 +808,31 @@ class Executor:
                     unavailable_sources=unavailable,
                     reports=tuple(reports),
                 )
-            values = list(self._evaluate(plan, outcomes, base_env))
-            return ExecutionResult(data=Bag(values), reports=tuple(reports))
+            probe_reports: list[ExecReport] = []
+            try:
+                values = list(
+                    self._evaluate(plan, outcomes, base_env, probe_reports, remaining)
+                )
+            except _ProbeUnavailable as failure:
+                # A probe join's right-hand source failed during evaluation:
+                # degrade into a partial answer whose probe side stays the
+                # submit it implements, over the left rows already obtained.
+                outcomes[id(failure.node)] = Unavailable(failure.error)
+                reports = reports + probe_reports
+                partial_plan = self.partial_builder.build(plan, outcomes, base_env=base_env)
+                return ExecutionResult(
+                    data=Bag(),
+                    is_partial=True,
+                    partial_plan=partial_plan,
+                    partial_query=self.partial_builder.to_oql(partial_plan),
+                    unavailable_sources=tuple(
+                        report.extent_name
+                        for report in reports
+                        if not report.available and not report.cancelled
+                    ),
+                    reports=tuple(reports),
+                )
+            return ExecutionResult(data=Bag(values), reports=tuple(reports + probe_reports))
         finally:
             if ticket is not None and self.admission is not None:
                 self.admission.release()
@@ -1075,6 +1441,8 @@ class Executor:
         leaf: Callable[[phys.Exec], Iterable[Any]],
         base_env: Mapping[str, Any] | None,
         union: Callable[[tuple[phys.PhysicalOp, ...]], Iterable[Any]] | None = None,
+        probe: Callable[[phys.ProbeJoin, Iterator[Any]], Iterable[Any]] | None = None,
+        build: Callable[[Iterator[Any]], Iterable[Any]] | None = None,
     ) -> Iterator[Any]:
         """Compose the lazy operator pipeline for ``plan``.
 
@@ -1085,13 +1453,18 @@ class Executor:
         node -- a completed outcome for the barrier path, a live stream for
         the streaming engine.  ``union`` optionally overrides how ``mkunion``
         children are sequenced (the streaming engine interleaves them in
-        exec-completion order).
+        exec-completion order).  ``probe`` supplies the engine's probe-join
+        leaf -- the batching layer issuing set-valued submits over the left
+        rows; ``build`` optionally wraps a hash join's build side (the
+        streaming engine drains it eagerly on a dedicated thread).
 
         The pipeline structure (and every ``leaf`` iterator) is built
         eagerly, so structural errors surface immediately; only *row* flow is
         lazy.
         """
-        recurse = lambda child: self.compose_rows(child, leaf, base_env, union)  # noqa: E731
+        recurse = lambda child: self.compose_rows(  # noqa: E731
+            child, leaf, base_env, union, probe, build
+        )
         if isinstance(plan, phys.Exec):
             return iter(leaf(plan))
         if isinstance(plan, phys.MkBag):
@@ -1117,9 +1490,18 @@ class Executor:
                 subquery_evaluator=self.evaluate_subquery,
             )
         if isinstance(plan, phys.HashJoin):
-            return ops.hash_join_rows(recurse(plan.left), recurse(plan.right), plan.on)
+            right_rows = recurse(plan.right)
+            if build is not None:
+                right_rows = build(right_rows)
+            return ops.hash_join_rows(recurse(plan.left), right_rows, plan.on)
         if isinstance(plan, phys.NestedLoopJoin):
             return ops.nested_loop_join_rows(recurse(plan.left), recurse(plan.right), plan.on)
+        if isinstance(plan, phys.ProbeJoin):
+            if probe is None:
+                raise QueryExecutionError(
+                    "probe join reached an engine without a probe runner"
+                )
+            return iter(probe(plan, recurse(plan.left)))
         if isinstance(plan, phys.MkBindJoin):
             return ops.bind_join_rows(
                 recurse(plan.left),
@@ -1147,6 +1529,8 @@ class Executor:
         plan: phys.PhysicalOp,
         outcomes: dict[int, Any],
         base_env: Mapping[str, Any] | None,
+        probe_reports: list[ExecReport] | None = None,
+        remaining: Callable[[], float | None] | None = None,
     ) -> Iterator[Any]:
         """The barrier-path pipeline: exec leaves read completed outcomes."""
 
@@ -1158,7 +1542,50 @@ class Executor:
                 )
             return rows
 
-        return self.compose_rows(plan, leaf, base_env)
+        sink = probe_reports if probe_reports is not None else []
+
+        def probe(plan: phys.ProbeJoin, left_rows: Iterator[Any]) -> Iterator[Any]:
+            return self._probe_rows_barrier(plan, left_rows, base_env, sink, remaining)
+
+        return self.compose_rows(plan, leaf, base_env, probe=probe)
+
+    def _probe_rows_barrier(
+        self,
+        plan: phys.ProbeJoin,
+        left_rows: Iterator[Any],
+        base_env: Mapping[str, Any] | None,
+        reports: list[ExecReport],
+        remaining: Callable[[], float | None] | None = None,
+    ) -> Iterator[Any]:
+        """Barrier-path probe-join leaf: a terminal source failure raises
+        :class:`_ProbeUnavailable`, degrading the query into a partial answer.
+        ``remaining`` is the query's global deadline budget: a probe call is
+        only issued while it is positive, so a timed-out query degrades into
+        a partial answer at most one wrapper round trip past the deadline."""
+        runner = _ProbeRunner(self, plan, remaining=remaining, raise_unavailable=True)
+        completed = False
+        try:
+            yield from ops.probe_join_rows(
+                left_rows,
+                plan.left_variable,
+                plan.right_variable,
+                plan.condition,
+                prober=runner.probe,
+                batch_size=self.config.bind_batch_size,
+                base_env=base_env,
+                subquery_evaluator=self.evaluate_subquery,
+            )
+            completed = True
+        finally:
+            runner.finish()
+            # A runner that never touched the source (empty left side, every
+            # key None) leaves no report: the barrier path skips evaluation
+            # entirely when an unrelated source is down, so an idle probe
+            # must stay invisible for the engines to stay shape-comparable.
+            if runner.calls or runner.cancelled or runner._error is not None:
+                reports.append(
+                    runner.report(cancelled=not completed and runner._error is None)
+                )
 
     # -- nested subqueries -------------------------------------------------------------------------
     def evaluate_subquery(self, query: Any, env: Mapping[str, Any]) -> Any:

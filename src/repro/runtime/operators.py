@@ -23,9 +23,8 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from repro.algebra.expressions import (
-    Comparison,
     Expr,
-    split_conjuncts,
+    find_equi_conjunct,
 )
 from repro.datamodel.values import Bag, Struct
 
@@ -36,21 +35,45 @@ class Env(dict):
     """A variable environment element: maps variable names to their rows."""
 
 
+#: The OQL translator folds multi-variable ``from`` clauses into bind joins
+#: whose elements are environments bound to this reserved variable name.
+ENV_VARIABLE = "_env"
+
+
+def env_bindings(element: Any, variable: str) -> dict[str, Any]:
+    """The variable bindings one element contributes to an environment.
+
+    An :class:`Env` contributes its entries.  A *mapping* bound to the
+    reserved environment variable is an environment that lost its type --
+    partial answers embed half-joined environments as ``struct`` literals,
+    and the text round trip reparses them as structs -- so its fields splat
+    back into variables.  Anything else binds ``variable`` alone.
+    """
+    if isinstance(element, Env):
+        return dict(element)
+    if variable == ENV_VARIABLE and isinstance(element, Mapping):
+        return {variable: element, **dict(element)}
+    return {variable: element}
+
+
 def element_environment(
     element: Any, variable: str, base_env: Mapping[str, Any] | None
 ) -> dict[str, Any]:
     """Build the evaluation environment for one element."""
     env: dict[str, Any] = dict(base_env or {})
-    if isinstance(element, Env):
-        env.update(element)
-    else:
-        env[variable] = element
+    env.update(env_bindings(element, variable))
     return env
 
 
 def as_struct(row: Any) -> Any:
-    """Convert plain dict rows to structs; other values pass through."""
-    if isinstance(row, Struct):
+    """Convert plain dict rows to structs; other values pass through.
+
+    Environment elements (:class:`Env`) pass through unchanged: they are
+    variable bindings, not data rows -- struct-ifying them would strand the
+    bound variables when a resubmitted partial answer re-joins its embedded
+    half-evaluated environments.
+    """
+    if isinstance(row, (Struct, Env)):
         return row
     if isinstance(row, dict):
         return Struct(row)
@@ -138,16 +161,32 @@ def hash_join_rows(
             yield _merged_row(row, match)
 
 
+def materialized(rows: Iterable[Any]) -> "list[Any] | tuple[Any, ...]":
+    """Return ``rows`` as a sequence, without copying one that already is.
+
+    The inner side of a nested loop (and of the bind-join fallback) must be
+    re-scannable, but callers frequently hold a list already -- the barrier
+    engine's exec outcomes, ``evaluate_logical``'s materialized children.
+    Copying those into a fresh list per call site doubled peak memory for
+    zero benefit; sharing the one materialization is satellite work of the
+    probe-join PR (see the ``NestedLoopJoin`` cost comment).
+    """
+    if isinstance(rows, (list, tuple)):
+        return rows
+    return list(rows)
+
+
 def nested_loop_join_rows(
     left: Iterable[Any], right: Iterable[Any], on: str | tuple[str, str]
 ) -> Iterator[Any]:
     """Nested-loop equi-join (same semantics as the hash join, different cost).
 
-    The right side is materialized once (it is re-scanned per left element);
-    the left side streams.
+    The right side is materialized once and shared (it is re-scanned per
+    left element, and an already-materialized input is not copied); the left
+    side streams.
     """
     left_attr, right_attr = on if isinstance(on, tuple) else (on, on)
-    right_rows = list(right)
+    right_rows = materialized(right)
     for row in left:
         left_key = _attribute_value(row, left_attr)
         for match in right_rows:
@@ -174,11 +213,7 @@ def bind_join_rows(
     equi = _find_equi_conjunct(condition, left_variable, right_variable) if condition else None
 
     def make_env(left_element: Any, right_element: Any) -> Env:
-        env = Env()
-        if isinstance(left_element, Env):
-            env.update(left_element)
-        else:
-            env[left_variable] = left_element
+        env = Env(env_bindings(left_element, left_variable))
         env[right_variable] = right_element
         return env
 
@@ -197,9 +232,7 @@ def bind_join_rows(
             key = right_expr.evaluate({**(base_env or {}), **env}, subquery_evaluator)
             buckets.setdefault(key, []).append(element)
         for left_element in left:
-            left_env = (
-                dict(left_element) if isinstance(left_element, Env) else {left_variable: left_element}
-            )
+            left_env = env_bindings(left_element, left_variable)
             key = left_expr.evaluate({**(base_env or {}), **left_env}, subquery_evaluator)
             for right_element in buckets.get(key, []):
                 env = make_env(left_element, right_element)
@@ -207,7 +240,7 @@ def bind_join_rows(
                     yield env
         return
 
-    right_elements = list(right)
+    right_elements = materialized(right)
     for left_element in left:
         for right_element in right_elements:
             env = make_env(left_element, right_element)
@@ -215,20 +248,80 @@ def bind_join_rows(
                 yield env
 
 
-def _find_equi_conjunct(
-    condition: Expr | None, left_variable: str, right_variable: str
-) -> tuple[Expr, Expr] | None:
-    """Find a ``left.a = right.b`` conjunct usable as a hash-join key."""
-    for conjunct in split_conjuncts(condition):
-        if not isinstance(conjunct, Comparison) or conjunct.op != "=":
-            continue
-        left_vars = conjunct.left.free_variables()
-        right_vars = conjunct.right.free_variables()
-        if left_vars == {left_variable} and right_vars == {right_variable}:
-            return conjunct.left, conjunct.right
-        if left_vars == {right_variable} and right_vars == {left_variable}:
-            return conjunct.right, conjunct.left
-    return None
+def probe_join_rows(
+    left: Iterable[Any],
+    left_variable: str,
+    right_variable: str,
+    condition: Expr,
+    prober: Callable[[list[Any]], Mapping[Any, list[Any]]],
+    batch_size: int,
+    base_env: Mapping[str, Any] | None = None,
+    subquery_evaluator: SubqueryEvaluator | None = None,
+) -> Iterator[Env]:
+    """Batched bind join: probe the right source with batches of left keys.
+
+    Collects up to ``batch_size`` left elements, extracts each element's join
+    key with the equi conjunct of ``condition``, deduplicates the keys, and
+    asks ``prober`` -- an engine-supplied closure that issues one set-valued
+    (``in``-list) submit per batch, or its degraded equivalents -- for the
+    matching right rows bucketed by key.  Matches fan back out to ``Env``
+    bindings and the *full* condition is re-checked per pair, so conjuncts
+    beyond the equi key still filter.
+
+    ``None`` keys are never probed: ``=`` is None-rejecting, so they cannot
+    match.  Keys repeated *within* a batch are probed once here; keys
+    repeated *across* batches are the prober's per-query cache's job.
+    """
+    equi = _find_equi_conjunct(condition, left_variable, right_variable)
+    if equi is None:
+        raise ValueError("probe join requires an equi-join conjunct")
+    left_expr, _ = equi
+    batch_size = max(1, batch_size)
+
+    def make_env(left_element: Any, right_element: Any) -> Env:
+        env = Env(env_bindings(left_element, left_variable))
+        env[right_variable] = right_element
+        return env
+
+    def passes(env: Env) -> bool:
+        full_env = dict(base_env or {})
+        full_env.update(env)
+        return bool(condition.evaluate(full_env, subquery_evaluator))
+
+    batch: list[tuple[Any, Any]] = []  # (left element, its join key)
+
+    def flush() -> Iterator[Env]:
+        keys: list[Any] = []
+        seen: set[Any] = set()
+        for _, key in batch:
+            if key is None or key in seen:
+                continue
+            seen.add(key)
+            keys.append(key)
+        buckets = prober(keys) if keys else {}
+        for element, key in batch:
+            if key is None:
+                continue
+            for right_element in buckets.get(key, ()):
+                env = make_env(element, right_element)
+                if passes(env):
+                    yield env
+        batch.clear()
+
+    for element in left:
+        env = element_environment(element, left_variable, base_env)
+        key = left_expr.evaluate(env, subquery_evaluator)
+        batch.append((element, key))
+        if len(batch) >= batch_size:
+            yield from flush()
+    if batch:
+        yield from flush()
+
+
+# Re-exported under the historical private name; the implementation lives
+# with the expression helpers so the optimizer can use it without importing
+# the runtime package (which would be circular).
+_find_equi_conjunct = find_equi_conjunct
 
 
 def _attribute_value(row: Any, attribute: str) -> Any:

@@ -94,6 +94,18 @@ class PartialAnswerBuilder:
                 plan.right_variable,
                 condition=plan.condition,
             )
+        if isinstance(plan, phys.ProbeJoin):
+            # The probe exec is not a child (execs_in must not dispatch it
+            # eagerly) but it is still an exec: batched rows recorded under it
+            # collapse to data, an unprobed/unavailable right side stays the
+            # submit it implements -- the ordinary bindjoin partial answer.
+            return log.BindJoin(
+                self.to_logical(plan.left, outcomes),
+                self.to_logical(plan.probe, outcomes),
+                plan.left_variable,
+                plan.right_variable,
+                condition=plan.condition,
+            )
         if isinstance(plan, phys.MkUnion):
             return log.Union(tuple(self.to_logical(child, outcomes) for child in plan.inputs))
         if isinstance(plan, phys.MkFlatten):

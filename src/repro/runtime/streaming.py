@@ -59,8 +59,15 @@ from typing import Any, Iterable, Iterator, Mapping
 from repro.algebra import logical as log
 from repro.algebra import physical as phys
 from repro.runtime import cancellation
+from repro.runtime import operators as ops
 from repro.runtime.degrade import compensate_rows, degrade_pushdown, is_capability_failure
-from repro.runtime.executor import ExecReport, collect_errors, normalize_row
+from repro.runtime.executor import (
+    ExecReport,
+    _ProbeCancelled,
+    _ProbeRunner,
+    collect_errors,
+    normalize_row,
+)
 from repro.wrappers.base import RESUME_REPLAY, RESUME_TOKEN, ResumableStream
 
 
@@ -203,12 +210,21 @@ class StreamingExecution:
                 future: Future = Future()
                 future.set_result(_Opened(error="mediator closed"))
                 state.future = future
+        # Probe joins hide their exec from execs_in -- it must NOT be opened
+        # up front like the calls above (no probe key exists yet).  Each one
+        # still gets a state, so its aggregated report and cancellation event
+        # live with the rest; its ``future`` stays None.
+        for probe_plan in (n for n in phys.walk(plan) if isinstance(n, phys.ProbeJoin)):
+            self._states[id(probe_plan.probe)] = _ExecState(probe_plan.probe)
+            self._order.append(id(probe_plan.probe))
         try:
             self._pipeline = executor.compose_rows(
                 plan,
                 leaf=self._exec_rows,
                 base_env=base_env,
                 union=self._union_in_completion_order,
+                probe=self._probe_rows,
+                build=self._eager_build,
             )
         except BaseException:
             # Pipeline construction failed after the calls were dispatched:
@@ -803,7 +819,94 @@ class StreamingExecution:
             leaf=self._exec_rows,
             base_env=self._base_env,
             union=self._union_in_completion_order,
+            probe=self._probe_rows,
+            build=self._eager_build,
         )
+
+    # -- probe joins ---------------------------------------------------------------------------
+    def _probe_rows(self, plan: phys.ProbeJoin, left_rows: Iterator[Any]) -> Iterator[Any]:
+        """The probe-join leaf: batched set-valued submits over the left rows.
+
+        The probe's wrapper calls run lazily on the consumer thread, bounded
+        by the query deadline and woken by the state's cancellation event on
+        close.  A terminal source failure is swallowed -- the source simply
+        contributes no further rows, like any other streaming leaf -- and
+        surfaces on the probe's aggregated :class:`ExecReport`; an early
+        close (a satisfied limit) marks the report cancelled instead.
+        """
+        executor = self._executor
+        state = self._states[id(plan.probe)]
+
+        def rows() -> Iterator[Any]:
+            runner = _ProbeRunner(
+                executor, plan, event=state.event, remaining=self._remaining
+            )
+            state.started = time.monotonic()
+            completed = False
+            try:
+                yield from ops.probe_join_rows(
+                    left_rows,
+                    plan.left_variable,
+                    plan.right_variable,
+                    plan.condition,
+                    prober=runner.probe,
+                    batch_size=executor.config.bind_batch_size,
+                    base_env=self._base_env,
+                    subquery_evaluator=executor.evaluate_subquery,
+                )
+                completed = True
+            except _ProbeCancelled:
+                pass  # written off (close/limit): not a failure
+            finally:
+                runner.finish()
+                state.attempts = max(1, runner.calls)
+                # An idle runner (no call, no error, no cancel -- e.g. an
+                # empty left side) reports nothing, mirroring the barrier
+                # path, which skips probing entirely when an unrelated
+                # source failure ends the query before evaluation.
+                if runner.calls or runner.cancelled or runner._error is not None:
+                    state.report = runner.report(
+                        cancelled=not completed and runner._error is None
+                    )
+
+        return rows()
+
+    def _eager_build(self, rows: Iterator[Any]) -> Iterator[Any]:
+        """Drain a hash join's build side eagerly on a dedicated thread.
+
+        Composed leaf order would otherwise drain the build side only when
+        the join's first row is pulled -- *after* whatever pipeline work
+        precedes it.  Starting the drain at compose time overlaps the build
+        transfer with the probe side's own exec opens (and with probe-join
+        batching).  A dedicated thread, not the shared pool: build drains can
+        outlive many pool tasks, and a pool full of builds would starve the
+        exec calls they are waiting on.
+
+        The consumer joins the thread at first pull; an exception raised in
+        the drain (a mediator-side bug) is re-raised there, not lost.  The
+        thread is daemonic and its leaves are cancellation-aware, so an
+        early close wakes the drain instead of leaking it.
+        """
+        drained: list[Any] = []
+        failure: list[BaseException] = []
+
+        def drain() -> None:
+            try:
+                for row in rows:
+                    drained.append(row)
+            except BaseException as exc:  # re-raised on consumption
+                failure.append(exc)
+
+        thread = threading.Thread(target=drain, name="disco-build", daemon=True)
+        thread.start()
+
+        def consume() -> Iterator[Any]:
+            thread.join()
+            if failure:
+                raise failure[0]
+            yield from drained
+
+        return consume()
 
     # -- shutdown ------------------------------------------------------------------------------
     def _finish(self) -> None:

@@ -17,6 +17,7 @@ from repro.sources.sql.parser import (
     BooleanExpr,
     ColumnRef,
     Comparison,
+    InPredicate,
     Literal,
     SelectStatement,
     SqlParser,
@@ -91,6 +92,20 @@ class SqlEngine:
     def _evaluate(self, expr: Any, row: Mapping[str, Any]) -> bool:
         if isinstance(expr, Comparison):
             return self._compare(expr, row)
+        if isinstance(expr, InPredicate):
+            value = self._operand_value(expr.operand, row)
+            if value is None:
+                return False
+            for item in expr.items:
+                candidate = item.value
+                if candidate is None:
+                    continue
+                try:
+                    if value == candidate:
+                        return True
+                except TypeError:
+                    continue
+            return False
         if isinstance(expr, BooleanExpr):
             if expr.op == "AND":
                 return all(self._evaluate(operand, row) for operand in expr.operands)

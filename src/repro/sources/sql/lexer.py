@@ -17,6 +17,7 @@ KEYWORDS = {
     "OR",
     "NOT",
     "AS",
+    "IN",
     "TRUE",
     "FALSE",
     "NULL",

@@ -79,6 +79,14 @@ class Comparison:
 
 
 @dataclass(frozen=True)
+class InPredicate:
+    """``operand IN (literal, ...)`` -- the batched-probe membership test."""
+
+    operand: ColumnRef | Literal
+    items: tuple[Literal, ...]
+
+
+@dataclass(frozen=True)
 class BooleanExpr:
     """``AND`` / ``OR`` / ``NOT`` combination of predicates."""
 
@@ -257,8 +265,17 @@ class SqlParser:
             return inner
         return self._comparison()
 
-    def _comparison(self) -> Comparison:
+    def _comparison(self) -> Comparison | InPredicate:
         left = self._operand()
+        if self._match_keyword("IN"):
+            self._expect("OP", "(")
+            items: list[Literal] = []
+            if not (self._peek().kind == "OP" and self._peek().text == ")"):
+                items.append(self._literal())
+                while self._match_op(","):
+                    items.append(self._literal())
+            self._expect("OP", ")")
+            return InPredicate(operand=left, items=tuple(items))
         token = self._advance()
         if token.kind != "OP" or token.text not in ("=", "<>", "!=", "<", "<=", ">", ">="):
             raise ParseError(
@@ -267,6 +284,15 @@ class SqlParser:
         op = "<>" if token.text == "!=" else token.text
         right = self._operand()
         return Comparison(op=op, left=left, right=right)
+
+    def _literal(self) -> Literal:
+        operand = self._operand()
+        if not isinstance(operand, Literal):
+            raise ParseError(
+                f"IN list items must be literals, got {operand!r}",
+                column=self._peek().position,
+            )
+        return operand
 
     def _operand(self) -> ColumnRef | Literal:
         token = self._peek()

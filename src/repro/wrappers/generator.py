@@ -62,7 +62,7 @@ class GeneratorWrapper(Wrapper):
             name,
             capabilities
             or CapabilitySet.of(
-                "get", "project", "select", "union", "flatten", "limit", "rename"
+                "get", "project", "select", "union", "flatten", "limit", "rename", "in"
             ),
         )
         self._scans = dict(scans)

@@ -4,11 +4,13 @@ This is the reproduction's ``WrapperPostgres``: the pushed logical expression
 is rendered as SQL text, shipped to the SQL engine through the simulated
 server, parsed and executed there.  Only the operators that have an SQL
 rendering are advertised (``get``, ``project``, ``select``, ``join``,
-``limit`` and ``rename`` -- the aliasing the namespace planner injects for
+``limit``, ``rename`` -- the aliasing the namespace planner injects for
 colliding multi-extent pushdowns, rendered as ``col AS alias`` inside a
-derived table), and only predicates built from comparisons of attributes and
-constants can cross the boundary -- richer predicates raise
-:class:`WrapperError` so the optimizer keeps them at the mediator.
+derived table -- and the ``in`` predicate terminal, rendered as ``IN (...)``
+for batched bind-join probes), and only predicates built from comparisons
+and membership tests of attributes and constants can cross the boundary --
+richer predicates raise :class:`WrapperError` so the optimizer keeps them at
+the mediator.
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ from repro.algebra.expressions import (
     Comparison,
     Const,
     Expr,
+    InList,
     Path,
     Var,
 )
@@ -46,7 +49,9 @@ class SqlWrapper(Wrapper):
         super().__init__(
             name,
             capabilities
-            or CapabilitySet.of("get", "project", "select", "join", "limit", "rename"),
+            or CapabilitySet.of(
+                "get", "project", "select", "join", "limit", "rename", "in"
+            ),
         )
         self.server = server
 
@@ -131,6 +136,9 @@ class SqlWrapper(Wrapper):
         if isinstance(predicate, Comparison):
             op = "<>" if predicate.op == "!=" else predicate.op
             return f"{self._operand_sql(predicate.left)} {op} {self._operand_sql(predicate.right)}"
+        if isinstance(predicate, InList):
+            items = ", ".join(self._operand_sql(item) for item in predicate.items)
+            return f"{self._operand_sql(predicate.operand)} IN ({items})"
         if isinstance(predicate, BooleanExpr):
             if predicate.op == "not":
                 return f"NOT ({self._predicate_sql(predicate.operands[0])})"

@@ -1,0 +1,316 @@
+"""Batched bind-join probes: the ``in``-list terminal end to end.
+
+Pins the E14 behaviours on both engines: batch-boundary flushes, key
+deduplication against the per-query probe cache, the degrade ladder
+(``in`` -> per-key ``=`` -> full ship), the adaptive replan flip, failure
+semantics (partial answers whose probe side stays a submit), and the
+telemetry surfaced through ``ExecReport`` and ``Mediator.statistics()``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Mediator, RelationalWrapper
+from repro.algebra.capabilities import CapabilitySet
+from repro.oql.parser import parse_query
+from repro.sources import RelationalEngine, SimulatedServer
+
+QUERY = (
+    "select struct(name: x.name, value: y.value) "
+    "from x in left0, y in right0 where x.id = y.id"
+)
+
+#: everything except the set-membership terminal: probes degrade to per-key.
+NO_IN_CAPS = CapabilitySet.of(
+    "get", "project", "select", "join", "union", "flatten", "limit", "rename"
+)
+#: a source that cannot evaluate selections at all: probes degrade to a ship.
+GET_ONLY_CAPS = CapabilitySet.of("get")
+
+
+def build_probe_mediator(
+    left_ids,
+    right_rows: int = 50,
+    batch_size: int = 4,
+    replan_blowup_factor: float | None = None,
+    right_capabilities: CapabilitySet | None = None,
+):
+    """An outer extent with the given join keys probing a ``right_rows`` inner."""
+    left_engine = RelationalEngine(name="ldb")
+    left_engine.create_table(
+        "left0", rows=[{"id": key, "name": f"p{i}"} for i, key in enumerate(left_ids)]
+    )
+    right_engine = RelationalEngine(name="rdb")
+    right_engine.create_table(
+        "right0", rows=[{"id": i, "value": i * 3} for i in range(right_rows)]
+    )
+    left_server = SimulatedServer(name="lhost", store=left_engine)
+    right_server = SimulatedServer(name="rhost", store=right_engine)
+    mediator = Mediator(
+        name="batch",
+        bind_batch_size=batch_size,
+        replan_blowup_factor=replan_blowup_factor,
+    )
+    mediator.register_wrapper("wl", RelationalWrapper("wl", left_server))
+    mediator.register_wrapper(
+        "wr", RelationalWrapper("wr", right_server, capabilities=right_capabilities)
+    )
+    mediator.create_repository("rl", host=left_server.name)
+    mediator.create_repository("rr", host=right_server.name)
+    mediator.define_interface(
+        "Outer", [("id", "Long"), ("name", "String")], extent_name="left"
+    )
+    mediator.define_interface(
+        "Inner", [("id", "Long"), ("value", "Long")], extent_name="right"
+    )
+    mediator.add_extent("left0", "Outer", "wl", "rl")
+    mediator.add_extent("right0", "Inner", "wr", "rr")
+    return mediator, left_server, right_server
+
+
+def run_barrier(mediator, query=QUERY):
+    result = mediator.query(query)
+    return result.rows(), result
+
+
+def run_streaming(mediator, query=QUERY):
+    result = mediator.query_stream(query)
+    rows = list(result.iter_rows())
+    return rows, result
+
+
+ENGINES = [pytest.param(run_barrier, id="barrier"), pytest.param(run_streaming, id="streaming")]
+
+
+def probe_report(result):
+    [report] = [r for r in result.reports if r.extent_name == "right0"]
+    return report
+
+
+def values_of(rows):
+    return sorted(dict(row)["value"] for row in rows)
+
+
+# -- batching -------------------------------------------------------------------------------------
+@pytest.mark.parametrize("run", ENGINES)
+def test_probe_calls_flush_at_batch_boundaries(run):
+    """10 distinct keys at batch 4 -> ceil(10/4) = 3 set-valued submits."""
+    mediator, _left, right = build_probe_mediator(range(10), batch_size=4)
+    try:
+        rows, result = run(mediator)
+        assert values_of(rows) == [i * 3 for i in range(10)]
+        assert right.statistics.requests == 3
+        report = probe_report(result)
+        assert report.attempts == 3
+        assert report.available and not report.replanned
+        assert report.degraded_to is None
+    finally:
+        mediator.close()
+
+
+@pytest.mark.parametrize("run", ENGINES)
+def test_repeated_keys_probe_once(run):
+    """Dedup within a batch, per-query cache across batches."""
+    mediator, _left, right = build_probe_mediator(
+        [0, 1, 2, 0, 1, 2], batch_size=3
+    )
+    try:
+        rows, _result = run(mediator)
+        # Every binding still fans out: 6 left rows, each matching one right row.
+        assert values_of(rows) == [0, 0, 3, 3, 6, 6]
+        # Batch 1 probes {0,1,2}; batch 2 finds all three in the cache.
+        assert right.statistics.requests == 1
+        statistics = mediator.statistics()
+        assert statistics["probe_cache_hits"] == 3
+        assert statistics["probe_cache_misses"] == 3
+    finally:
+        mediator.close()
+
+
+@pytest.mark.parametrize("run", ENGINES)
+def test_none_keys_are_never_probed(run):
+    """``=`` is None-rejecting, so None keys skip the source entirely."""
+    mediator, _left, right = build_probe_mediator(
+        [None, 1, None, 2], batch_size=10
+    )
+    try:
+        rows, _result = run(mediator)
+        assert values_of(rows) == [3, 6]
+        assert right.statistics.requests == 1  # one batch: keys {1, 2}
+    finally:
+        mediator.close()
+
+
+# -- the degrade ladder ---------------------------------------------------------------------------
+@pytest.mark.parametrize("run", ENGINES)
+def test_wrapper_without_in_degrades_to_per_key_probes(run):
+    """No ``in`` terminal: one ``=`` submit per distinct key, flagged degraded."""
+    mediator, _left, right = build_probe_mediator(
+        range(6), batch_size=4, right_capabilities=NO_IN_CAPS
+    )
+    try:
+        rows, result = run(mediator)
+        assert values_of(rows) == [i * 3 for i in range(6)]
+        assert right.statistics.requests == 6
+        report = probe_report(result)
+        assert report.attempts == 6
+        assert report.degraded_to is not None
+    finally:
+        mediator.close()
+
+
+@pytest.mark.parametrize("run", ENGINES)
+def test_wrapper_without_select_ships_the_extent_once(run):
+    """A get-only source cannot be probed at all: one full ship, joined here."""
+    mediator, _left, right = build_probe_mediator(
+        range(6), batch_size=4, right_capabilities=GET_ONLY_CAPS
+    )
+    try:
+        rows, result = run(mediator)
+        assert values_of(rows) == [i * 3 for i in range(6)]
+        assert right.statistics.requests == 1
+        report = probe_report(result)
+        assert report.attempts == 1
+        assert report.degraded_to is not None
+    finally:
+        mediator.close()
+
+
+# -- adaptive re-planning -------------------------------------------------------------------------
+@pytest.mark.parametrize("run", ENGINES)
+def test_blowup_past_the_estimate_flips_to_ship(run):
+    """With no history the estimate is ~1 row: the first batch blows through a
+    factor of 1.0 and the runner re-plans into one full ship mid-query."""
+    mediator, _left, right = build_probe_mediator(
+        range(20), batch_size=4, replan_blowup_factor=1.0
+    )
+    try:
+        rows, result = run(mediator)
+        assert values_of(rows) == [i * 3 for i in range(20)]
+        # Call 1: the first in-list batch (4 rows > 1.0 x 1 row estimate).
+        # Call 2: the re-planned ship.  Remaining batches join locally.
+        assert right.statistics.requests == 2
+        report = probe_report(result)
+        assert report.replanned
+        assert report.attempts == 2
+    finally:
+        mediator.close()
+
+
+@pytest.mark.parametrize("run", ENGINES)
+def test_no_replan_when_factor_disabled(run):
+    """``replan_blowup_factor=None`` never flips, whatever the blow-up."""
+    mediator, _left, right = build_probe_mediator(
+        range(20), batch_size=4, replan_blowup_factor=None
+    )
+    try:
+        _rows, result = run(mediator)
+        assert right.statistics.requests == 5  # ceil(20/4), no ship
+        assert not probe_report(result).replanned
+    finally:
+        mediator.close()
+
+
+# -- failure semantics ----------------------------------------------------------------------------
+def test_probed_source_down_degrades_to_a_partial_answer():
+    """Barrier: the probe side stays the submit it implements -- the partial
+    answer is a query that, resubmitted after recovery, yields the full one."""
+    mediator, _left, right = build_probe_mediator(range(6), batch_size=4)
+    try:
+        reference = values_of(mediator.query(QUERY).rows())
+        right.take_down()
+        partial = mediator.query(QUERY)
+        assert partial.is_partial and partial.rows() == []
+        assert partial.unavailable_sources == ("right0",)
+        parse_query(partial.partial_query)  # the answer *is* a query
+        right.bring_up()
+        resubmitted = mediator.resubmit(partial)
+        assert values_of(resubmitted.rows()) == reference
+    finally:
+        mediator.close()
+
+
+def test_streaming_probe_failure_reports_without_raising():
+    """Streaming: the probed source contributes no rows; the failure surfaces
+    on the aggregated report, not as an exception into the consumer."""
+    mediator, _left, right = build_probe_mediator(range(6), batch_size=4)
+    try:
+        right.take_down()
+        result = mediator.query_stream(QUERY)
+        assert list(result.iter_rows()) == []
+        assert result.is_partial
+        assert "right0" in result.unavailable_sources
+        report = probe_report(result)
+        assert not report.available and report.error is not None
+    finally:
+        mediator.close()
+
+
+def test_probe_calls_honor_the_global_deadline():
+    """The query's one designated time period bounds probe calls too: a slow
+    probed source times the query out into a partial answer (at most one
+    wrapper round trip past the deadline), on both engines."""
+    from repro.sources import NetworkProfile
+
+    mediator, _left, right = build_probe_mediator(range(12), batch_size=4)
+    try:
+        right.network = NetworkProfile(base_latency=0.3)
+        right.real_sleep = True
+        result = mediator.query(QUERY, timeout=0.05)
+        assert result.is_partial
+        assert "right0" in result.unavailable_sources
+        assert "timed out" in probe_report(result).error
+        stream = mediator.query_stream(QUERY, timeout=0.05)
+        rows = list(stream.iter_rows())
+        assert stream.is_partial
+        assert len(rows) <= 4  # at most the one batch in flight at expiry
+    finally:
+        mediator.close()
+
+
+# -- telemetry ------------------------------------------------------------------------------------
+def test_probe_calls_are_recorded_in_history():
+    """Satellite: probes are first-class history observations under the probed
+    extent, so the cost model's estimate of the probe expression improves."""
+    mediator, _left, _right = build_probe_mediator(range(8), batch_size=4)
+    try:
+        before = mediator.history.recorded_calls()
+        mediator.query(QUERY).rows()
+        assert mediator.history.recorded_calls() > before
+        # The in-list close signature collapses batch sizes: both batches
+        # landed on one signature whose estimate now reflects real fan-in.
+        availability = mediator.history.availability("right0")
+        assert availability == pytest.approx(1.0)
+    finally:
+        mediator.close()
+
+
+def test_in_predicate_pushes_to_the_source():
+    """A user-written ``in`` list rides the same terminal: the source filters."""
+    mediator, _left, right = build_probe_mediator([0], right_rows=50)
+    try:
+        rows = mediator.query(
+            "select y.value from y in right0 where y.id in (1, 3, 5)"
+        ).rows()
+        assert sorted(rows) == [3, 9, 15]
+        assert right.statistics.rows_returned == 3  # filtered source-side
+    finally:
+        mediator.close()
+
+
+def test_in_predicate_round_trips_through_a_partial_answer():
+    """Set literals survive the unparse/reparse cycle partial answers rely on."""
+    mediator, _left, right = build_probe_mediator([0], right_rows=50)
+    try:
+        query = "select y.value from y in right0 where y.id in (1, 3, 5)"
+        right.take_down()
+        partial = mediator.query(query)
+        assert partial.is_partial
+        assert " in (" in partial.partial_query
+        parse_query(partial.partial_query)
+        right.bring_up()
+        resubmitted = mediator.resubmit(partial)
+        assert sorted(resubmitted.rows()) == [3, 9, 15]
+    finally:
+        mediator.close()

@@ -1,10 +1,12 @@
 """Differential testing: the barrier and streaming engines must agree.
 
 With two execution engines live, equivalence is enforced by tests rather
-than convention: ~100 seeded random OQL queries (joins, unions, distinct,
-limit, injected faults) are run through both ``Mediator.query()`` and
-``Mediator.query_stream()`` and compared on row multisets, error reporting,
-and partial-answer shape.
+than convention: ~100 seeded random OQL queries (joins, multi-variable bind
+joins with batched probes, unions, distinct, limit, injected faults) are run
+through both ``Mediator.query()`` and ``Mediator.query_stream()`` and
+compared on row multisets, error reporting, and partial-answer shape.  The
+mediator's ``bind_batch_size`` is itself swept per seed, so probe joins are
+pinned at every batch-boundary shape.
 
 The agreed semantics being pinned:
 
@@ -53,12 +55,16 @@ SEEDS = range(int(os.environ.get("DISCO_EQUIV_SEEDS", "104")))
 RUN_THROUGH_SERVER = os.environ.get("DISCO_EQUIV_SERVER", "") not in ("", "0")
 
 
-def build_mediator():
+def build_mediator(bind_batch_size: int = 256):
     """Two Person sources (members of the implicit ``person`` extent) plus a
     ``dept0`` collection co-hosted with person0 for join queries, plus a pair
     of *colliding* extents (``cat0``/``flag0`` both call their source column
     ``nm`` but map it to different mediator attributes) so the generator can
-    produce queries that exercise the namespace planner's aliasing."""
+    produce queries that exercise the namespace planner's aliasing.
+
+    ``bind_batch_size`` is swept by the seeds (1/2/3/256) so the nightly run
+    exercises batched probe joins at every batch-boundary shape: per-binding
+    degeneration, mid-batch flushes, and one-call whole-side batches."""
     engine0 = RelationalEngine(name="db0")
     engine0.create_table(
         "person0",
@@ -93,7 +99,7 @@ def build_mediator():
     )
     server0 = SimulatedServer(name="host0", store=engine0)
     server1 = SimulatedServer(name="host1", store=engine1)
-    mediator = Mediator(name="diff")
+    mediator = Mediator(name="diff", bind_batch_size=bind_batch_size)
     mediator.register_wrapper("w0", RelationalWrapper("w0", server0))
     mediator.register_wrapper("w1", RelationalWrapper("w1", server1))
     mediator.create_repository("r0")
@@ -143,6 +149,9 @@ def random_query(rng: random.Random) -> tuple[str, int | None]:
         if rng.random() < 0.4:
             text += f" and x.id > {rng.randint(0, 5)}"
     elif roll < 0.35:  # bind-join over co-hosted and cross-source extents
+        # With the equi condition pushed into the bind join these plan as
+        # batched probe joins, so the sweep covers in-list probing (and its
+        # per-binding degeneration when the mediator's batch size is 1).
         right = rng.choice(["dept0", "person1"])
         if right == "dept0":
             item = rng.choice(["x.name", "struct(n: x.name, d: y.dname)", "y.dname"])
@@ -150,6 +159,20 @@ def random_query(rng: random.Random) -> tuple[str, int | None]:
             item = rng.choice(["x.name", "struct(a: x.name, b: y.name)"])
         text = f"select {item} from x in person0 and y in {right} where x.id = y.id"
         if rng.random() < 0.5:
+            text += f" and x.salary > {rng.randint(0, 6)}"
+    elif roll < 0.45:  # three bindings: probe chains threading environments
+        item = rng.choice(
+            [
+                "struct(n: x.name, d: y.dname, b: z.name)",
+                "x.name",
+                "struct(d: y.dname, b: z.name)",
+            ]
+        )
+        text = (
+            f"select {item} from x in person0 and y in dept0 and z in person1 "
+            "where x.id = y.id and y.id = z.id"
+        )
+        if rng.random() < 0.4:
             text += f" and x.salary > {rng.randint(0, 6)}"
     else:
         collection = rng.choice(["person0", "person1", "person", "person"])
@@ -202,7 +225,7 @@ def report_shape(reports) -> dict:
 @pytest.mark.parametrize("seed", SEEDS)
 def test_engines_agree(seed):
     rng = random.Random(seed)
-    mediator, servers = build_mediator()
+    mediator, servers = build_mediator(bind_batch_size=rng.choice([1, 2, 3, 256]))
     try:
         base_text, limit = random_query(rng)
         text = base_text if limit is None else f"{base_text} limit {limit}"
