@@ -21,6 +21,7 @@ from typing import Iterable
 from repro.algebra.logical import (
     BagLiteral,
     Get,
+    GroupBy,
     Join,
     Limit,
     LogicalOp,
@@ -43,6 +44,10 @@ from repro.algebra.logical import (
 #: membership tests (:class:`~repro.algebra.expressions.InList`), which is
 #: what lets the mediator batch bind-join probe keys into one ``IN``-list
 #: submit instead of one submit per key.
+#: ``groupby`` is the summarization terminal: a wrapper declaring it accepts
+#: grouped aggregation inside the submitted expression, so only group rows
+#: (not raw extent rows) cross the wire; wrappers without it receive the
+#: stripped expression and the mediator re-aggregates the shipped rows.
 PUSHABLE_OPERATORS = (
     "get",
     "project",
@@ -53,6 +58,7 @@ PUSHABLE_OPERATORS = (
     "limit",
     "rename",
     "in",
+    "groupby",
 )
 
 
@@ -122,6 +128,8 @@ class Production:
             parts = ["COUNT", "COMMA", self.child_symbols[0]]
         elif self.operator == "rename":
             parts = ["ALIASES", "COMMA", self.child_symbols[0]]
+        elif self.operator == "groupby":
+            parts = ["KEYS", "COMMA", "AGGREGATES", "COMMA", self.child_symbols[0]]
         elif self.operator == "in":
             parts = ["PATH", "COMMA", "VALUES"]
         elif self.operator == "join":
@@ -198,6 +206,10 @@ class CapabilityGrammar:
             return isinstance(expr, Rename) and self.accepts(
                 expr.child, production.child_symbols[0]
             )
+        if operator == "groupby":
+            return isinstance(expr, GroupBy) and self.accepts(
+                expr.child, production.child_symbols[0]
+            )
         if operator == "bag":
             return isinstance(expr, BagLiteral)
         return False
@@ -260,6 +272,8 @@ def grammar_for(operators: Iterable[str], compose: bool = True) -> CapabilityGra
         add("h", "limit", (child,))
     if "rename" in operators:
         add("i", "rename", (child,))
+    if "groupby" in operators:
+        add("k", "groupby", (child,))
 
     in_productions: list[Production] = []
     if "in" in operators:

@@ -401,6 +401,16 @@ class FunctionCall(Expr):
             return Bag(collection).flatten()
         if name == "abs":
             return abs(values[0])
+        if name == "ratio":
+            # Nil-safe division used by the partial-aggregation combine to
+            # recompute ``avg`` from shipped sum/count partials: an empty
+            # group's ``avg`` is nil, never a division error.
+            if len(values) != 2:
+                raise QueryExecutionError("ratio takes exactly two arguments")
+            numerator, denominator = values
+            if numerator is None or denominator is None or denominator == 0:
+                return None
+            return numerator / denominator
         if name == "union":
             result = Bag()
             for value in values:

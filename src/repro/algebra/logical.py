@@ -365,6 +365,55 @@ class Limit(LogicalOp):
 
 
 @dataclass(eq=False)
+class GroupBy(LogicalOp):
+    """``groupby(keys; aggregates, child)``: grouped aggregation.
+
+    ``variable`` names the input element inside the key and aggregate
+    expressions.  ``keys`` is a tuple of ``(name, expression)`` pairs -- the
+    grouping attributes of the output rows; ``aggregates`` is a tuple of
+    ``(name, function, argument)`` triples with ``function`` one of
+    ``count``/``sum``/``min``/``max``/``avg``.  Each output row is a struct
+    carrying exactly the key names plus the aggregate names, one row per
+    distinct key combination (in first-seen order).  With *no* keys the
+    operator always emits exactly one row, even over an empty input
+    (``count`` 0, the other aggregates ``nil``) -- the scalar-aggregate
+    convention SQL shares.
+
+    Aggregate NULL semantics (shared with the mini-SQL engine so pushed and
+    compensated plans agree): ``count`` counts rows whose argument is not
+    ``nil`` (a bare variable argument counts every row -- ``COUNT(*)``);
+    ``sum``/``min``/``max``/``avg`` skip ``nil`` values and yield ``nil``
+    when no value survives.
+    """
+
+    variable: str
+    keys: tuple[tuple[str, Expr], ...]
+    aggregates: tuple[tuple[str, str, Expr], ...]
+    child: LogicalOp
+    op_name = "groupby"
+
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "GroupBy":
+        (child,) = children
+        return GroupBy(self.variable, self.keys, self.aggregates, child)
+
+    def output_attributes(self) -> tuple[str, ...]:
+        """The attribute names this operator emits (keys first)."""
+        return tuple(name for name, _ in self.keys) + tuple(
+            name for name, _func, _arg in self.aggregates
+        )
+
+    def to_text(self) -> str:
+        keys = ",".join(f"{name}: {expr.to_oql()}" for name, expr in self.keys)
+        aggs = ",".join(
+            f"{name}: {func}({arg.to_oql()})" for name, func, arg in self.aggregates
+        )
+        return f"groupby({self.variable}: [{keys}] [{aggs}], {self.child.to_text()})"
+
+
+@dataclass(eq=False)
 class BagLiteral(LogicalOp):
     """Literal data inside a plan (the second argument of a partial answer)."""
 

@@ -344,6 +344,37 @@ class MkDistinct(PhysicalOp):
 
 
 @dataclass(eq=False)
+class MkGroupBy(PhysicalOp):
+    """``mkgroupby(keys; aggregates, child)``: mediator-side grouped aggregation.
+
+    Implements logical ``groupby`` when it stays at the mediator -- the
+    compensation side of the summarization pushdown (and the combine phase of
+    two-phase aggregation over a union).  A pipeline barrier: groups are
+    emitted only after the child is exhausted.
+    """
+
+    variable: str
+    keys: tuple[tuple[str, Expr], ...]
+    aggregates: tuple[tuple[str, str, Expr], ...]
+    child: PhysicalOp
+    algo_name = "mkgroupby"
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[PhysicalOp]) -> "MkGroupBy":
+        (child,) = children
+        return MkGroupBy(self.variable, self.keys, self.aggregates, child)
+
+    def to_text(self) -> str:
+        keys = ",".join(f"{name}: {expr.to_oql()}" for name, expr in self.keys)
+        aggs = ",".join(
+            f"{name}: {func}({arg.to_oql()})" for name, func, arg in self.aggregates
+        )
+        return f"mkgroupby({self.variable}: [{keys}] [{aggs}], {self.child.to_text()})"
+
+
+@dataclass(eq=False)
 class MkLimit(PhysicalOp):
     """``mklimit(n, child)``: stop after ``n`` elements (implements ``limit``).
 

@@ -17,7 +17,12 @@ from typing import Callable, Protocol
 
 from repro.algebra.capabilities import CapabilityGrammar
 from repro.algebra.expressions import (
+    Expr,
+    FunctionCall,
+    Path,
+    StructExpr,
     Subquery,
+    Var,
     conjunction,
     contains_subquery,
     split_conjuncts,
@@ -26,6 +31,7 @@ from repro.algebra.expressions import (
 from repro.algebra.logical import (
     Apply,
     BindJoin,
+    GroupBy,
     Join,
     Limit,
     LogicalOp,
@@ -341,6 +347,143 @@ class PushLimitIntoSubmit:
         return [Submit(submit.source, pushed, extent_name=submit.extent_name)]
 
 
+def _groupby_expressions_pushable(node: GroupBy) -> bool:
+    """Key and aggregate expressions may only mention the group variable.
+
+    Same restriction as pushed predicates: no outer variables, no nested
+    subqueries -- those cannot cross the wrapper interface.
+    """
+    expressions: list[Expr] = [expr for _, expr in node.keys]
+    expressions += [arg for _, _, arg in node.aggregates]
+    for expression in expressions:
+        if expression.free_variables() - {node.variable}:
+            return False
+        if contains_subquery(expression):
+            return False
+    return True
+
+
+class PushGroupByIntoSubmit:
+    """``groupby(k; a, submit(r, e))`` -> ``submit(r, groupby(k; a, e))``.
+
+    The summarization pushdown: grouping crosses the wrapper boundary only
+    when the wrapper's grammar accepts the grouped expression (the
+    ``groupby`` capability terminal), in which case one row per group crosses
+    the wire instead of the whole extent.
+    """
+
+    name = "push-groupby-into-submit"
+
+    def apply(self, node: LogicalOp, capabilities: CapabilityResolver) -> list[LogicalOp]:
+        if not isinstance(node, GroupBy) or not isinstance(node.child, Submit):
+            return []
+        if not _groupby_expressions_pushable(node):
+            return []
+        submit = node.child
+        pushed = GroupBy(node.variable, node.keys, node.aggregates, submit.expression)
+        if not capabilities(submit).accepts(pushed):
+            return []
+        return [Submit(submit.source, pushed, extent_name=submit.extent_name)]
+
+
+def _already_grouped(node: LogicalOp) -> bool:
+    """True when ``node`` is a grouping branch (possibly pushed into a submit).
+
+    The look-through mirrors ``_effectively_limited``: once
+    PushGroupByThroughUnion has decomposed an aggregation into per-branch
+    partials, later passes must recognize a partial that
+    PushGroupByIntoSubmit subsequently moved across the wrapper boundary --
+    otherwise the combine-over-union-of-submits shape would be decomposed
+    again, forever.
+    """
+    if isinstance(node, GroupBy):
+        return True
+    if isinstance(node, Submit):
+        return _already_grouped(node.expression)
+    return False
+
+
+class PushGroupByThroughUnion:
+    """Two-phase aggregation: per-branch partials plus a mediator combine.
+
+    ``groupby(k; a, union(e1, ..., en))`` becomes a *combine* groupby over
+    the union of per-branch *partial* groupbys.  Each branch aggregates its
+    own rows (and may then push its partial into its submit); the combine
+    merges partials per key: partial counts and sums are summed, mins and
+    maxes re-minimized/re-maximized, and ``avg`` is decomposed into
+    ``name__sum``/``name__count`` partial columns recombined with the
+    nil-safe ``ratio`` builtin in an ``apply`` above -- every node plain
+    algebra, so a partial answer containing the combine still unparses to
+    OQL and resubmits.
+    """
+
+    name = "push-groupby-through-union"
+
+    def apply(self, node: LogicalOp, capabilities: CapabilityResolver) -> list[LogicalOp]:
+        if not isinstance(node, GroupBy) or not isinstance(node.child, Union):
+            return []
+        if any(_already_grouped(child) for child in node.child.inputs):
+            return []
+        variable = node.variable
+        element = Var(variable)
+
+        partial_aggregates: list[tuple[str, str, Expr]] = []
+        combine_aggregates: list[tuple[str, str, Expr]] = []
+        has_avg = False
+        for name, func, arg in node.aggregates:
+            if func == "avg":
+                has_avg = True
+                partial_aggregates.append((f"{name}__sum", "sum", arg))
+                partial_aggregates.append((f"{name}__count", "count", arg))
+                combine_aggregates.append(
+                    (f"{name}__sum", "sum", Path(element, f"{name}__sum"))
+                )
+                combine_aggregates.append(
+                    (f"{name}__count", "sum", Path(element, f"{name}__count"))
+                )
+            elif func in ("count", "sum"):
+                partial_aggregates.append((name, func, arg))
+                combine_aggregates.append((name, "sum", Path(element, name)))
+            elif func in ("min", "max"):
+                partial_aggregates.append((name, func, arg))
+                combine_aggregates.append((name, func, Path(element, name)))
+            else:
+                return []
+
+        branches = tuple(
+            GroupBy(variable, node.keys, tuple(partial_aggregates), child)
+            for child in node.child.inputs
+        )
+        combine_keys = tuple(
+            (name, Path(element, name)) for name, _ in node.keys
+        )
+        combined: LogicalOp = GroupBy(
+            variable, combine_keys, tuple(combine_aggregates), Union(branches)
+        )
+        if has_avg:
+            fields: list[tuple[str, Expr]] = [
+                (name, Path(element, name)) for name, _ in node.keys
+            ]
+            for name, func, _arg in node.aggregates:
+                if func == "avg":
+                    fields.append(
+                        (
+                            name,
+                            FunctionCall(
+                                "ratio",
+                                (
+                                    Path(element, f"{name}__sum"),
+                                    Path(element, f"{name}__count"),
+                                ),
+                            ),
+                        )
+                    )
+                else:
+                    fields.append((name, Path(element, name)))
+            combined = Apply(variable, StructExpr(tuple(fields)), combined)
+        return [combined]
+
+
 class CollapseNestedLimits:
     """``limit(a, limit(b, e))`` -> ``limit(min(a, b), e)``."""
 
@@ -366,4 +509,6 @@ DEFAULT_RULES: tuple[TransformationRule, ...] = (
     PushLimitThroughProject(),
     PushLimitThroughApply(),
     PushLimitThroughUnion(),
+    PushGroupByThroughUnion(),
+    PushGroupByIntoSubmit(),
 )

@@ -20,6 +20,7 @@ from repro.algebra.logical import (
     Distinct,
     Flatten,
     Get,
+    GroupBy,
     Join,
     Limit,
     LogicalOp,
@@ -74,7 +75,12 @@ class _Unparser:
         if isinstance(node, Flatten):
             return f"flatten({self.unparse(node.child)})"
         if isinstance(node, Limit):
-            if isinstance(node.child, (Get, Submit, Project, Rename, Select, Apply, Join, Distinct)):
+            if isinstance(
+                node.child,
+                (Get, Submit, Project, Rename, Select, Apply, Join, Distinct, GroupBy),
+            ):
+                # OQL's limit clause applies last, after grouping, so a limit
+                # over a groupby attaches to the grouped block directly.
                 return self.unparse(node.child) + f" limit {node.count}"
             # A limited union/flatten/literal becomes a select block so the
             # "limit" clause has a select to attach to.
@@ -95,6 +101,27 @@ class _Unparser:
             # distinct over a union/flatten/literal becomes its own block.
             variable = self.fresh_variable()
             return f"select distinct {variable} from {variable} in ({inner})"
+        if isinstance(node, GroupBy):
+            # A grouped block of its own: the select item is the output
+            # struct (keys plus aggregate calls), and the grouping keys
+            # repeat in the ``group by`` clause.  A keyless groupby -- a
+            # scalar aggregate -- omits the clause: the aggregate calls in
+            # the item are what makes the re-parsed query aggregate.
+            variable = node.variable
+            fields = [f"{name}: {expr.to_oql()}" for name, expr in node.keys]
+            fields.extend(
+                f"{name}: {func}({arg.to_oql()})"
+                for name, func, arg in node.aggregates
+            )
+            text = (
+                f"select struct({', '.join(fields)}) "
+                f"from {variable} in {self._inline_source(node.child)}"
+            )
+            if node.keys:
+                text += " group by " + ", ".join(
+                    f"{name}: {expr.to_oql()}" for name, expr in node.keys
+                )
+            return text
         if isinstance(node, (Get, Submit, Project, Rename, Select, Apply, Join, BindJoin)):
             return self._render_select(node)
         raise QueryExecutionError(f"cannot render {node.to_text()} as OQL")
@@ -212,7 +239,7 @@ class _Unparser:
                 f"{node.right_variable}: {node.right_variable})"
             )
             return item, sources, predicates, None
-        if isinstance(node, (Union, Flatten, BagLiteral, Distinct)):
+        if isinstance(node, (Union, Flatten, BagLiteral, Distinct, GroupBy)):
             # A nested collection expression becomes an inline from-source.
             variable = self.fresh_variable()
             return variable, [(variable, self._inline_source(node))], [], None

@@ -34,6 +34,21 @@ def pushed_limit(expression: log.LogicalOp) -> int | None:
     return None
 
 
+def pushed_groupby(expression: log.LogicalOp) -> "log.GroupBy | None":
+    """The grouping in force at the top of a pushed expression, if any.
+
+    Like :func:`pushed_limit`, looks through the one-to-one operators (and a
+    limit -- a capped group list is still grouped) to find a ``groupby`` that
+    bounds what the source ships: group rows, not extent rows.
+    """
+    node = expression
+    while isinstance(node, (log.Project, log.Apply, log.Rename, log.Limit)):
+        node = node.child
+    if isinstance(node, log.GroupBy):
+        return node
+    return None
+
+
 @dataclass(frozen=True)
 class Cost:
     """Estimated execution time (seconds) and output cardinality (rows)."""
@@ -74,6 +89,11 @@ class CostModel:
     #: costing.  Mirrors ``ExecutorConfig.bind_batch_size``; the run-time value
     #: may differ, which only shifts the estimated number of probe calls.
     probe_batch_size: float = 256.0
+    #: assumed ratio of distinct group rows to input rows for ``groupby``
+    #: estimation.  This is what makes the summarization pushdown pay off in
+    #: the cost model: a grouped exec ships an estimated 5% of the extent's
+    #: rows (a keyless -- scalar -- aggregate ships exactly one).
+    groupby_output_ratio: float = 0.05
 
     def estimate(self, plan: phys.PhysicalOp) -> Cost:
         """Estimate the cost of executing ``plan``."""
@@ -104,6 +124,13 @@ class CostModel:
             # The cap on output rows is what makes pushed-down limits pay off:
             # every operator above a limit is costed on at most `count` rows.
             time = child.time + self.mediator_operator_overhead + rows * self.mediator_row_cost
+            return Cost(time, rows)
+        if isinstance(plan, phys.MkGroupBy):
+            child = self.estimate(plan.child)
+            rows = self._grouped_rows(child.rows, bool(plan.keys))
+            # Two expression evaluations per input row (keys and aggregates),
+            # like MkApply; the output is the (much smaller) group list.
+            time = child.time + self.mediator_operator_overhead + child.rows * 2 * self.mediator_row_cost
             return Cost(time, rows)
         if isinstance(plan, phys.MkFlatten):
             child = self.estimate(plan.child)
@@ -188,6 +215,13 @@ class CostModel:
         """
         estimate = self.history.estimate(plan.extent_name, plan.expression)
         rows = max(estimate.rows, 0.0)
+        grouped = pushed_groupby(plan.expression)
+        if grouped is not None:
+            # A groupby pushed across the wrapper boundary means only group
+            # rows cross the wire, however many rows the source scans --
+            # the rows-transferred accounting that makes the optimizer prefer
+            # server-side grouping.
+            rows = self._grouped_rows(rows, bool(grouped.keys))
         cap = pushed_limit(plan.expression)
         if cap is not None:
             # A limit pushed across the wrapper boundary bounds what the
@@ -201,3 +235,11 @@ class CostModel:
             # expensive than the happy-path history alone suggests.
             time *= 1.0 + self.unavailability_penalty * (1.0 - availability)
         return Cost(time=time, rows=rows)
+
+    def _grouped_rows(self, input_rows: float, has_keys: bool) -> float:
+        """Estimated group count for ``input_rows`` input rows."""
+        if not has_keys:
+            return 1.0  # a scalar aggregate always yields exactly one row
+        if input_rows <= 0.0:
+            return 0.0
+        return max(1.0, input_rows * self.groupby_output_ratio)

@@ -83,6 +83,10 @@ def implement(node: log.LogicalOp) -> phys.PhysicalOp:
         return phys.MkDistinct(implement(node.child))
     if isinstance(node, log.Limit):
         return phys.MkLimit(node.count, implement(node.child))
+    if isinstance(node, log.GroupBy):
+        return phys.MkGroupBy(
+            node.variable, node.keys, node.aggregates, implement(node.child)
+        )
     if isinstance(node, log.Get):
         raise OptimizationError(
             f"get({node.collection}) reached physical planning outside a submit; "
@@ -160,6 +164,8 @@ def _rebuild(node: log.LogicalOp, children: list[phys.PhysicalOp]) -> phys.Physi
         return phys.MkDistinct(children[0])
     if isinstance(node, log.Limit):
         return phys.MkLimit(node.count, children[0])
+    if isinstance(node, log.GroupBy):
+        return phys.MkGroupBy(node.variable, node.keys, node.aggregates, children[0])
     if isinstance(node, log.Submit):
         # A submit has a logical child but the physical Exec keeps it as a
         # logical argument (the wrapper interface accepts logical expressions).

@@ -83,13 +83,21 @@ class Binding:
 
 @dataclass(eq=False)
 class SelectQuery(QueryNode):
-    """``select [distinct] <item> from <bindings> [where <predicate>] [limit <n>]``."""
+    """``select [distinct] <item> from <bindings> [where <p>] [group by <keys>] [limit <n>]``.
+
+    ``group_by`` is ``None`` for a plain select; a (possibly empty) tuple of
+    ``(name, expression)`` grouping keys turns the block into a summarization
+    query.  Aggregate calls (``count``/``sum``/``min``/``max``/``avg``) in the
+    select item over the block's variable likewise make the query aggregate,
+    even without a ``group by`` clause (a scalar aggregate).
+    """
 
     item: Expr
     bindings: tuple[Binding, ...]
     where: Expr | None = None
     distinct: bool = False
     limit: int | None = None
+    group_by: tuple[tuple[str, Expr], ...] | None = None
 
     def to_oql(self) -> str:
         parts = ["select"]
@@ -99,6 +107,11 @@ class SelectQuery(QueryNode):
         parts.append("from " + ", ".join(binding.to_oql() for binding in self.bindings))
         if self.where is not None:
             parts.append("where " + self.where.to_oql())
+        if self.group_by is not None:
+            parts.append(
+                "group by "
+                + ", ".join(f"{name}: {expr.to_oql()}" for name, expr in self.group_by)
+            )
         if self.limit is not None:
             parts.append(f"limit {self.limit}")
         return " ".join(parts)
@@ -113,6 +126,8 @@ class SelectQuery(QueryNode):
         used |= self.item.free_variables()
         if self.where is not None:
             used |= self.where.free_variables()
+        for _, expr in self.group_by or ():
+            used |= expr.free_variables()
         for binding in self.bindings:
             used |= binding.collection.free_variables()
         return used - bound

@@ -103,12 +103,21 @@ class Binder:
                 self._bind_expr(query.where, _expanding) if query.where is not None else None
             )
             item = self._bind_expr(query.item, _expanding)
+            group_by = (
+                tuple(
+                    (name, self._bind_expr(expr, _expanding))
+                    for name, expr in query.group_by
+                )
+                if query.group_by is not None
+                else None
+            )
             return SelectQuery(
                 item=item,
                 bindings=bindings,
                 where=where,
                 distinct=query.distinct,
                 limit=query.limit,
+                group_by=group_by,
             )
         raise NameResolutionError(f"cannot bind query node {query!r}")
 

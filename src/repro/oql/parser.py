@@ -196,10 +196,52 @@ class OqlParser:
         where = None
         if self._match_keyword("where"):
             where = self._expression()
+        group_by = self._group_by_clause()
         limit = self._limit_clause()
         return SelectQuery(
-            item=item, bindings=tuple(bindings), where=where, distinct=distinct, limit=limit
+            item=item,
+            bindings=tuple(bindings),
+            where=where,
+            distinct=distinct,
+            limit=limit,
+            group_by=group_by,
         )
+
+    def _group_by_clause(self) -> tuple[tuple[str, Expr], ...] | None:
+        # "group" and "by" are soft keywords exactly like "limit": only the
+        # two identifiers in clause position (after from/where, before limit)
+        # start the clause, so attributes named "group" keep working.
+        token = self._peek()
+        following = self._peek(1)
+        if not (
+            token.kind == "IDENT"
+            and token.text.lower() == "group"
+            and following.kind == "IDENT"
+            and following.text.lower() == "by"
+        ):
+            return None
+        self._advance()
+        self._advance()
+        keys = [self._group_key(0)]
+        while self._match_op(","):
+            keys.append(self._group_key(len(keys)))
+        return tuple(keys)
+
+    def _group_key(self, index: int) -> tuple[str, Expr]:
+        # Either ``name: expression`` or a bare expression; bare keys take
+        # their output name from the path attribute (or variable name) when
+        # there is one, else a positional ``key<N>``.
+        token = self._peek()
+        if token.kind == "IDENT" and self._peek(1).is_op(":"):
+            name = self._advance().text
+            self._advance()
+            return name, self._expression()
+        expression = self._expression()
+        if isinstance(expression, Path):
+            return expression.attribute, expression
+        if isinstance(expression, Var):
+            return expression.name, expression
+        return f"key{index}", expression
 
     def _limit_clause(self) -> int | None:
         # "limit" is a soft keyword: only the identifier "limit" in clause

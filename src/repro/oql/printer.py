@@ -29,6 +29,12 @@ def pretty(query: QueryNode, indent: int = 0) -> str:
         lines.append(pad + "from " + ", ".join(_binding_text(b) for b in query.bindings))
         if query.where is not None:
             lines.append(pad + "where " + query.where.to_oql())
+        if query.group_by:
+            lines.append(
+                pad
+                + "group by "
+                + ", ".join(f"{name}: {expr.to_oql()}" for name, expr in query.group_by)
+            )
         if query.limit is not None:
             lines.append(pad + f"limit {query.limit}")
         return "\n".join(lines)

@@ -14,13 +14,24 @@ from __future__ import annotations
 
 from typing import Callable
 
+from typing import Mapping
+
 from repro.algebra.expressions import (
+    AGGREGATE_FUNCTIONS,
+    Arithmetic,
+    BagExpr,
+    BooleanExpr,
+    Comparison,
     Const,
     Expr,
+    FunctionCall,
+    InList,
     Path,
     StructExpr,
+    Subquery,
     Var,
     contains_subquery,
+    walk_expr,
 )
 from repro.algebra.logical import (
     Apply,
@@ -29,6 +40,7 @@ from repro.algebra.logical import (
     Distinct,
     Flatten,
     Get,
+    GroupBy,
     Limit,
     LogicalOp,
     Project,
@@ -115,6 +127,11 @@ class Translator:
         if len(query.bindings) == 1:
             plan = self._single_binding_select(query)
         else:
+            if query.group_by is not None:
+                raise QueryExecutionError(
+                    "group by supports a single from binding; join in a nested "
+                    "select and group over its result instead"
+                )
             plan = self._multi_binding_select(query)
         if query.distinct:
             plan = Distinct(plan)
@@ -130,7 +147,50 @@ class Translator:
         plan = self._collection(binding.collection)
         if query.where is not None:
             plan = Select(variable, query.where, plan)
+        aggregate_calls = _grouping_aggregates(query.item, variable)
+        if query.group_by is not None or aggregate_calls:
+            return self._grouped_select(query, variable, plan, aggregate_calls)
         return self._apply_item(plan, variable, query.item)
+
+    def _grouped_select(
+        self,
+        query: SelectQuery,
+        variable: str,
+        plan: LogicalOp,
+        aggregate_calls: list[FunctionCall],
+    ) -> LogicalOp:
+        """Translate a summarization block into a :class:`GroupBy` plan.
+
+        The grouping keys and the aggregate calls move into the ``groupby``
+        operator; the select item is then rewritten over the operator's
+        output rows -- each key expression becomes a path to its key
+        attribute and each aggregate call a path to its aggregate attribute
+        -- so an item that merely lists them needs no operator at all, and
+        anything else (arithmetic over aggregates, renamed fields) becomes
+        the usual mediator-side apply.
+        """
+        keys = tuple(query.group_by or ())
+        taken = {name for name, _ in keys}
+        aggregates: list[tuple[str, str, Expr]] = []
+        element = Var(variable)
+        replacements: dict[Expr, Expr] = {}
+        for call in aggregate_calls:
+            name = _aggregate_name(query.item, call, taken)
+            taken.add(name)
+            aggregates.append((name, call.name, call.args[0]))
+            replacements[call] = Path(element, name)
+        for name, expr in keys:
+            replacements.setdefault(expr, Path(element, name))
+        grouped = GroupBy(variable, keys, tuple(aggregates), plan)
+        item = _replace_expressions(query.item, replacements)
+        outputs = grouped.output_attributes()
+        _check_grouped_item(item, variable, set(outputs))
+        canonical = StructExpr(tuple((name, Path(element, name)) for name in outputs))
+        if item == canonical:
+            # The item is exactly the group row: the groupby already
+            # produces the answer shape.
+            return grouped
+        return self._apply_item(grouped, variable, item)
 
     def _apply_item(self, plan: LogicalOp, variable: str, item: Expr) -> LogicalOp:
         # ``select x from ...`` keeps the element unchanged.
@@ -183,6 +243,150 @@ class Translator:
         if isinstance(item, Var) and len(bound_variables) == 1:
             return plan
         return Apply("_env", item, plan)
+
+
+def _grouping_aggregates(item: Expr, variable: str) -> list[FunctionCall]:
+    """Aggregate calls in ``item`` that range over the select block itself.
+
+    ``count(x)`` / ``sum(x.salary)`` summarize the block's rows and turn the
+    select into an aggregate query.  ``sum(select ...)`` -- an aggregate over
+    a nested subquery -- keeps its existing scalar-expression semantics and
+    is *not* collected; :func:`walk_expr` does not descend into subqueries,
+    so aggregates inside a nested select stay invisible here too.
+    """
+    calls: list[FunctionCall] = []
+    for node in walk_expr(item):
+        if (
+            isinstance(node, FunctionCall)
+            and node.name in AGGREGATE_FUNCTIONS
+            and len(node.args) == 1
+            and not isinstance(node.args[0], Subquery)
+            and variable in node.args[0].free_variables()
+            and node not in calls
+        ):
+            calls.append(node)
+    return calls
+
+
+def _aggregate_name(item: Expr, call: FunctionCall, taken: set[str]) -> str:
+    """Output attribute name for one aggregate call.
+
+    A struct field whose value is exactly the call donates its name
+    (``struct(total: sum(x.sal), ...)`` -> ``total``); a bare aggregate item
+    is named after its function; anything else gets a positional ``agg<N>``.
+    """
+    preferred: str | None = None
+    if isinstance(item, StructExpr):
+        for name, value in item.fields:
+            if value == call:
+                preferred = name
+                break
+    if preferred is None and item == call:
+        preferred = call.name
+    if preferred is not None and preferred not in taken:
+        return preferred
+    index = 0
+    while f"agg{index}" in taken:
+        index += 1
+    return f"agg{index}"
+
+
+def _replace_expressions(expression: Expr, replacements: Mapping[Expr, Expr]) -> Expr:
+    """Structurally replace sub-expressions (checked before recursion).
+
+    Relies on the text-based equality/hashing of :class:`Expr`, so two
+    occurrences of the same aggregate call or key expression map to the same
+    replacement; matched sub-trees are not descended into.
+    """
+    replaced = replacements.get(expression)
+    if replaced is not None:
+        return replaced
+    if isinstance(expression, Path):
+        return Path(_replace_expressions(expression.base, replacements), expression.attribute)
+    if isinstance(expression, Comparison):
+        return Comparison(
+            expression.op,
+            _replace_expressions(expression.left, replacements),
+            _replace_expressions(expression.right, replacements),
+        )
+    if isinstance(expression, Arithmetic):
+        return Arithmetic(
+            expression.op,
+            _replace_expressions(expression.left, replacements),
+            _replace_expressions(expression.right, replacements),
+        )
+    if isinstance(expression, BooleanExpr):
+        return BooleanExpr(
+            expression.op,
+            tuple(_replace_expressions(operand, replacements) for operand in expression.operands),
+        )
+    if isinstance(expression, InList):
+        return InList(
+            _replace_expressions(expression.operand, replacements),
+            tuple(_replace_expressions(item, replacements) for item in expression.items),
+        )
+    if isinstance(expression, StructExpr):
+        return StructExpr(
+            tuple(
+                (name, _replace_expressions(value, replacements))
+                for name, value in expression.fields
+            )
+        )
+    if isinstance(expression, BagExpr):
+        return BagExpr(
+            tuple(_replace_expressions(item, replacements) for item in expression.items)
+        )
+    if isinstance(expression, FunctionCall):
+        return FunctionCall(
+            expression.name,
+            tuple(_replace_expressions(arg, replacements) for arg in expression.args),
+        )
+    return expression
+
+
+def _check_grouped_item(item: Expr, variable: str, outputs: set[str]) -> None:
+    """Reject grouped-item references that are not keys or aggregates.
+
+    After rewriting, every remaining reference to the block variable must be
+    a path to one of the groupby's output attributes: ``select struct(d:
+    x.dept, nm: x.name) from x in ... group by d: x.dept`` has no
+    well-defined value for ``x.name`` within a group.
+    """
+    if (
+        isinstance(item, Path)
+        and isinstance(item.base, Var)
+        and item.base.name == variable
+    ):
+        if item.attribute not in outputs:
+            raise QueryExecutionError(
+                f"attribute {item.attribute!r} in a grouped select item is "
+                "neither a grouping key nor an aggregate"
+            )
+        return
+    if isinstance(item, Var) and item.name == variable:
+        raise QueryExecutionError(
+            f"the select item of a grouped query may reference {variable!r} "
+            "only inside grouping keys or aggregate calls"
+        )
+    if isinstance(item, Path):
+        _check_grouped_item(item.base, variable, outputs)
+    elif isinstance(item, (Comparison, Arithmetic)):
+        _check_grouped_item(item.left, variable, outputs)
+        _check_grouped_item(item.right, variable, outputs)
+    elif isinstance(item, BooleanExpr):
+        for operand in item.operands:
+            _check_grouped_item(operand, variable, outputs)
+    elif isinstance(item, InList):
+        _check_grouped_item(item.operand, variable, outputs)
+        for element in item.items:
+            _check_grouped_item(element, variable, outputs)
+    elif isinstance(item, StructExpr):
+        for _, value in item.fields:
+            _check_grouped_item(value, variable, outputs)
+    elif isinstance(item, (BagExpr, FunctionCall)):
+        children = item.items if isinstance(item, BagExpr) else item.args
+        for child in children:
+            _check_grouped_item(child, variable, outputs)
 
 
 def submit_for(meta) -> Submit:

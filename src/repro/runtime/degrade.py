@@ -13,8 +13,8 @@ capability declaration, a hand-built plan overreaches.
 The adaptive policy implemented here reacts by *degrading the pushdown*
 instead of repeating it: each retry strips the outermost
 mediator-compensable operator from the pushed expression (``limit``,
-``project``, ``select``, ``flatten`` -- whichever is on top) until,
-ultimately, a bare ``get`` is submitted.  Every rung is strictly
+``project``, ``select``, ``flatten``, ``groupby`` -- whichever is on top)
+until, ultimately, a bare ``get`` is submitted.  Every rung is strictly
 smaller than the one before, so the ladder always terminates.  The stripped
 operators are re-applied at the mediator over the rows that come back
 (:func:`compensate_rows`), so the answer's semantics never change -- only
@@ -57,8 +57,12 @@ DEGRADABLE_ERRORS = (CapabilityError, WrapperError, NotImplementedError)
 #: it never crosses the wrapper boundary (and the source-algebra evaluator
 #: used for compensation cannot replay it).  ``rename`` is strippable like
 #: ``project``: the ladder peels an alias layer off the pushdown and the
-#: mediator replays it, so aliased pushdowns degrade coherently.
-_STRIPPABLE = (log.Limit, log.Project, log.Rename, log.Select, log.Flatten)
+#: mediator replays it, so aliased pushdowns degrade coherently.  ``groupby``
+#: is strippable too: a source without the terminal ships its (filtered) raw
+#: rows and the mediator re-aggregates them -- the partial-aggregation
+#: compensation, identical in both engines because both funnel through
+#: :func:`compensate_rows`.
+_STRIPPABLE = (log.Limit, log.Project, log.Rename, log.Select, log.Flatten, log.GroupBy)
 
 #: leaf name standing for "the rows the degraded call returned" during
 #: compensation; never reaches a wrapper.

@@ -479,6 +479,13 @@ class _ProbeRunner:
 
     # -- fetching -------------------------------------------------------------------------
     def _fetch(self, keys: list[Any]) -> None:
+        if not keys:
+            # An empty batch (every key None, or deduplicated to nothing)
+            # must never become a wrapper call: ``select(v: k in ())`` is
+            # unsatisfiable and renders as invalid SQL (``IN ()``) at SQL
+            # wrappers.  ``probe`` only calls with missing keys, but the
+            # guard keeps hand-driven runners safe too.
+            return
         self._resolve()
         pending = list(keys)
         while True:
@@ -1357,6 +1364,22 @@ class Executor:
                     log.Select(node.variable, node.predicate.rename_attributes(renames), children[0]),
                     renames,
                 )
+            if isinstance(node, log.GroupBy):
+                # Key and aggregate expressions read the child's (source)
+                # attribute names; above the groupby only its own output
+                # names -- chosen at the mediator -- are visible, mirroring
+                # the Rename case.
+                keys = tuple(
+                    (name, expr.rename_attributes(renames)) for name, expr in node.keys
+                )
+                aggregates = tuple(
+                    (name, func, arg.rename_attributes(renames))
+                    for name, func, arg in node.aggregates
+                )
+                return (
+                    log.GroupBy(node.variable, keys, aggregates, children[0]),
+                    {name: name for name in node.output_attributes()},
+                )
             if not children:
                 return node, renames
             return node.with_children(children), renames
@@ -1443,6 +1466,7 @@ class Executor:
         union: Callable[[tuple[phys.PhysicalOp, ...]], Iterable[Any]] | None = None,
         probe: Callable[[phys.ProbeJoin, Iterator[Any]], Iterable[Any]] | None = None,
         build: Callable[[Iterator[Any]], Iterable[Any]] | None = None,
+        group: Callable[[phys.MkGroupBy, Iterator[Any]], Iterable[Any]] | None = None,
     ) -> Iterator[Any]:
         """Compose the lazy operator pipeline for ``plan``.
 
@@ -1456,14 +1480,16 @@ class Executor:
         exec-completion order).  ``probe`` supplies the engine's probe-join
         leaf -- the batching layer issuing set-valued submits over the left
         rows; ``build`` optionally wraps a hash join's build side (the
-        streaming engine drains it eagerly on a dedicated thread).
+        streaming engine drains it eagerly on a dedicated thread); ``group``
+        optionally overrides mediator-side grouping (the streaming engine
+        suppresses grouped output computed over a known-incomplete input).
 
         The pipeline structure (and every ``leaf`` iterator) is built
         eagerly, so structural errors surface immediately; only *row* flow is
         lazy.
         """
         recurse = lambda child: self.compose_rows(  # noqa: E731
-            child, leaf, base_env, union, probe, build
+            child, leaf, base_env, union, probe, build, group
         )
         if isinstance(plan, phys.Exec):
             return iter(leaf(plan))
@@ -1522,6 +1548,17 @@ class Executor:
             return ops.distinct_rows(recurse(plan.child))
         if isinstance(plan, phys.MkLimit):
             return ops.limit_rows(recurse(plan.child), plan.count)
+        if isinstance(plan, phys.MkGroupBy):
+            if group is not None:
+                return iter(group(plan, recurse(plan.child)))
+            return ops.group_rows(
+                recurse(plan.child),
+                plan.variable,
+                plan.keys,
+                plan.aggregates,
+                base_env=base_env,
+                subquery_evaluator=self.evaluate_subquery,
+            )
         raise QueryExecutionError(f"cannot evaluate physical operator {plan.to_text()}")
 
     def _evaluate(

@@ -351,21 +351,126 @@ def distinct_rows(elements: Iterable[Any]) -> Iterator[Any]:
     """Remove duplicates, keeping (and immediately yielding) the first occurrence.
 
     Hashable elements are tracked in a set; unhashable ones (environments,
-    rows containing lists) fall back to a linear scan over everything already
-    emitted, preserving the old quadratic-but-correct semantics for them.
+    rows containing lists) fall back to a linear scan over the unhashable
+    elements already emitted.  Only those fallback elements are kept in the
+    list -- hashable rows live once, in the set, so a streaming ``distinct``
+    over a large extent does not hold every emitted row live twice.
     """
     seen_hashable: set[Any] = set()
-    emitted: list[Any] = []
+    emitted_unhashable: list[Any] = []
     for element in elements:
         try:
             if element in seen_hashable:
                 continue
             seen_hashable.add(element)
         except TypeError:
-            if element in emitted:
+            if element in emitted_unhashable:
                 continue
-        emitted.append(element)
+            emitted_unhashable.append(element)
         yield element
+
+
+def _group_hash_key(values: tuple[Any, ...]) -> tuple[Any, ...]:
+    """A hashable stand-in for a tuple of key values (rows may nest lists)."""
+    parts = []
+    for value in values:
+        try:
+            hash(value)
+            parts.append(value)
+        except TypeError:
+            parts.append(("__unhashable__", repr(value)))
+    return tuple(parts)
+
+
+class _Accumulator:
+    """Running state of one aggregate over one group.
+
+    The NULL semantics here are shared with the mini-SQL engine so pushed and
+    mediator-compensated aggregation agree: ``count`` counts rows whose
+    argument is not None (a bare variable argument counts every row, like
+    ``COUNT(*)``); the other aggregates skip None values and yield None when
+    no value survives.
+    """
+
+    __slots__ = ("func", "count", "total", "extreme", "seen")
+
+    def __init__(self, func: str):
+        self.func = func
+        self.count = 0
+        self.total: Any = None
+        self.extreme: Any = None
+        self.seen = False
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        self.count += 1
+        if self.func == "count":
+            return
+        if self.func in ("sum", "avg"):
+            self.total = value if self.total is None else self.total + value
+            return
+        if not self.seen:
+            self.extreme = value
+            self.seen = True
+        elif self.func == "min":
+            if value < self.extreme:
+                self.extreme = value
+        elif value > self.extreme:
+            self.extreme = value
+
+    def result(self) -> Any:
+        if self.func == "count":
+            return self.count
+        if self.func == "sum":
+            return self.total
+        if self.func == "avg":
+            return None if self.count == 0 else self.total / self.count
+        return self.extreme
+
+
+def group_rows(
+    elements: Iterable[Any],
+    variable: str,
+    keys: tuple[tuple[str, Expr], ...],
+    aggregates: tuple[tuple[str, str, Expr], ...],
+    base_env: Mapping[str, Any] | None = None,
+    subquery_evaluator: SubqueryEvaluator | None = None,
+) -> Iterator[Struct]:
+    """Grouped aggregation: one output struct per distinct key combination.
+
+    Groups are emitted in first-seen order once the input is exhausted (a
+    pipeline barrier -- the last group may be completed by the last input
+    row).  With no keys the operator is a scalar aggregate and always emits
+    exactly one row, even over an empty input (``count`` 0, the rest None).
+    """
+    groups: dict[tuple[Any, ...], tuple[Struct | None, list[_Accumulator]]] = {}
+    order: list[tuple[Any, ...]] = []
+    for element in elements:
+        env = element_environment(element, variable, base_env)
+        key_values = tuple(expr.evaluate(env, subquery_evaluator) for _, expr in keys)
+        hash_key = _group_hash_key(key_values)
+        state = groups.get(hash_key)
+        if state is None:
+            key_struct = Struct(
+                {name: value for (name, _), value in zip(keys, key_values)}
+            )
+            state = (key_struct, [_Accumulator(func) for _, func, _ in aggregates])
+            groups[hash_key] = state
+            order.append(hash_key)
+        accumulators = state[1]
+        for accumulator, (_, _, arg) in zip(accumulators, aggregates):
+            accumulator.add(arg.evaluate(env, subquery_evaluator))
+    if not keys and not groups:
+        # The scalar-aggregate convention: an empty input still has a count.
+        groups[()] = (Struct({}), [_Accumulator(func) for _, func, _ in aggregates])
+        order.append(())
+    for hash_key in order:
+        key_struct, accumulators = groups[hash_key]
+        row = dict(key_struct)
+        for accumulator, (name, _, _) in zip(accumulators, aggregates):
+            row[name] = accumulator.result()
+        yield Struct(row)
 
 
 def limit_rows(elements: Iterable[Any], count: int) -> Iterator[Any]:

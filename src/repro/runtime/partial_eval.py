@@ -114,6 +114,13 @@ class PartialAnswerBuilder:
             return log.Distinct(self.to_logical(plan.child, outcomes))
         if isinstance(plan, phys.MkLimit):
             return log.Limit(plan.count, self.to_logical(plan.child, outcomes))
+        if isinstance(plan, phys.MkGroupBy):
+            return log.GroupBy(
+                plan.variable,
+                plan.keys,
+                plan.aggregates,
+                self.to_logical(plan.child, outcomes),
+            )
         raise QueryExecutionError(f"cannot convert {plan.to_text()} back to logical form")
 
     # -- collapsing available subtrees ---------------------------------------------------
@@ -146,7 +153,12 @@ class PartialAnswerBuilder:
         per-branch distincts would let a row present in both the data and the
         recovered source survive resubmission twice.  It stays above the
         union (its submit-free branches still collapse during
-        :meth:`simplify`).  ``limit`` likewise stays put.
+        :meth:`simplify`).  ``limit`` likewise stays put, and so does
+        ``groupby``: a group must aggregate rows from *every* branch, so
+        per-branch grouping would double-count rows once the unavailable
+        branch is recovered (the two-phase split that *is* sound lives in
+        the optimizer's push-groupby-through-union rewrite, which emits
+        combinable partials -- not here).
         """
         if isinstance(plan, (log.Apply, log.Project, log.Rename, log.Select, log.Flatten)):
             child = self._distribute_over_union(plan.child)
@@ -231,6 +243,17 @@ class PartialAnswerBuilder:
             return list(ops.distinct_rows(self.evaluate_logical(plan.child, base_env)))
         if isinstance(plan, log.Limit):
             return self.evaluate_logical(plan.child, base_env)[: max(plan.count, 0)]
+        if isinstance(plan, log.GroupBy):
+            return list(
+                ops.group_rows(
+                    self.evaluate_logical(plan.child, base_env),
+                    plan.variable,
+                    plan.keys,
+                    plan.aggregates,
+                    base_env=base_env,
+                    subquery_evaluator=self._subquery_evaluator,
+                )
+            )
         if isinstance(plan, log.Submit):
             raise QueryExecutionError(
                 "cannot evaluate a submit at the mediator; partial evaluation should "

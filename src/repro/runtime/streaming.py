@@ -225,6 +225,7 @@ class StreamingExecution:
                 union=self._union_in_completion_order,
                 probe=self._probe_rows,
                 build=self._eager_build,
+                group=self._grouped_rows,
             )
         except BaseException:
             # Pipeline construction failed after the calls were dispatched:
@@ -821,7 +822,50 @@ class StreamingExecution:
             union=self._union_in_completion_order,
             probe=self._probe_rows,
             build=self._eager_build,
+            group=self._grouped_rows,
         )
+
+    def _grouped_rows(
+        self, plan: phys.MkGroupBy, child_rows: Iterator[Any]
+    ) -> Iterator[Any]:
+        """Mediator-side grouping with incomplete-input suppression.
+
+        Grouping is blocking: nothing is emitted until the whole input has
+        been drained, and by then every source feeding it has settled.  A
+        plain row from an available source is a correct row of the full
+        answer even when a sibling source failed -- but an aggregate computed
+        over a partial input is *not* a sub-answer of the true result (an
+        ``avg`` over one union branch is simply a wrong number).  So when any
+        exec under the grouping failed or timed out, the grouped output is
+        suppressed entirely: the failure is still reported, and the barrier
+        path's resubmittable partial answer is the recovery route.
+        """
+
+        def rows() -> Iterator[Any]:
+            grouped = list(
+                ops.group_rows(
+                    child_rows,
+                    plan.variable,
+                    plan.keys,
+                    plan.aggregates,
+                    base_env=self._base_env,
+                    subquery_evaluator=self._executor.evaluate_subquery,
+                )
+            )
+            keys = [id(node) for node in phys.execs_in(plan)]
+            keys.extend(
+                id(node.probe)
+                for node in phys.walk(plan)
+                if isinstance(node, phys.ProbeJoin)
+            )
+            for key in keys:
+                state = self._states.get(key)
+                report = state.report if state is not None else None
+                if report is not None and not report.available and not report.cancelled:
+                    return
+            yield from grouped
+
+        return rows()
 
     # -- probe joins ---------------------------------------------------------------------------
     def _probe_rows(self, plan: phys.ProbeJoin, left_rows: Iterator[Any]) -> Iterator[Any]:

@@ -14,6 +14,7 @@ from typing import Any, Mapping
 from repro.errors import QueryExecutionError
 from repro.sources.relational_engine import RelationalEngine
 from repro.sources.sql.parser import (
+    AggregateRef,
     BooleanExpr,
     ColumnRef,
     Comparison,
@@ -62,7 +63,12 @@ class SqlEngine:
             )
         if statement.where is not None:
             rows = [row for row in rows if self._evaluate(statement.where, row)]
-        if statement.columns is not None:
+        aggregates = any(
+            isinstance(column, AggregateRef) for column in statement.columns or ()
+        )
+        if statement.group_by or aggregates:
+            rows = self._grouped(statement, rows)
+        elif statement.columns is not None:
             # Aliases (``col AS name``) rename while projecting; a derived
             # table built this way exposes uniquely named columns before any
             # enclosing join merges rows.  Unknown columns stay an error,
@@ -81,6 +87,77 @@ class SqlEngine:
         if statement.limit is not None:
             rows = rows[: max(statement.limit, 0)]
         return rows
+
+    def _grouped(self, statement: SelectStatement, rows: list[Row]) -> list[Row]:
+        """Evaluate a GROUP BY / aggregate projection over ``rows``.
+
+        NULL semantics match the mediator's own aggregation
+        (:mod:`repro.runtime.operators`): COUNT(col) counts non-NULL values
+        while COUNT(*) counts rows; SUM/MIN/MAX/AVG ignore NULLs and return
+        NULL when no non-NULL value exists.
+        """
+        if statement.columns is None:
+            raise QueryExecutionError(
+                "SELECT * cannot be combined with GROUP BY or aggregates"
+            )
+        key_names = [column.name for column in statement.group_by]
+        for column in statement.columns:
+            if isinstance(column, ColumnRef) and column.name not in key_names:
+                raise QueryExecutionError(
+                    f"column {column.render()!r} must appear in GROUP BY or an aggregate"
+                )
+        groups: dict[tuple[Any, ...], list[Row]] = {}
+        order: list[tuple[Any, ...]] = []
+        for row in rows:
+            key = tuple(self._column_value(column, row) for column in statement.group_by)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+        if not statement.group_by and not order:
+            # An aggregate without keys always yields exactly one row, even
+            # over empty input (COUNT gives 0, the others NULL).
+            groups[()] = []
+            order.append(())
+        result: list[Row] = []
+        for key in order:
+            bucket = groups[key]
+            key_values = dict(zip(key_names, key))
+            out: Row = {}
+            for column in statement.columns:
+                if isinstance(column, AggregateRef):
+                    out[column.output_name()] = self._aggregate_value(column, bucket)
+                else:
+                    out[column.output_name()] = key_values[column.name]
+            result.append(out)
+        return result
+
+    def _aggregate_value(self, aggregate: AggregateRef, bucket: list[Row]) -> Any:
+        if aggregate.column is None:  # COUNT(*)
+            return len(bucket)
+        values = [
+            value
+            for row in bucket
+            if (value := self._column_value(aggregate.column, row)) is not None
+        ]
+        if aggregate.func == "COUNT":
+            return len(values)
+        if not values:
+            return None
+        if aggregate.func == "SUM":
+            return sum(values)
+        if aggregate.func == "AVG":
+            return sum(values) / len(values)
+        if aggregate.func == "MIN":
+            return min(values)
+        if aggregate.func == "MAX":
+            return max(values)
+        raise QueryExecutionError(f"unknown aggregate function {aggregate.func!r}")
+
+    def _column_value(self, column: ColumnRef, row: Mapping[str, Any]) -> Any:
+        if column.name not in row:
+            raise QueryExecutionError(f"unknown column {column.render()!r}")
+        return row[column.name]
 
     def _rows_for(self, table_ref: Any) -> list[Row]:
         """Rows of a FROM/JOIN operand: a base table or a derived table."""

@@ -13,6 +13,8 @@ KEYWORDS = {
     "JOIN",
     "ON",
     "LIMIT",
+    "GROUP",
+    "BY",
     "AND",
     "OR",
     "NOT",

@@ -4,10 +4,11 @@ Grammar (roughly)::
 
     select    := SELECT projection FROM table_ref
                  (JOIN table_ref ON column = column)*
-                 (WHERE expr)? (LIMIT number)?
+                 (WHERE expr)? (GROUP BY column (',' column)*)? (LIMIT number)?
     table_ref := IDENT | '(' select ')'
     projection:= '*' | item (',' item)*
-    item      := column (AS IDENT)?
+    item      := (column | aggregate) (AS IDENT)?
+    aggregate := (COUNT | SUM | MIN | MAX | AVG) '(' ('*' | column) ')'
     expr      := term (OR term)*
     term      := factor (AND factor)*
     factor    := NOT factor | '(' expr ')' | comparison
@@ -48,6 +49,29 @@ class ColumnRef:
     def render(self) -> str:
         """Render back to SQL text."""
         text = f"{self.table}.{self.name}" if self.table else self.name
+        return f"{text} AS {self.alias}" if self.alias else text
+
+
+#: the aggregate functions of the dialect (``COUNT(*)`` takes no column).
+AGGREGATE_FUNCTIONS = ("COUNT", "SUM", "MIN", "MAX", "AVG")
+
+
+@dataclass(frozen=True)
+class AggregateRef:
+    """``FUNC(column)`` / ``COUNT(*)`` as a projection item, optionally aliased."""
+
+    func: str  # one of AGGREGATE_FUNCTIONS, upper-cased
+    column: ColumnRef | None = None  # None means COUNT(*)
+    alias: str | None = None
+
+    def output_name(self) -> str:
+        """The name this aggregate contributes to the result row."""
+        return self.alias or self.func.lower()
+
+    def render(self) -> str:
+        """Render back to SQL text."""
+        argument = "*" if self.column is None else self.column.render()
+        text = f"{self.func}({argument})"
         return f"{text} AS {self.alias}" if self.alias else text
 
 
@@ -115,11 +139,12 @@ class SelectStatement:
     :class:`SelectStatement` -- a derived table, ``FROM (SELECT ...)``.
     """
 
-    columns: tuple[ColumnRef, ...] | None  # None means '*'
+    columns: tuple[Any, ...] | None  # ColumnRef/AggregateRef items; None means '*'
     table: Any
     joins: tuple[JoinClause, ...] = ()
     where: Any | None = None
     limit: int | None = None
+    group_by: tuple[ColumnRef, ...] = ()
 
 
 # -- parser -------------------------------------------------------------------------
@@ -195,6 +220,13 @@ class SqlParser:
         where = None
         if self._match_keyword("WHERE"):
             where = self._expression()
+        group_by: tuple[ColumnRef, ...] = ()
+        if self._match_keyword("GROUP"):
+            self._expect_keyword("BY")
+            keys = [self._column()]
+            while self._match_op(","):
+                keys.append(self._column())
+            group_by = tuple(keys)
         limit = None
         if self._match_keyword("LIMIT"):
             token = self._expect("NUMBER")
@@ -205,7 +237,12 @@ class SqlParser:
                 )
             limit = int(token.text)
         return SelectStatement(
-            columns=columns, table=table, joins=tuple(joins), where=where, limit=limit
+            columns=columns,
+            table=table,
+            joins=tuple(joins),
+            where=where,
+            limit=limit,
+            group_by=group_by,
         )
 
     def _table_ref(self) -> Any:
@@ -224,12 +261,39 @@ class SqlParser:
             columns.append(self._projection_item())
         return tuple(columns)
 
-    def _projection_item(self) -> ColumnRef:
+    def _projection_item(self) -> ColumnRef | AggregateRef:
+        token = self._peek()
+        following = self._tokens[min(self._index + 1, len(self._tokens) - 1)]
+        if (
+            token.kind == "IDENT"
+            and token.text.upper() in AGGREGATE_FUNCTIONS
+            and following.kind == "OP"
+            and following.text == "("
+        ):
+            return self._aggregate_item()
         column = self._column()
         if self._match_keyword("AS"):
             alias = self._expect("IDENT").text
             return ColumnRef(name=column.name, table=column.table, alias=alias)
         return column
+
+    def _aggregate_item(self) -> AggregateRef:
+        func = self._expect("IDENT").text.upper()
+        self._expect("OP", "(")
+        column: ColumnRef | None = None
+        if self._match_op("*"):
+            if func != "COUNT":
+                raise ParseError(
+                    f"{func}(*) is not valid; only COUNT takes '*'",
+                    column=self._peek().position,
+                )
+        else:
+            column = self._column()
+        self._expect("OP", ")")
+        alias = None
+        if self._match_keyword("AS"):
+            alias = self._expect("IDENT").text
+        return AggregateRef(func=func, column=column, alias=alias)
 
     def _column(self) -> ColumnRef:
         first = self._expect("IDENT").text

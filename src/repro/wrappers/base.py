@@ -17,6 +17,7 @@ from repro.algebra.logical import (
     BagLiteral,
     Flatten,
     Get,
+    GroupBy,
     Join,
     Limit,
     LogicalOp,
@@ -258,6 +259,8 @@ class AlgebraEvaluator:
             return self._flatten_stream(expression)
         if isinstance(expression, Limit):
             return self._limit_stream(expression)
+        if isinstance(expression, GroupBy):
+            return self._groupby_stream(expression)
         raise WrapperError(f"cannot evaluate {expression.to_text()} at a data source")
 
     def _join_stream(self, expression: Join) -> Iterator[Row]:
@@ -281,6 +284,21 @@ class AlgebraEvaluator:
                 yield from row
             else:
                 yield row
+
+    def _groupby_stream(self, expression: GroupBy) -> Iterator[Row]:
+        """Grouped aggregation at the source (the ``groupby`` terminal).
+
+        Shares :func:`~repro.runtime.operators.group_rows` with the
+        mediator's compensation path, so a pushed and a mediator-side
+        aggregation can never disagree on NULL or empty-group semantics.
+        """
+        from repro.runtime.operators import group_rows  # local: avoid cycle
+
+        rows = self.evaluate_stream(expression.child)
+        for row in group_rows(
+            rows, expression.variable, expression.keys, expression.aggregates
+        ):
+            yield dict(row)
 
     def _limit_stream(self, expression: Limit) -> Iterator[Row]:
         """The pushed-down fetch size: stop the scan after ``count`` rows."""

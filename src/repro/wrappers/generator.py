@@ -62,7 +62,15 @@ class GeneratorWrapper(Wrapper):
             name,
             capabilities
             or CapabilitySet.of(
-                "get", "project", "select", "union", "flatten", "limit", "rename", "in"
+                "get",
+                "project",
+                "select",
+                "union",
+                "flatten",
+                "limit",
+                "rename",
+                "in",
+                "groupby",
             ),
         )
         self._scans = dict(scans)

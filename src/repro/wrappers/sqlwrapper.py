@@ -6,7 +6,8 @@ server, parsed and executed there.  Only the operators that have an SQL
 rendering are advertised (``get``, ``project``, ``select``, ``join``,
 ``limit``, ``rename`` -- the aliasing the namespace planner injects for
 colliding multi-extent pushdowns, rendered as ``col AS alias`` inside a
-derived table -- and the ``in`` predicate terminal, rendered as ``IN (...)``
+derived table -- ``groupby``, rendered as ``GROUP BY`` with aggregate
+projection items, and the ``in`` predicate terminal, rendered as ``IN (...)``
 for batched bind-join probes), and only predicates built from comparisons
 and membership tests of attributes and constants can cross the boundary --
 richer predicates raise :class:`WrapperError` so the optimizer keeps them at
@@ -27,7 +28,16 @@ from repro.algebra.expressions import (
     Path,
     Var,
 )
-from repro.algebra.logical import Get, Join, Limit, LogicalOp, Project, Rename, Select
+from repro.algebra.logical import (
+    Get,
+    GroupBy,
+    Join,
+    Limit,
+    LogicalOp,
+    Project,
+    Rename,
+    Select,
+)
 from repro.errors import WrapperError
 from repro.sources.server import SimulatedServer
 from repro.sources.sql.engine import SqlEngine
@@ -50,7 +60,7 @@ class SqlWrapper(Wrapper):
             name,
             capabilities
             or CapabilitySet.of(
-                "get", "project", "select", "join", "limit", "rename", "in"
+                "get", "project", "select", "join", "limit", "rename", "in", "groupby"
             ),
         )
         self.server = server
@@ -67,6 +77,25 @@ class SqlWrapper(Wrapper):
     # -- SQL generation ---------------------------------------------------------------------
     def to_sql(self, expression: LogicalOp) -> str:
         """Render a pushed logical expression as one SELECT statement."""
+        limit_above: int | None = None
+        projected: tuple[str, ...] | None = None
+        node = expression
+        if isinstance(node, Limit) and isinstance(
+            node.child, (GroupBy, Project)
+        ):
+            # OQL's limit clause applies after grouping, exactly like SQL's
+            # LIMIT, so it renders on the grouped statement.
+            inner = node.child
+            if isinstance(inner, GroupBy) or isinstance(inner.child, GroupBy):
+                limit_above = node.count
+                node = inner
+        if isinstance(node, Project) and isinstance(node.child, GroupBy):
+            # A projection over the grouped record narrows the SELECT list to
+            # a subset of the group outputs; GROUP BY still names every key.
+            projected = node.attributes
+            node = node.child
+        if isinstance(node, GroupBy):
+            return self._groupby_sql(node, limit_above, projected)
         columns, table, joins, predicates, limit = self._decompose(expression)
         select_clause = ", ".join(columns) if columns else "*"
         sql = f"SELECT {select_clause} FROM {table}"
@@ -132,11 +161,74 @@ class SqlWrapper(Wrapper):
             return columns, left_table, joins, left_preds + right_preds, None
         raise WrapperError(f"cannot translate {expression.to_text()} to SQL")
 
+    def _groupby_sql(
+        self,
+        node: GroupBy,
+        limit: int | None,
+        projected: tuple[str, ...] | None = None,
+    ) -> str:
+        """Render ``GroupBy`` (optionally projected/limited above) as a grouped SELECT."""
+        columns, table, joins, predicates, child_limit = self._decompose(node.child)
+        del columns  # the grouped select list replaces any child projection
+        if child_limit is not None:
+            # SQL groups before it limits; a limit *below* the grouping would
+            # change which rows are aggregated, so it has no rendering.
+            raise WrapperError("cannot translate grouping above a limit to SQL")
+        rendered: dict[str, str] = {}
+        group_columns: list[str] = []
+        for name, expr in node.keys:
+            column = self._key_column(expr)
+            group_columns.append(column)
+            rendered[name] = column if column == name else f"{column} AS {name}"
+        for name, func, arg in node.aggregates:
+            rendered[name] = f"{self._aggregate_sql(node.variable, func, arg)} AS {name}"
+        if projected is None:
+            items = list(rendered.values())
+        else:
+            missing = [name for name in projected if name not in rendered]
+            if missing:
+                raise WrapperError(
+                    f"cannot project {', '.join(missing)} out of a grouped SELECT"
+                )
+            items = [rendered[name] for name in projected]
+        sql = f"SELECT {', '.join(items)} FROM {table}"
+        for join_table, left_column, right_column in joins:
+            sql += f" JOIN {join_table} ON {left_column} = {right_column}"
+        if predicates:
+            sql += " WHERE " + " AND ".join(predicates)
+        if group_columns:
+            sql += " GROUP BY " + ", ".join(group_columns)
+        if limit is not None:
+            sql += f" LIMIT {limit}"
+        return sql
+
+    def _key_column(self, expr: Expr) -> str:
+        if isinstance(expr, Path) and isinstance(expr.base, Var):
+            return expr.attribute
+        raise WrapperError(f"cannot translate grouping key {expr.to_oql()} to SQL")
+
+    def _aggregate_sql(self, variable: str, func: str, arg: Expr) -> str:
+        if isinstance(arg, Var) and arg.name == variable:
+            if func == "count":
+                # Counting the row variable counts rows; source rows are
+                # structs and never NULL, so COUNT(*) matches exactly.
+                return "COUNT(*)"
+            raise WrapperError(f"cannot translate {func} over whole rows to SQL")
+        if isinstance(arg, Path) and isinstance(arg.base, Var):
+            return f"{func.upper()}({arg.attribute})"
+        raise WrapperError(f"cannot translate aggregate argument {arg.to_oql()} to SQL")
+
     def _predicate_sql(self, predicate: Expr) -> str:
         if isinstance(predicate, Comparison):
             op = "<>" if predicate.op == "!=" else predicate.op
             return f"{self._operand_sql(predicate.left)} {op} {self._operand_sql(predicate.right)}"
         if isinstance(predicate, InList):
+            if not predicate.items:
+                # ``x in ()`` is unsatisfiable and has no SQL spelling --
+                # ``IN ()`` is a syntax error in the dialect.  The probe
+                # runner filters empty batches before they get here; this
+                # guard keeps any other caller from shipping invalid SQL.
+                raise WrapperError("cannot translate an empty IN list to SQL")
             items = ", ".join(self._operand_sql(item) for item in predicate.items)
             return f"{self._operand_sql(predicate.operand)} IN ({items})"
         if isinstance(predicate, BooleanExpr):

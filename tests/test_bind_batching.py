@@ -314,3 +314,35 @@ def test_in_predicate_round_trips_through_a_partial_answer():
         assert sorted(resubmitted.rows()) == [3, 9, 15]
     finally:
         mediator.close()
+
+
+# -- the empty-batch edge --------------------------------------------------------------------------
+@pytest.mark.parametrize("run", ENGINES)
+def test_all_none_keys_issue_no_probe_calls(run):
+    """A batch whose keys are all None deduplicates to nothing: the source
+    must never see it (an empty ``in ()`` renders as invalid SQL there)."""
+    mediator, _left, right = build_probe_mediator([None, None, None], batch_size=2)
+    try:
+        rows, result = run(mediator)
+        assert rows == []
+        assert right.statistics.requests == 0
+        assert not result.is_partial
+    finally:
+        mediator.close()
+
+
+def test_sql_wrapper_refuses_an_empty_in_list():
+    """Defense in depth below the probe runner's guard: an empty ``in`` list
+    has no SQL spelling (``IN ()`` is a syntax error), so the wrapper raises
+    instead of shipping an unparsable statement."""
+    from repro.algebra.expressions import InList, Path, Var
+    from repro.algebra.logical import Get, Select
+    from repro.errors import WrapperError
+    from repro.sources.sql.engine import SqlEngine
+    from repro.wrappers import SqlWrapper
+
+    engine = SqlEngine(name="pg")
+    engine.create_table("right0", rows=[{"id": 1, "value": 3}])
+    wrapper = SqlWrapper("pg", SimulatedServer("pg-host", engine))
+    with pytest.raises(WrapperError):
+        wrapper.to_sql(Select("y", InList(Path(Var("y"), "id"), ()), Get("right0")))

@@ -32,18 +32,22 @@ from __future__ import annotations
 
 import os
 import random
+import tempfile
 from collections import Counter
 from collections.abc import Mapping
 
 import pytest
 
 from repro import Mediator, RelationalWrapper
-from repro.algebra.capabilities import CapabilitySet
+from repro.algebra.capabilities import PUSHABLE_OPERATORS, CapabilitySet
 from repro.algebra.logical import Get, Join, Select, Submit
 from repro.datamodel.mapping import LocalTransformationMap
 from repro.datamodel.values import Bag, Struct
 from repro.optimizer.implementation import implement
 from repro.sources import RelationalEngine, SimulatedServer, TableSchema
+from repro.sources.csv_store import CsvStore
+from repro.sources.text_store import Document, TextStore
+from repro.wrappers import CsvWrapper, TextSearchWrapper
 
 NAMES = ["ann", "bob", "cleo", "dan", "eve"]
 #: the nightly CI job raises this to 1000 via DISCO_EQUIV_SEEDS.
@@ -54,17 +58,27 @@ SEEDS = range(int(os.environ.get("DISCO_EQUIV_SEEDS", "104")))
 #: answer-transparent.  Off by default: it roughly doubles the sweep's cost.
 RUN_THROUGH_SERVER = os.environ.get("DISCO_EQUIV_SERVER", "") not in ("", "0")
 
+#: shared on-disk home for the CSV source's files; one directory per test run.
+_CSV_DIR = tempfile.mkdtemp(prefix="disco-equiv-csv-")
 
-def build_mediator(bind_batch_size: int = 256):
+
+def build_mediator(bind_batch_size: int = 256, no_groupby: bool = False):
     """Two Person sources (members of the implicit ``person`` extent) plus a
     ``dept0`` collection co-hosted with person0 for join queries, plus a pair
     of *colliding* extents (``cat0``/``flag0`` both call their source column
     ``nm`` but map it to different mediator attributes) so the generator can
     produce queries that exercise the namespace planner's aliasing.
 
+    Also on board: a file-backed CSV source (``note0``, get/project only) and
+    a WAIS-like keyword-search source (``report0``, non-composing get/select),
+    so the sweep covers the weakest wrappers' compensation paths.
+
     ``bind_batch_size`` is swept by the seeds (1/2/3/256) so the nightly run
     exercises batched probe joins at every batch-boundary shape: per-binding
-    degeneration, mid-batch flushes, and one-call whole-side batches."""
+    degeneration, mid-batch flushes, and one-call whole-side batches.
+    ``no_groupby`` strips the ``groupby`` terminal from both relational
+    wrappers, so grouped queries degrade and are compensated by mediator-side
+    (partial) aggregation instead of pushing ``GROUP BY`` to the source."""
     engine0 = RelationalEngine(name="db0")
     engine0.create_table(
         "person0",
@@ -97,11 +111,39 @@ def build_mediator(bind_batch_size: int = 256):
             for i in range(10)
         ],
     )
+    csv_store = CsvStore(_CSV_DIR)
+    csv_store.write_collection(
+        "note0",
+        [{"id": i, "tag": f"t{i % 3}"} for i in range(6)],
+        overwrite=True,
+    )
+    text_store = TextStore("wais")
+    text_store.create_collection("report0")
+    text_store.add_documents(
+        "report0",
+        [
+            Document(f"d{i}", f"reading {i}", {"site": f"s{i % 3}", "value": i})
+            for i in range(7)
+        ],
+    )
     server0 = SimulatedServer(name="host0", store=engine0)
     server1 = SimulatedServer(name="host1", store=engine1)
+    server2 = SimulatedServer(name="host2", store=csv_store)
+    server3 = SimulatedServer(name="host3", store=text_store)
+    capabilities = (
+        CapabilitySet.of(*(op for op in PUSHABLE_OPERATORS if op != "groupby"))
+        if no_groupby
+        else None
+    )
     mediator = Mediator(name="diff", bind_batch_size=bind_batch_size)
-    mediator.register_wrapper("w0", RelationalWrapper("w0", server0))
-    mediator.register_wrapper("w1", RelationalWrapper("w1", server1))
+    mediator.register_wrapper(
+        "w0", RelationalWrapper("w0", server0, capabilities=capabilities)
+    )
+    mediator.register_wrapper(
+        "w1", RelationalWrapper("w1", server1, capabilities=capabilities)
+    )
+    mediator.register_wrapper("w2", CsvWrapper("w2", server2))
+    mediator.register_wrapper("w3", TextSearchWrapper("w3", server3))
     mediator.create_repository("r0")
     mediator.create_repository("r1")
     mediator.define_interface(
@@ -135,20 +177,32 @@ def build_mediator(bind_batch_size: int = 256):
         "r0",
         map=LocalTransformationMap.from_pairs([("t_flag", "flag0"), ("nm", "flag")]),
     )
-    return mediator, [server0, server1]
+    mediator.create_repository("r2")
+    mediator.create_repository("r3")
+    mediator.define_interface(
+        "Note", [("id", "Long"), ("tag", "String")], extent_name="note"
+    )
+    mediator.define_interface(
+        "Report",
+        [("doc_id", "String"), ("body", "String"), ("site", "String"), ("value", "Long")],
+        extent_name="report",
+    )
+    mediator.add_extent("note0", "Note", "w2", "r2")
+    mediator.add_extent("report0", "Report", "w3", "r3")
+    return mediator, [server0, server1, server2, server3]
 
 
 def random_query(rng: random.Random) -> tuple[str, int | None]:
     """One random OQL query; returns (text-without-limit, limit-or-None)."""
     roll = rng.random()
-    if roll < 0.15:  # colliding schema: both extents' source column is "nm"
+    if roll < 0.12:  # colliding schema: both extents' source column is "nm"
         item = rng.choice(
             ["struct(c: x.cat, f: y.flag)", "x.cat", "struct(i: x.id, f: y.flag)"]
         )
         text = f"select {item} from x in cat0 and y in flag0 where x.id = y.id"
         if rng.random() < 0.4:
             text += f" and x.id > {rng.randint(0, 5)}"
-    elif roll < 0.35:  # bind-join over co-hosted and cross-source extents
+    elif roll < 0.28:  # bind-join over co-hosted and cross-source extents
         # With the equi condition pushed into the bind join these plan as
         # batched probe joins, so the sweep covers in-list probing (and its
         # per-binding degeneration when the mediator's batch size is 1).
@@ -160,7 +214,7 @@ def random_query(rng: random.Random) -> tuple[str, int | None]:
         text = f"select {item} from x in person0 and y in {right} where x.id = y.id"
         if rng.random() < 0.5:
             text += f" and x.salary > {rng.randint(0, 6)}"
-    elif roll < 0.45:  # three bindings: probe chains threading environments
+    elif roll < 0.36:  # three bindings: probe chains threading environments
         item = rng.choice(
             [
                 "struct(n: x.name, d: y.dname, b: z.name)",
@@ -174,6 +228,43 @@ def random_query(rng: random.Random) -> tuple[str, int | None]:
         )
         if rng.random() < 0.4:
             text += f" and x.salary > {rng.randint(0, 6)}"
+    elif roll < 0.58:  # grouping & aggregation: pushdown, union combine, degrade
+        collection = rng.choice(["person0", "person1", "person", "person"])
+        aggregate = rng.choice(
+            [
+                "count(x)",
+                "count(x.salary)",
+                "sum(x.salary)",
+                "min(x.id)",
+                "max(x.id)",
+                "avg(x.salary)",
+            ]
+        )
+        where = ""
+        if rng.random() < 0.4:
+            where = f" where x.id {rng.choice(['>', '<='])} {rng.randint(0, 8)}"
+        if rng.random() < 0.7:
+            key_name, key_expr = rng.choice([("s", "x.salary"), ("n", "x.name")])
+            text = (
+                f"select struct({key_name}: {key_expr}, a: {aggregate}) "
+                f"from x in {collection}{where} group by {key_name}: {key_expr}"
+            )
+        else:  # keyless: one summary row, even over empty input
+            text = f"select {aggregate} from x in {collection}{where}"
+    elif roll < 0.70:  # weakest wrappers: csv (get/project), non-composing textsearch
+        if rng.random() < 0.5:
+            item = rng.choice(["x", "x.tag", "struct(i: x.id, t: x.tag)"])
+            text = f"select {item} from x in note0"
+            if rng.random() < 0.4:
+                # csv has no ``select``: the predicate is compensated above.
+                text += f" where x.id > {rng.randint(0, 4)}"
+        else:
+            item = rng.choice(["x.doc_id", "struct(d: x.doc_id, s: x.site)"])
+            text = f"select {item} from x in report0"
+            if rng.random() < 0.5:
+                text += rng.choice(
+                    [' where x.site = "s1"', f" where x.value > {rng.randint(0, 4)}"]
+                )
     else:
         collection = rng.choice(["person0", "person1", "person", "person"])
         item = rng.choice(
@@ -225,7 +316,13 @@ def report_shape(reports) -> dict:
 @pytest.mark.parametrize("seed", SEEDS)
 def test_engines_agree(seed):
     rng = random.Random(seed)
-    mediator, servers = build_mediator(bind_batch_size=rng.choice([1, 2, 3, 256]))
+    mediator, servers = build_mediator(
+        bind_batch_size=rng.choice([1, 2, 3, 256]),
+        # A quarter of the sweep strips the relational wrappers' ``groupby``
+        # terminal: grouped queries then degrade and the mediator compensates
+        # with (partial) aggregation, which must be answer-identical.
+        no_groupby=rng.random() < 0.25,
+    )
     try:
         base_text, limit = random_query(rng)
         text = base_text if limit is None else f"{base_text} limit {limit}"

@@ -109,6 +109,25 @@ class TestRowOperators:
         assert list(flatten_rows([[1, 2], 3, Bag([4])])) == [1, 2, 3, 4]
         assert list(distinct_rows([1, 1, 2])) == [1, 2]
 
+    def test_distinct_keeps_no_linear_list_for_hashable_rows(self):
+        """Regression: hashable rows must live once (in the set), never also
+        in the unhashable-fallback list -- a streaming ``distinct`` over a
+        large extent was holding every emitted row live twice."""
+        gen = distinct_rows(iter(range(1000)))
+        for _ in range(500):
+            next(gen)
+        internals = gen.gi_frame.f_locals
+        assert len(internals["seen_hashable"]) == 500
+        assert internals["emitted_unhashable"] == []
+        gen.close()
+        # Unhashable elements still deduplicate through the fallback list,
+        # and only they are retained there.
+        mixed = iter([1, [1], 1, [1], 2])
+        gen = distinct_rows(mixed)
+        assert [next(gen) for _ in range(3)] == [1, [1], 2]
+        assert gen.gi_frame.f_locals["emitted_unhashable"] == [[1]]
+        gen.close()
+
     def test_limit_rows_truncates_and_closes_upstream(self):
         closed = []
 
