@@ -1,0 +1,50 @@
+"""Static-analysis suite for the repro codebase.
+
+``python -m repro.analysis`` machine-checks the invariants the rest of the
+repo only states in prose:
+
+* **lock discipline** (:mod:`repro.analysis.locks`) -- writes to guarded
+  state outside the guarding lock, acquisition-order violations, locks held
+  across ``yield``, blocking calls made under a lock;
+* **dispatch completeness** (:mod:`repro.analysis.dispatch`) -- every
+  operator/expression subclass is handled (or explicitly exempted) at every
+  ``isinstance``-ladder dispatch site;
+* **cancellation hygiene** (:mod:`repro.analysis.hygiene`) -- broad
+  ``except`` clauses that can swallow ``CancelledError``/``StreamClosed``,
+  raw ``time.sleep`` in runtime code;
+* **knob/report drift** (:mod:`repro.analysis.drift`) -- config knobs,
+  report fields and the lock-discipline map cross-checked against README
+  and docs/ARCHITECTURE.md.
+
+The repo's own invariants live in :mod:`repro.analysis.spec`; a directory
+with its own ``analysis_spec.py`` (the test fixtures) brings its own.
+Findings are either fixed or recorded in ``analysis-baseline.txt`` with a
+one-line justification; any non-baselined finding fails the run (and CI).
+"""
+
+from repro.analysis.core import (
+    Finding,
+    SourceModule,
+    Spec,
+    load_modules,
+    load_spec_file,
+)
+from repro.analysis.lockspec import LockComponent, LockDecl, render_lock_table
+from repro.analysis.dispatch import DispatchSite, Hierarchy
+from repro.analysis.drift import DriftSpec
+from repro.analysis.runner import run_suite
+
+__all__ = [
+    "Finding",
+    "SourceModule",
+    "Spec",
+    "LockComponent",
+    "LockDecl",
+    "Hierarchy",
+    "DispatchSite",
+    "DriftSpec",
+    "load_modules",
+    "load_spec_file",
+    "render_lock_table",
+    "run_suite",
+]

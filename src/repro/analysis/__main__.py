@@ -1,0 +1,125 @@
+"""``python -m repro.analysis`` -- run the static-analysis suite.
+
+Exit status 0 when every finding is fixed or baselined (with justification)
+and no baseline entry is stale; 1 otherwise.  See the README's "Static
+analysis" section.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import write_baseline
+from repro.analysis.drift import write_lock_table
+from repro.analysis.runner import resolve_spec, run_suite
+
+
+def _default_root() -> Path:
+    """The repo root: cwd when it holds ``src/repro``, else relative to us."""
+    cwd = Path.cwd()
+    if (cwd / "src" / "repro").is_dir():
+        return cwd
+    return Path(__file__).resolve().parents[3]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static-analysis suite: lock discipline, dispatch "
+        "completeness, cancellation hygiene, knob/doc drift.",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="codebase root to analyse (default: the repo; a root with its "
+        "own analysis_spec.py uses that spec)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline file (default: the spec's, analysis-baseline.txt for "
+        "the repo)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline to cover all current findings (edit the "
+        "placeholder justifications before committing)",
+    )
+    parser.add_argument(
+        "--write-docs",
+        action="store_true",
+        help="regenerate the lock-discipline table in docs/ARCHITECTURE.md "
+        "from the lock spec",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="also list baselined findings, with their justifications",
+    )
+    args = parser.parse_args(argv)
+
+    root = (args.root or _default_root()).resolve()
+    spec = resolve_spec(root)
+
+    if args.write_docs:
+        if spec.drift is None:
+            print("spec has no drift section; nothing to write", file=sys.stderr)
+            return 2
+        changed = write_lock_table(spec, root, spec.drift.architecture)
+        print(
+            f"{spec.drift.architecture}: "
+            + ("lock-discipline table regenerated" if changed else "already up to date")
+        )
+
+    baseline_path = args.baseline
+    if baseline_path is None and spec.baseline and not args.no_baseline:
+        baseline_path = root / spec.baseline
+    result = run_suite(root, spec=spec, baseline_path=baseline_path)
+
+    if args.write_baseline:
+        if baseline_path is None:
+            print("no baseline path to write (spec has none)", file=sys.stderr)
+            return 2
+        write_baseline(baseline_path, result.findings, "TODO: justify this exemption")
+        print(f"{baseline_path}: wrote {len(result.findings)} entries")
+        return 0
+
+    for error in result.baseline_errors:
+        print(f"baseline error: {error}")
+    for finding in result.new:
+        print(finding.render())
+    for entry in result.stale:
+        print(
+            f"{baseline_path}:{entry.line}: stale baseline entry (matches no "
+            f"finding): {entry.key}"
+        )
+    if args.list:
+        for finding in result.baselined:
+            just = ""
+            if baseline_path is not None:
+                from repro.analysis.baseline import Baseline
+
+                just = Baseline.load(baseline_path).entries[finding.key()].justification
+            print(f"baselined: {finding.render()}  [{just}]")
+
+    total = len(result.findings)
+    print(
+        f"repro.analysis: {total} finding(s) "
+        f"({len(result.baselined)} baselined, {len(result.new)} new, "
+        f"{len(result.stale)} stale baseline entr{'y' if len(result.stale) == 1 else 'ies'})"
+    )
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

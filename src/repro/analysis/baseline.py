@@ -1,0 +1,94 @@
+"""The findings baseline.
+
+Findings that are deliberate (a fault-isolation ``except Exception``, the
+one sanctioned ``time.sleep`` fallback inside the cancellation module...)
+are recorded in a baseline file, one per line::
+
+    checker|rule|path|scope|detail :: one-line justification
+
+Keys are :meth:`repro.analysis.core.Finding.key` -- no line numbers, so the
+baseline survives unrelated edits.  The rules:
+
+* a finding not in the baseline **fails** the run;
+* a baseline entry with no justification **fails** the run;
+* a baseline entry that no longer matches any finding is **stale** and
+  fails the run -- fixed code must shed its exemptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.core import Finding
+
+SEPARATOR = " :: "
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    key: str
+    justification: str
+    line: int
+
+
+@dataclass
+class Baseline:
+    path: Path
+    entries: dict[str, BaselineEntry]
+    errors: list[str]
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        entries: dict[str, BaselineEntry] = {}
+        errors: list[str] = []
+        if path.is_file():
+            for lineno, raw in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1
+            ):
+                line = raw.strip()
+                if not line or line.startswith("#"):
+                    continue
+                key, sep, justification = line.partition(SEPARATOR)
+                key = key.strip()
+                justification = justification.strip()
+                if not sep or not justification:
+                    errors.append(
+                        f"{path.name}:{lineno}: baseline entry has no "
+                        f"justification (expected `key{SEPARATOR}why`)"
+                    )
+                    continue
+                if key in entries:
+                    errors.append(f"{path.name}:{lineno}: duplicate baseline key {key!r}")
+                    continue
+                entries[key] = BaselineEntry(key, justification, lineno)
+        return cls(path=path, entries=entries, errors=errors)
+
+    def split(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """(new, baselined, stale) for this run's findings."""
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        matched: set[str] = set()
+        for finding in findings:
+            key = finding.key()
+            if key in self.entries:
+                baselined.append(finding)
+                matched.add(key)
+            else:
+                new.append(finding)
+        stale = [e for k, e in self.entries.items() if k not in matched]
+        return new, baselined, stale
+
+
+def write_baseline(path: Path, findings: list[Finding], justification: str) -> None:
+    """Write a fresh baseline for the given findings (used by
+    ``--write-baseline``; the placeholder justification must be edited)."""
+    lines = [
+        "# repro.analysis findings baseline -- every entry needs a one-line",
+        "# justification after ` :: `; stale entries fail the run.",
+    ]
+    for finding in sorted(findings, key=lambda f: f.key()):
+        lines.append(f"{finding.key()}{SEPARATOR}{justification}")
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")

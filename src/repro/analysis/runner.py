@@ -1,0 +1,74 @@
+"""Suite driver shared by the CLI and the tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.core import Finding, Spec, load_modules, load_spec_file
+from repro.analysis.dispatch import check_dispatch
+from repro.analysis.drift import check_drift
+from repro.analysis.hygiene import check_hygiene
+from repro.analysis.locks import check_locks
+
+
+@dataclass
+class SuiteResult:
+    findings: list[Finding]  #: every finding, baselined or not
+    new: list[Finding]  #: findings not covered by the baseline
+    baselined: list[Finding]
+    stale: list[BaselineEntry]  #: baseline entries matching nothing
+    baseline_errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.new and not self.stale and not self.baseline_errors
+
+
+def resolve_spec(root: Path) -> Spec:
+    """A directory's own ``analysis_spec.py``, or the built-in repo spec."""
+    spec_file = root / "analysis_spec.py"
+    if spec_file.is_file():
+        return load_spec_file(spec_file)
+    from repro.analysis.spec import repo_spec
+
+    return repo_spec()
+
+
+def run_checkers(spec: Spec, root: Path) -> list[Finding]:
+    modules = load_modules(root, spec.scan)
+    findings: list[Finding] = []
+    findings.extend(check_locks(spec, modules))
+    findings.extend(check_dispatch(spec, modules))
+    findings.extend(check_hygiene(spec, modules))
+    findings.extend(check_drift(spec, modules, root))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.detail))
+    return findings
+
+
+def run_suite(
+    root: Path,
+    spec: Spec | None = None,
+    baseline_path: Path | None = None,
+) -> SuiteResult:
+    """Run every checker and apply the baseline.
+
+    ``baseline_path=None`` uses ``spec.baseline`` (relative to root) when
+    set; pass an explicit path to override.
+    """
+    spec = spec or resolve_spec(root)
+    findings = run_checkers(spec, root)
+    if baseline_path is None and spec.baseline:
+        baseline_path = root / spec.baseline
+    if baseline_path is None:
+        return SuiteResult(findings=findings, new=findings, baselined=[], stale=[])
+    baseline = Baseline.load(baseline_path)
+    new, baselined, stale = baseline.split(findings)
+    return SuiteResult(
+        findings=findings,
+        new=new,
+        baselined=baselined,
+        stale=stale,
+        baseline_errors=baseline.errors,
+    )

@@ -1,0 +1,429 @@
+"""The repo's own analysis spec: locks, hierarchies, dispatch sites, drift.
+
+This file is the single machine-readable statement of the invariants the
+rest of the codebase documents in prose:
+
+* the **lock spec** mirrors (and generates) the lock-discipline map in
+  ``docs/ARCHITECTURE.md``: every component lock, the attributes it guards,
+  and its rank in the acquisition hierarchy (hold rank *r*, acquire only
+  strictly greater ranks);
+* the **dispatch sites** are every ``isinstance`` ladder that must stay
+  complete over the logical/physical/expression hierarchies -- with the
+  deliberate gaps spelled out per-site, each with its justification;
+* the **drift spec** names the documented knob/report surfaces.
+
+A new operator class added to ``repro.algebra`` makes every ladder that
+ignores it fail the suite until it is handled or exempted here -- the
+static half of the coverage contract whose dynamic half is the
+differential harness (``tests/test_engine_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import Spec
+from repro.analysis.dispatch import DispatchSite, Hierarchy
+from repro.analysis.drift import DriftSpec
+from repro.analysis.lockspec import LockComponent, LockDecl
+
+# --------------------------------------------------------------------------- locks
+#
+# Rank convention: 10-19 engine/serving front doors, 20-29 admission, 30-39
+# scheduling queues, 40-49 catalog/optimizer state and row transport, 50+
+# source simulation leaves.  No call path should acquire downward.
+LOCK_COMPONENTS: tuple[LockComponent, ...] = (
+    LockComponent(
+        module="src/repro/serving/server.py",
+        cls="MediatorServer",
+        locks=(
+            LockDecl(
+                attr="_state",
+                kind="Condition",
+                guards=(
+                    "_closed",
+                    "_inflight",
+                    "_submitted",
+                    "_rejected",
+                    "_timed_out",
+                    "_completed",
+                    "_queue_wait_total",
+                ),
+                rank=10,
+                guards_doc="closed flag, in-flight count, server counters",
+            ),
+        ),
+        notes="never held while executing a query or blocking on a client; "
+        "futures and row queues carry their own locks.",
+    ),
+    LockComponent(
+        module="src/repro/runtime/executor.py",
+        cls="Executor",
+        locks=(
+            LockDecl(
+                attr="_pool_lock",
+                kind="Lock",
+                guards=("_pool",),
+                rank=14,
+                guards_doc="pool lifecycle",
+            ),
+            LockDecl(
+                attr="_types_lock",
+                kind="Lock",
+                guards=("_type_checked_extents", "_type_checked_version"),
+                rank=15,
+                guards_doc="the type-check verdict cache",
+                notes="wrapper type checks run *outside* `_types_lock`; "
+                "re-insertion is version-guarded.",
+            ),
+            LockDecl(
+                attr="_active",
+                kind="Condition",
+                guards=("_dispatch_cancels", "_active_streams"),
+                rank=16,
+                guards_doc="dispatch/stream registries for `close()`",
+            ),
+            LockDecl(
+                attr="_probe_lock",
+                kind="Lock",
+                guards=("probe_cache_hits", "probe_cache_misses"),
+                rank=17,
+                guards_doc="probe-cache statistics folded in by probe runners",
+            ),
+        ),
+        notes="all four are leaf-level within the executor: none is held "
+        "while parsing, planning, or calling wrapper code.",
+    ),
+    LockComponent(
+        module="src/repro/runtime/admission.py",
+        cls="AdmissionController",
+        locks=(
+            LockDecl(
+                attr="_lock",
+                kind="Lock",
+                guards=("_inflight", "_closed", "stats"),
+                rank=20,
+                guards_doc="in-flight count, closed flag, admission counters",
+            ),
+        ),
+        notes="promotion polls its FairQueue non-blockingly (`timeout=0`) "
+        "under the lock; waiters block on their own events, never on it.",
+    ),
+    LockComponent(
+        module="src/repro/runtime/admission.py",
+        cls="FairQueue",
+        locks=(
+            LockDecl(
+                attr="_condition",
+                kind="Condition",
+                guards=("_classes", "_size", "_closed", "max_depth"),
+                rank=30,
+                guards_doc="priority classes, depth, closed flag, high-water mark",
+            ),
+        ),
+        notes="`pop` blocks only on its own condition; waiters are promoted "
+        "in weighted-fair order.",
+    ),
+    LockComponent(
+        module="src/repro/core/registry.py",
+        cls="Registry",
+        locks=(
+            LockDecl(
+                attr="_lock",
+                kind="RLock",
+                guards=("schema", "_schema_version"),
+                rank=40,
+                guards_doc="interfaces, extents, repositories, views, "
+                "`schema_version`",
+                notes="re-entrant because view expansion re-enters the "
+                "registry; every mutation bumps `schema_version` under the "
+                "lock.",
+            ),
+        ),
+        held_in=(("_bump", "_lock"),),
+    ),
+    LockComponent(
+        module="src/repro/optimizer/plancache.py",
+        cls="PlanCache",
+        locks=(
+            LockDecl(
+                attr="_lock",
+                kind="RLock",
+                guards=(
+                    "_entries",
+                    "_keys",
+                    "hits",
+                    "misses",
+                    "invalidations",
+                    "evictions",
+                ),
+                rank=41,
+                guards_doc="the LRU map and hit/miss/eviction/invalidation "
+                "counters",
+                notes="entries are keyed `(canonical text, schema_version)`, "
+                "so a stale plan is unreachable rather than invalidated in "
+                "place.",
+            ),
+        ),
+    ),
+    LockComponent(
+        module="src/repro/optimizer/history.py",
+        cls="ExecCallHistory",
+        locks=(
+            LockDecl(
+                attr="_lock",
+                kind="Lock",
+                guards=("_exact", "_close", "_availability", "failures"),
+                rank=42,
+                guards_doc="the per-`(source, shape)` deques and availability "
+                "EWMAs",
+                notes="`record()` appends and `estimate()` aggregates under "
+                "the lock; the cost model reads through this interface only.",
+            ),
+        ),
+        held_in=(("_observe_availability", "_lock"),),
+    ),
+    LockComponent(
+        module="src/repro/runtime/backpressure.py",
+        cls="BoundedRowQueue",
+        locks=(
+            LockDecl(
+                attr="_condition",
+                kind="Condition",
+                guards=(
+                    "_rows",
+                    "_closed",
+                    "_finished",
+                    "_error",
+                    "delivered",
+                    "stalls",
+                ),
+                rank=45,
+                guards_doc="the row deque, delivered/stall counters, closed "
+                "flag",
+                notes="producer blocks at capacity; consumer close wakes and "
+                "cancels the producer with `StreamClosed`.",
+            ),
+        ),
+    ),
+    LockComponent(
+        module="src/repro/sources/network.py",
+        cls="NetworkProfile",
+        locks=(
+            LockDecl(
+                attr="_lock",
+                kind="Lock",
+                guards=("_rng",),
+                rank=50,
+                guards_doc="the seeded RNG",
+            ),
+        ),
+        notes="under concurrency the *multiset* of injected faults is "
+        "reproducible; their assignment to calls is scheduling-dependent.",
+    ),
+    LockComponent(
+        module="src/repro/sources/network.py",
+        cls="AvailabilityModel",
+        locks=(
+            LockDecl(
+                attr="_lock",
+                kind="Lock",
+                guards=("_rng", "_forced_failures", "_forced_crashes", "_forced_kills"),
+                rank=51,
+                guards_doc="the seeded RNG and armed failure/crash/kill lists",
+            ),
+        ),
+        notes="`available` is a deliberately unguarded hard switch: a plain "
+        "bool flipped by tests, torn reads impossible.",
+    ),
+)
+
+# --------------------------------------------------------------------------- dispatch
+HIERARCHIES: tuple[Hierarchy, ...] = (
+    Hierarchy(name="logical", module="src/repro/algebra/logical.py", root="LogicalOp"),
+    Hierarchy(name="physical", module="src/repro/algebra/physical.py", root="PhysicalOp"),
+    Hierarchy(name="expr", module="src/repro/algebra/expressions.py", root="Expr"),
+)
+
+#: why Field never needs a dispatch arm (shared by several physical sites)
+_FIELD = "Field is the source placeholder inside Exec, never a plan root"
+#: the operators that only exist above the wrapper boundary
+_MEDIATOR_ONLY = "mediator-side only: the planner never pushes it below the wrapper boundary"
+
+DISPATCH_SITES: tuple[DispatchSite, ...] = (
+    DispatchSite(
+        name="unparser.unparse",
+        module="src/repro/algebra/unparser.py",
+        hierarchy="logical",
+        functions=("_Unparser.unparse",),
+    ),
+    DispatchSite(
+        name="unparser.decompose",
+        module="src/repro/algebra/unparser.py",
+        hierarchy="logical",
+        functions=("_Unparser._decompose",),
+    ),
+    DispatchSite(
+        name="unparser.substitute-variable",
+        module="src/repro/algebra/unparser.py",
+        hierarchy="expr",
+        functions=("_substitute_variable",),
+        exempt=(
+            ("Const", "constants carry no variable references; the fall-through is the arm"),
+            (
+                "Subquery",
+                "subquery predicates are never pushed (the capability vocabulary "
+                "refuses them), so alias substitution cannot meet one",
+            ),
+        ),
+    ),
+    DispatchSite(
+        name="cost.estimate",
+        module="src/repro/optimizer/cost.py",
+        hierarchy="physical",
+        functions=("CostModel.estimate",),
+        exempt=(("Field", _FIELD),),
+    ),
+    DispatchSite(
+        name="implementation.implement",
+        module="src/repro/optimizer/implementation.py",
+        hierarchy="logical",
+        functions=("implement",),
+    ),
+    DispatchSite(
+        name="implementation.rebuild",
+        module="src/repro/optimizer/implementation.py",
+        hierarchy="logical",
+        functions=("_rebuild",),
+        exempt=(
+            ("Get", "raw gets never survive planning; implement() raises on them first"),
+            ("Join", "joins are implemented whole by implement(); alternatives are enumerated, not rebuilt"),
+            ("BagLiteral", "leaf with no children to rebuild; implement() builds MkBag directly"),
+        ),
+    ),
+    DispatchSite(
+        name="partial_eval.to_logical",
+        module="src/repro/runtime/partial_eval.py",
+        hierarchy="physical",
+        functions=("PartialAnswerBuilder.to_logical",),
+        exempt=(("Field", _FIELD),),
+    ),
+    DispatchSite(
+        name="partial_eval.evaluate_logical",
+        module="src/repro/runtime/partial_eval.py",
+        hierarchy="logical",
+        functions=("PartialAnswerBuilder.evaluate_logical",),
+    ),
+    DispatchSite(
+        name="executor.compose_rows",
+        module="src/repro/runtime/executor.py",
+        hierarchy="physical",
+        functions=("Executor.compose_rows",),
+        exempt=(("Field", _FIELD),),
+    ),
+    DispatchSite(
+        name="degrade.strippable",
+        module="src/repro/runtime/degrade.py",
+        hierarchy="logical",
+        constant="_STRIPPABLE",
+        exempt=(
+            ("Get", "the root scan itself: stripping it leaves nothing to submit"),
+            ("Submit", "the degradation ladder runs *inside* one submit"),
+            ("Apply", "computed attributes cannot be compensated row-wise without the source's rows"),
+            ("Join", "multi-leaf pushdown: degrading means splitting, handled by the refuse-to-push path"),
+            ("BindJoin", "probe shape is degraded by the probe runner, not the ladder"),
+            ("Union", "multi-leaf pushdown: degraded by per-branch splitting, not stripping"),
+            ("Distinct", "stripping distinct would re-ship duplicate rows the mediator cannot attribute"),
+            ("BagLiteral", "literal leaf: nothing smaller to submit"),
+        ),
+    ),
+    DispatchSite(
+        name="wrappers.evaluate_stream",
+        module="src/repro/wrappers/base.py",
+        hierarchy="logical",
+        functions=("AlgebraEvaluator.evaluate_stream",),
+        exempt=(
+            ("Submit", _MEDIATOR_ONLY),
+            ("BindJoin", _MEDIATOR_ONLY),
+            ("Apply", _MEDIATOR_ONLY),
+            ("Distinct", "no `distinct` capability terminal exists; the grammar never routes it here"),
+        ),
+    ),
+    DispatchSite(
+        name="sqlwrapper.render",
+        module="src/repro/wrappers/sqlwrapper.py",
+        hierarchy="logical",
+        exempt=(
+            ("Submit", _MEDIATOR_ONLY),
+            ("BindJoin", _MEDIATOR_ONLY),
+            ("Apply", _MEDIATOR_ONLY),
+            ("Distinct", "no `distinct` terminal in the Sql grammar"),
+            ("Union", "no `union` terminal in the Sql grammar"),
+            ("Flatten", "no `flatten` terminal in the Sql grammar"),
+            ("BagLiteral", "no `bag` terminal in the Sql grammar"),
+        ),
+    ),
+    DispatchSite(
+        name="sqlwrapper.render-expr",
+        module="src/repro/wrappers/sqlwrapper.py",
+        hierarchy="expr",
+        exempt=(
+            ("Arithmetic", "not in the Sql predicate vocabulary; the grammar refuses it upstream"),
+            ("StructExpr", "not in the Sql predicate vocabulary"),
+            ("BagExpr", "not in the Sql predicate vocabulary"),
+            ("FunctionCall", "aggregates reach SQL through GroupBy's aggregate list, never as a bare predicate"),
+            ("Subquery", "never pushed below the wrapper boundary"),
+        ),
+    ),
+    DispatchSite(
+        name="capabilities.matches",
+        module="src/repro/algebra/capabilities.py",
+        hierarchy="logical",
+        functions=("CapabilityGrammar._matches",),
+        exempt=(
+            ("Submit", "submits are what grammars gate, not what they contain"),
+            ("BindJoin", "rewritten to batched probes before capability checking"),
+            ("Apply", _MEDIATOR_ONLY),
+            ("Distinct", "no `distinct` capability terminal exists"),
+        ),
+    ),
+    DispatchSite(
+        name="expressions.walk",
+        module="src/repro/algebra/expressions.py",
+        hierarchy="expr",
+        functions=("walk_expr",),
+        exempt=(
+            ("Const", "leaf: yielded, nothing to recurse into"),
+            ("Var", "leaf: yielded, nothing to recurse into"),
+            ("Subquery", "deliberately opaque: rules that expand subqueries walk their bodies themselves"),
+        ),
+    ),
+    DispatchSite(
+        name="history.strip-constants",
+        module="src/repro/optimizer/history.py",
+        hierarchy="expr",
+        functions=("_strip_constants_expr",),
+        exempt=(
+            ("Var", "variables carry no constants; the fall-through is the arm"),
+            ("Subquery", "never appears in recorded pushdown shapes (not pushable)"),
+        ),
+    ),
+)
+
+# --------------------------------------------------------------------------- assembly
+HYGIENE_SCAN: tuple[str, ...] = (
+    "src/repro/runtime/",
+    "src/repro/serving/",
+    "src/repro/wrappers/",
+    "src/repro/sources/",
+)
+
+
+def repo_spec() -> Spec:
+    return Spec(
+        scan=("src/repro",),
+        lock_components=LOCK_COMPONENTS,
+        hierarchies=HIERARCHIES,
+        dispatch_sites=DISPATCH_SITES,
+        hygiene_scan=HYGIENE_SCAN,
+        drift=DriftSpec(),
+        baseline="analysis-baseline.txt",
+    )

@@ -107,6 +107,7 @@ class Registry:
             return view
 
     def _bump(self) -> None:
+        """Advance the schema version; the caller holds ``_lock``."""
         self._schema_version += 1
 
     # -- lookups used by the planner and the run-time system -----------------------------------

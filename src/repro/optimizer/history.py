@@ -188,6 +188,7 @@ class ExecCallHistory:
             self._observe_availability(extent_name, succeeded=False)
 
     def _observe_availability(self, extent_name: str, succeeded: bool) -> None:
+        # The caller holds ``_lock``.
         previous = self._availability.get(extent_name, 1.0)
         alpha = self.availability_smoothing
         self._availability[extent_name] = (

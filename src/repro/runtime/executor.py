@@ -625,7 +625,7 @@ class _ProbeRunner:
                         self.cancelled = True
                         raise _ProbeCancelled from exc
                 else:
-                    time.sleep(backoff)
+                    cancellation.sleep(backoff)
                 continue
             call_elapsed = time.monotonic() - started
             self.calls += 1
@@ -721,7 +721,9 @@ class Executor:
             return self._pool
 
     def _live_streams(self) -> list[Any]:
-        return [s for s in list(self._active_streams) if not s.finished]
+        with self._active:
+            streams = list(self._active_streams)
+        return [s for s in streams if not s.finished]
 
     def close(self, drain: bool = False, timeout: float | None = None) -> None:
         """Shut the shared pool down; a later query transparently recreates it.
@@ -891,7 +893,8 @@ class Executor:
         except BaseException:
             on_finish()
             raise
-        self._active_streams.add(stream)
+        with self._active:
+            self._active_streams.add(stream)
         return stream
 
     # -- exec dispatch ------------------------------------------------------------------------
@@ -1159,7 +1162,7 @@ class Executor:
                     if event is not None:
                         event.wait(backoff)
                     else:
-                        time.sleep(backoff)
+                        cancellation.sleep(backoff)
                     with guard:
                         written_off = id(node) in abandoned
                     if not written_off:

@@ -60,6 +60,7 @@ from repro.algebra import logical as log
 from repro.algebra import physical as phys
 from repro.runtime import cancellation
 from repro.runtime import operators as ops
+from repro.runtime.backpressure import StreamClosed
 from repro.runtime.degrade import compensate_rows, degrade_pushdown, is_capability_failure
 from repro.runtime.executor import (
     ExecReport,
@@ -396,6 +397,10 @@ class StreamingExecution:
                         rows = wrapper.submit_stream(plan.expression, resume_from=token)
                     else:
                         rows = wrapper.submit_stream(plan.expression)
+            except StreamClosed:
+                # The consumer is gone, not the source: nothing to retry,
+                # degrade, or record as a failure.
+                raise
             except Exception as exc:
                 attempt += 1
                 state.attempts = attempt
@@ -725,6 +730,11 @@ class StreamingExecution:
                         row = normalize_row(raw, renames)
                     except StopIteration:
                         break
+                    except StreamClosed:
+                        # Consumer-side close crossing a mediator-recombined
+                        # iterator: cancellation, not a source death -- do
+                        # not spend resume budget reopening for nobody.
+                        raise
                     except Exception as exc:  # the source died mid-stream
                         pull_time = time.monotonic() - pulled
                         source_time += pull_time

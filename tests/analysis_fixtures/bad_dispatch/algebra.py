@@ -1,0 +1,17 @@
+"""A miniature operator hierarchy for the dispatch fixture."""
+
+
+class Node:
+    pass
+
+
+class Add(Node):
+    pass
+
+
+class Sub(Node):
+    pass
+
+
+class Mul(Node):
+    pass

@@ -1,0 +1,11 @@
+"""A dispatch ladder that silently misses one subclass (Mul)."""
+
+from algebra import Add, Sub
+
+
+def render(node):  # seed: missing-arm, stale-exemption
+    if isinstance(node, Add):
+        return "+"
+    if isinstance(node, Sub):
+        return "-"
+    raise ValueError(f"unrenderable node {node!r}")

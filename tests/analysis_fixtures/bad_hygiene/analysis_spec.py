@@ -1,0 +1,3 @@
+from repro.analysis import Spec
+
+SPEC = Spec(scan=(".",), hygiene_scan=("",))

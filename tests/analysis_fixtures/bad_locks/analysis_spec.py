@@ -1,0 +1,15 @@
+from repro.analysis import LockComponent, LockDecl, Spec
+
+SPEC = Spec(
+    scan=(".",),
+    lock_components=(
+        LockComponent(
+            module="counters.py",
+            cls="Stats",
+            locks=(
+                LockDecl(attr="_lock", kind="Lock", guards=("count", "rows"), rank=10),
+                LockDecl(attr="_aux", kind="Lock", guards=(), rank=20),
+            ),
+        ),
+    ),
+)

@@ -1,0 +1,36 @@
+"""Seeded lock-discipline violations, each marked with a seed comment."""
+
+import threading
+import time
+
+
+class Stats:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._aux = threading.Lock()
+        self.count = 0
+        self.rows = []
+
+    def locked_increment(self):
+        with self._lock:
+            self.count += 1
+
+    def unguarded_increment(self):
+        self.count += 1  # seed: unguarded-write
+
+    def unguarded_append(self):
+        self.rows.append(1)  # seed: unguarded-write
+
+    def inverted_order(self):
+        with self._aux:
+            with self._lock:  # seed: lock-order
+                self.count += 1
+
+    def generator_under_lock(self):
+        with self._lock:
+            yield self.count  # seed: lock-across-yield
+
+    def sleep_under_lock(self):
+        with self._lock:
+            time.sleep(0.01)  # seed: blocking-under-lock
+            self.count += 1

@@ -1,0 +1,150 @@
+"""Regression tests for the defects surfaced by ``python -m repro.analysis``.
+
+The suite flagged three real bug classes (see ``src/repro/analysis/``):
+
+* ``Executor._active_streams`` was mutated and iterated outside the
+  ``_active`` condition (locks:unguarded-write);
+* the barrier retry backoffs used raw ``time.sleep`` instead of the
+  cancellation-aware ``cancellation.sleep`` (hygiene:raw-sleep);
+* the streaming open/pull paths caught ``StreamClosed`` -- the consumer
+  hanging up -- in the same broad handler as source deaths, burning retry
+  and resume budget reopening a stream nobody is reading
+  (hygiene:broad-except).
+
+The checkers themselves now pin the first two (any reintroduction is a new,
+non-baselined finding); these tests pin the observable behavior.
+"""
+
+import threading
+
+import pytest
+
+from repro import Mediator
+from repro.algebra.capabilities import CapabilitySet
+from repro.runtime.backpressure import StreamClosed
+from repro.wrappers.base import Wrapper
+
+ROWS = [{"id": i, "name": f"p{i}", "salary": i * 10} for i in range(10)]
+QUERY = "select x.name from x in person0 where x.salary > 40 limit 2"
+
+
+class InMemoryWrapper(Wrapper):
+    """Ships the whole extent for a bare ``get``; the mediator compensates."""
+
+    CAPABILITIES = ("get",)
+
+    def __init__(self, name, rows):
+        super().__init__(name, CapabilitySet.of(*self.CAPABILITIES))
+        self.rows = rows
+        self.submitted: list[str] = []
+
+    def _execute(self, expression):
+        self.submitted.append(expression.to_text())
+        return [dict(row) for row in self.rows]
+
+    def source_attributes(self, collection):
+        return ["id", "name", "salary"]
+
+
+class HangupWrapper(InMemoryWrapper):
+    """Simulates the consumer having already gone away at open time.
+
+    Declares the full pushdown set so the expression is degradable: a
+    regression would show up as ladder re-submissions, not just retries.
+    """
+
+    CAPABILITIES = ("get", "project", "select", "limit")
+
+    def _execute(self, expression):
+        self.submitted.append(expression.to_text())
+        raise StreamClosed("consumer went away")
+
+
+def build_mediator(wrapper, **mediator_kwargs):
+    mediator = Mediator(name="regress", **mediator_kwargs)
+    mediator.register_wrapper("w0", wrapper)
+    mediator.create_repository("r0")
+    mediator.define_interface(
+        "Person",
+        [("id", "Long"), ("name", "String"), ("salary", "Short")],
+        extent_name="person",
+    )
+    mediator.add_extent("person0", "Person", "w0", "r0")
+    return mediator
+
+
+def test_stream_registry_is_safe_under_concurrent_open_and_inspection():
+    """Threads opening/draining streams race `_live_streams` snapshots.
+
+    Before the fix, ``execute_stream`` added to ``Executor._active_streams``
+    and ``_live_streams`` iterated it without holding ``_active``: a set
+    mutating mid-iteration raises RuntimeError (or silently corrupts), and
+    this loop made that a crash rather than a heisenbug.
+    """
+    wrapper = InMemoryWrapper("w0", ROWS)
+    mediator = build_mediator(wrapper)
+    errors: list[BaseException] = []
+    start = threading.Barrier(5)
+
+    def churn():
+        try:
+            start.wait(timeout=10)
+            for _ in range(25):
+                rows = list(mediator.query_stream(QUERY).iter_rows())
+                assert rows == ["p5", "p6"]
+        except BaseException as exc:  # noqa: BLE001 - harvested below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=churn) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    start.wait(timeout=10)
+    while any(thread.is_alive() for thread in threads):
+        mediator.executor._live_streams()
+    for thread in threads:
+        thread.join(timeout=30)
+    mediator.close()
+    assert errors == [], errors
+
+
+def test_consumer_hangup_is_not_retried_or_degraded():
+    """StreamClosed at open time must not burn the retry/degradation budget.
+
+    Before the fix the broad failure handler treated the consumer hanging up
+    like a source death: with ``max_retries=3`` and a degradable pushdown it
+    re-submitted progressively smaller expressions to a source whose rows
+    nobody would ever read.  Now the hangup propagates after exactly one
+    submit.
+    """
+    wrapper = HangupWrapper("w0", ROWS)
+    mediator = build_mediator(wrapper, max_retries=3)
+    stream = mediator.query_stream(QUERY)
+    with pytest.raises(StreamClosed):
+        list(stream.iter_rows())
+    assert len(wrapper.submitted) == 1, wrapper.submitted
+    mediator.close()
+
+
+def test_transient_failures_still_retry_after_the_hangup_fix():
+    """The StreamClosed carve-out must not weaken real failure recovery."""
+
+    class FlakyWrapper(InMemoryWrapper):
+        def __init__(self, name, rows):
+            super().__init__(name, rows)
+            self._failures = 2
+
+        def _execute(self, expression):
+            from repro.errors import UnavailableSourceError
+
+            self.submitted.append(expression.to_text())
+            if self._failures > 0:
+                self._failures -= 1
+                raise UnavailableSourceError(self.name, "transient outage")
+            return [dict(row) for row in self.rows]
+
+    wrapper = FlakyWrapper("w0", ROWS)
+    mediator = build_mediator(wrapper, max_retries=3)
+    rows = list(mediator.query_stream(QUERY).iter_rows())
+    assert rows == ["p5", "p6"]
+    assert len(wrapper.submitted) == 3, wrapper.submitted
+    mediator.close()

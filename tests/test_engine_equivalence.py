@@ -26,6 +26,14 @@ The agreed semantics being pinned:
   resuming past the delivered rows (exactly-once: no duplicates, no gaps).
   Per-call attempt shapes are *not* compared under a kill: which concurrent
   call to the server consumes the armed kill is scheduling-dependent.
+
+When a new operator lands, extend the query generator below so both engines
+see it -- and note that the *static* half of that coverage contract is
+machine-checked: the dispatch-completeness checker in ``repro.analysis``
+(``PYTHONPATH=src python -m repro.analysis``) fails the build if the new
+operator is missing an arm at any dispatch ladder (unparser, cost model,
+implementation, composer, ...), so only the generator extension here needs
+remembering by hand.
 """
 
 from __future__ import annotations

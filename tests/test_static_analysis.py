@@ -1,0 +1,122 @@
+"""The repo itself passes `python -m repro.analysis`, and the suite catches
+a synthetic operator that skips the dispatch ladders it must extend."""
+
+import dataclasses
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import (
+    load_modules,
+    render_lock_table,
+    run_suite,
+)
+from repro.analysis.baseline import Baseline
+from repro.analysis.dispatch import check_dispatch
+from repro.analysis.drift import extract_lock_block
+from repro.analysis.spec import repo_spec
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_repo_is_clean_under_the_suite():
+    result = run_suite(REPO_ROOT)
+    assert result.ok, "\n".join(
+        [f.render() for f in result.new]
+        + [f"stale baseline: {e.key}" for e in result.stale]
+        + result.baseline_errors
+    )
+
+
+def test_every_baseline_entry_is_justified():
+    baseline = Baseline.load(REPO_ROOT / "analysis-baseline.txt")
+    assert baseline.errors == []
+    assert baseline.entries, "repo baseline unexpectedly empty"
+    for entry in baseline.entries.values():
+        assert "TODO" not in entry.justification, entry.key
+
+
+def test_cli_exits_zero_on_the_repo():
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "--root", str(REPO_ROOT)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 new" in proc.stdout
+
+
+def test_new_operator_without_dispatch_arms_is_flagged(tmp_path):
+    """A logical/physical operator added without touching the unparser, cost
+    model, implementation, and composer ladders must surface as missing-arm
+    findings -- the machine-checked half of the "extend the ladders" rule."""
+    shutil.copytree(REPO_ROOT / "src" / "repro", tmp_path / "src" / "repro")
+    logical = tmp_path / "src" / "repro" / "algebra" / "logical.py"
+    physical = tmp_path / "src" / "repro" / "algebra" / "physical.py"
+    logical.write_text(
+        logical.read_text()
+        + "\n\n@dataclass(frozen=True)\nclass Shuffle(LogicalOp):\n    child: LogicalOp\n"
+    )
+    physical.write_text(
+        physical.read_text()
+        + "\n\n@dataclass(frozen=True)\nclass MkShuffle(PhysicalOp):\n    child: PhysicalOp\n"
+    )
+    spec = dataclasses.replace(repo_spec(), drift=None, baseline=None)
+    result = run_suite(tmp_path, spec=spec, baseline_path=None)
+    flagged = {
+        (f.scope, f.message.split("`")[1])
+        for f in result.findings
+        if f.rule == "missing-arm"
+    }
+    shuffle_sites = {scope for scope, cls in flagged if cls == "Shuffle"}
+    mkshuffle_sites = {scope for scope, cls in flagged if cls == "MkShuffle"}
+    assert "unparser.unparse" in shuffle_sites, sorted(flagged)
+    assert "implementation.implement" in shuffle_sites, sorted(flagged)
+    assert "cost.estimate" in mkshuffle_sites, sorted(flagged)
+    assert "executor.compose_rows" in mkshuffle_sites, sorted(flagged)
+
+
+def test_dispatch_checker_covers_every_declared_hierarchy():
+    spec = repo_spec()
+    hierarchy_names = {h.name for h in spec.hierarchies}
+    assert hierarchy_names == {"logical", "physical", "expr"}
+    used = {site.hierarchy for site in spec.dispatch_sites}
+    assert used == hierarchy_names
+
+
+def test_architecture_lock_table_matches_the_spec():
+    doc = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(encoding="utf-8")
+    extracted = extract_lock_block(doc)
+    assert extracted is not None, "lock-spec markers missing from docs/ARCHITECTURE.md"
+    block, _start_line = extracted
+    assert block.strip() == render_lock_table(repo_spec().lock_components).strip()
+
+
+def test_ci_has_a_blocking_static_analysis_job():
+    workflow = (REPO_ROOT / ".github" / "workflows" / "ci.yml").read_text()
+    assert "static-analysis:" in workflow
+    assert "python -m repro.analysis" in workflow
+
+
+def test_spec_modules_all_exist():
+    """Every module named in the repo spec resolves to a scanned file, so a
+    file rename cannot silently disable a checker."""
+    spec = repo_spec()
+    modules = {m.path for m in load_modules(REPO_ROOT, spec.scan)}
+    for component in spec.lock_components:
+        assert component.module in modules, component.module
+    for hierarchy in spec.hierarchies:
+        assert hierarchy.module in modules, hierarchy.module
+    for site in spec.dispatch_sites:
+        assert site.module in modules, site.module
+    spec_errors = [
+        f
+        for f in check_dispatch(spec, load_modules(REPO_ROOT, spec.scan))
+        if f.rule == "spec-error"
+    ]
+    assert spec_errors == [], [f.render() for f in spec_errors]
