@@ -1,0 +1,173 @@
+"""E16: the semantic answer cache under a skewed interactive workload.
+
+One federation of latency-bearing Person sources answers a Zipfian(1.1)
+stream drawn from 64 query templates -- the shape of a dashboard or a
+repeated ad-hoc session, where a few queries dominate and the rest ride the
+tail.  The same sequence runs twice:
+
+* **cache off**: every draw plans and contacts the sources;
+* **cache on**: exact repeats are served from materialized rows, and
+  narrower variants (tighter ``limit``, projected items, appended
+  conjuncts) are served by subsumption -- replaying the delta
+  mediator-side over a cached superset, still without a source call.
+
+Measured: per-draw latency (p50 of each run) and the cache counters from
+``Mediator.statistics()``.  Asserted -- the acceptance bar for the cache:
+
+* **>= 10x p50 improvement** cache-on vs cache-off on the skewed stream;
+* **>= 80% combined hit rate** (exact + subsumption) over the draws;
+* **zero wrapper calls on exact hits**: replaying the hottest template
+  after warmup moves no ``ServerStatistics.requests`` counter.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from benchmarks.conftest import SRC, build_person_federation  # noqa: F401
+
+from repro.runtime.answercache import AnswerCache
+
+SOURCES = 4
+ROWS_PER_SOURCE = 60
+#: per-call simulated network latency; cache-off pays it on every draw.
+BASE_LATENCY = 0.002
+DRAWS = 400
+ZIPF_ALPHA = 1.1
+SEED = 1996
+
+
+def query_templates() -> list[str]:
+    """64 distinct queries over the Person federation, mixing every shape
+    the subsumption matrix covers (select / project / distinct / limit)."""
+    templates: list[str] = []
+    for i in range(16):
+        templates.append(f"select x from x in person where x.salary > {25 * i}")
+    # Same thresholds as the bare selects: a first draw of any of these can
+    # be served by subsumption from a cached counterpart above.
+    for i in range(16):
+        templates.append(f"select x.name from x in person where x.salary > {25 * i}")
+    for i in range(16):
+        templates.append(
+            "select struct(n: x.name, s: x.salary) from x in person "
+            f"where x.salary <= {25 * i + 15}"
+        )
+    for i in range(8):
+        templates.append(f"select distinct x.name from x in person where x.salary > {50 * i}")
+    for i in range(8):
+        templates.append(f"select x.name from x in person where x.salary > 100 limit {5 * i + 5}")
+    assert len(templates) == 64
+    return templates
+
+
+def zipfian_sequence(templates: list[str], draws: int, rng: random.Random) -> list[str]:
+    """``draws`` template picks with Zipfian(ZIPF_ALPHA) rank weights."""
+    weights = [1.0 / (rank + 1) ** ZIPF_ALPHA for rank in range(len(templates))]
+    return rng.choices(templates, weights=weights, k=draws)
+
+
+def run_workload(mediator, sequence: list[str]) -> list[float]:
+    """Issue every draw in order; per-draw wall-clock latencies."""
+    latencies = []
+    for text in sequence:
+        start = time.perf_counter()
+        mediator.query(text)
+        latencies.append(time.perf_counter() - start)
+    return latencies
+
+
+def p50(latencies: list[float]) -> float:
+    ordered = sorted(latencies)
+    return ordered[len(ordered) // 2]
+
+
+def source_requests(mediator) -> int:
+    return sum(
+        wrapper.server.statistics.requests
+        for wrapper in mediator.registry.schema.wrappers().values()
+    )
+
+
+def test_e16_zipfian_workload_hit_rate_and_latency(benchmark):
+    rng = random.Random(SEED)
+    sequence = zipfian_sequence(query_templates(), DRAWS, rng)
+
+    plain = build_person_federation(
+        SOURCES, rows_per_source=ROWS_PER_SOURCE, base_latency=BASE_LATENCY
+    )
+    cached = build_person_federation(
+        SOURCES,
+        rows_per_source=ROWS_PER_SOURCE,
+        base_latency=BASE_LATENCY,
+        answer_cache=AnswerCache(max_entries=256),
+    )
+    try:
+        cold_p50 = p50(run_workload(plain, sequence))
+        warm_p50 = p50(run_workload(cached, sequence))
+
+        stats = cached.statistics()
+        served = stats["answer_cache_hits"] + stats["answer_cache_subsumption_hits"]
+        hit_rate = served / DRAWS
+
+        # Zero wrapper calls on exact hits: replay the hottest template --
+        # warmed by the workload above -- and watch the source counters.
+        hottest = sequence[0]
+        before = source_requests(cached)
+        benchmark(lambda: cached.query(hottest).rows())
+        assert source_requests(cached) == before, "exact hit contacted a source"
+
+        assert hit_rate >= 0.80, f"combined hit rate {hit_rate:.2%} below 80%"
+        assert cold_p50 >= 10 * warm_p50, (
+            f"p50 improved only {cold_p50 / warm_p50:.1f}x "
+            f"(off {cold_p50 * 1000:.2f}ms vs on {warm_p50 * 1000:.2f}ms)"
+        )
+
+        benchmark.extra_info["draws"] = DRAWS
+        benchmark.extra_info["templates"] = 64
+        benchmark.extra_info["zipf_alpha"] = ZIPF_ALPHA
+        benchmark.extra_info["p50_off_ms"] = round(cold_p50 * 1000, 3)
+        benchmark.extra_info["p50_on_ms"] = round(warm_p50 * 1000, 3)
+        benchmark.extra_info["p50_speedup"] = round(cold_p50 / warm_p50, 1)
+        benchmark.extra_info["hit_rate"] = round(hit_rate, 3)
+        benchmark.extra_info["exact_hits"] = stats["answer_cache_hits"]
+        benchmark.extra_info["subsumption_hits"] = stats["answer_cache_subsumption_hits"]
+        benchmark.extra_info["evictions"] = stats["answer_cache_evictions"]
+    finally:
+        plain.close()
+        cached.close()
+
+
+def test_e16_cache_answers_match_the_plain_engine(benchmark):
+    """Integrity rider: every template answered identically with and
+    without the cache, after the cache is fully warm (so most answers come
+    from materialized rows or subsumption replay, not the sources)."""
+    from collections import Counter
+
+    templates = query_templates()
+    plain = build_person_federation(SOURCES, rows_per_source=ROWS_PER_SOURCE)
+    cached = build_person_federation(
+        SOURCES, rows_per_source=ROWS_PER_SOURCE, answer_cache=True
+    )
+    try:
+        for text in templates:  # warm pass
+            cached.query(text)
+
+        def check_all() -> int:
+            mismatches = 0
+            for text in templates:
+                want = plain.query(text).rows()
+                got = cached.query(text).rows()
+                if "limit" in text:
+                    ok = len(got) == len(want) and not Counter(got) - Counter(want)
+                else:
+                    ok = Counter(got) == Counter(want)
+                mismatches += 0 if ok else 1
+            return mismatches
+
+        assert benchmark(check_all) == 0
+        stats = cached.statistics()
+        assert stats["answer_cache_hits"] >= len(templates)
+    finally:
+        plain.close()
+        cached.close()

@@ -36,6 +36,7 @@ def build_person_federation(
     get_only: bool = False,
     base_latency: float = 0.0,
     seed: int = 7,
+    answer_cache=None,
 ) -> Mediator:
     """A mediator federating ``sources`` Person databases."""
     servers = build_person_sources(
@@ -47,7 +48,7 @@ def build_person_federation(
             seed=seed,
         )
     )
-    mediator = Mediator(name=f"bench-{sources}")
+    mediator = Mediator(name=f"bench-{sources}", answer_cache=answer_cache)
     mediator.define_interface(
         "Person",
         [("id", "Long"), ("name", "String"), ("salary", "Short")],

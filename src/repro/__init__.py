@@ -34,6 +34,7 @@ from repro.errors import (
     TypeConflictError,
     UnavailableSourceError,
 )
+from repro.runtime.answercache import AnswerCache
 from repro.serving import MediatorServer, ServerConfig, ServerReport
 from repro.wrappers import (
     CsvWrapper,
@@ -49,6 +50,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Mediator",
+    "AnswerCache",
     "Catalog",
     "Session",
     "QueryResult",

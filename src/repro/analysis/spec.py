@@ -182,6 +182,37 @@ LOCK_COMPONENTS: tuple[LockComponent, ...] = (
         held_in=(("_observe_availability", "_lock"),),
     ),
     LockComponent(
+        module="src/repro/runtime/answercache.py",
+        cls="AnswerCache",
+        locks=(
+            LockDecl(
+                attr="_lock",
+                kind="RLock",
+                guards=(
+                    "_entries",
+                    "_by_plan",
+                    "_keys",
+                    "_total_rows",
+                    "hits",
+                    "subsumption_hits",
+                    "misses",
+                    "patches",
+                    "stores",
+                    "invalidations",
+                    "evictions",
+                ),
+                rank=43,
+                guards_doc="the answer LRU, the plan-text subsumption index, "
+                "the row budget and the hit/subsumption/patch/miss counters",
+                notes="never held while planning, executing, replaying "
+                "deltas or reading the registry; entries pin a "
+                "`schema_version` so a stale answer is unreachable, and "
+                "partial patches re-validate the pin after executing.",
+            ),
+        ),
+        held_in=(("_remove_entry", "_lock"),),
+    ),
+    LockComponent(
         module="src/repro/runtime/backpressure.py",
         cls="BoundedRowQueue",
         locks=(

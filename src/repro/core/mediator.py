@@ -23,6 +23,7 @@ from repro.oql.ast import DefineStatement, ExprQuery
 from repro.oql.parser import parse_statement
 from repro.optimizer.history import ExecCallHistory
 from repro.optimizer.implementation import implement
+from repro.runtime.answercache import AnswerCache, CacheEntry, replay_deltas
 from repro.runtime.executor import Executor, ExecutorConfig
 
 
@@ -42,8 +43,16 @@ class Mediator:
         admission_queue_depth: int | None = None,
         bind_batch_size: int = 256,
         replan_blowup_factor: float | None = 8.0,
+        answer_cache: "AnswerCache | bool | None" = None,
     ):
         self.name = name
+        # answer_cache=True builds one with defaults; an AnswerCache instance
+        # is used as-is (and may be shared); None/False turns caching off.
+        if answer_cache is True:
+            answer_cache = AnswerCache()
+        elif answer_cache is False:
+            answer_cache = None
+        self.answer_cache: AnswerCache | None = answer_cache
         self.registry = Registry()
         self.history = ExecCallHistory()
         self.planner = QueryPlanner(
@@ -159,12 +168,18 @@ class Mediator:
             source_collection=source_collection,
         )
         self.executor.invalidate_type_checks()
+        if self.answer_cache is not None:
+            # Eager per-extent eviction on *re*-registration; the version
+            # bump already makes every entry unreachable lazily.
+            self.answer_cache.invalidate_extent(name)
         return meta
 
     def drop_extent(self, name: str) -> None:
         """Remove an extent declaration."""
         self.registry.drop_extent(name)
         self.executor.invalidate_type_checks()
+        if self.answer_cache is not None:
+            self.answer_cache.invalidate_extent(name)
 
     def define_view(self, name: str, query_text: str):
         """``define <name> as <query>;``"""
@@ -187,9 +202,127 @@ class Mediator:
         (``max_concurrent_queries``): queued queries are scheduled
         weighted-fair by priority class, and higher priorities get
         proportionally more slots under contention.
+
+        With an answer cache configured (``answer_cache=``), the query is
+        first served from cached answers: an exact hit or a subsumption
+        replay returns without any wrapper call, and a cached *partial*
+        answer is patched by re-contacting only its missing extents (see
+        :mod:`repro.runtime.answercache`).
         """
+        cache = self.answer_cache
+        if cache is None:
+            planned = self.planner.plan(text)
+            return self._run(planned, timeout=timeout, priority=priority)
+        version = self.registry.schema_version
+        entry = cache.get_exact(text, version)
+        if entry is not None:
+            if entry.complete:
+                return QueryResult(
+                    query_text=text, data=Bag(entry.rows), from_answer_cache=True
+                )
+            patched = self._patch_partial(
+                text, entry, timeout=timeout, priority=priority
+            )
+            if patched is not None:
+                return patched
+            version = self.registry.schema_version
         planned = self.planner.plan(text)
-        return self._run(planned, timeout=timeout, priority=priority)
+        if planned.is_scalar or planned.logical is None:
+            # Scalars have no row answer to cache; run them directly.
+            return self._run(planned, timeout=timeout, priority=priority)
+        subsumed = cache.find_subsumer(planned.logical, version)
+        if subsumed is not None:
+            superset, deltas = subsumed
+            rows = replay_deltas(deltas, superset.rows or ())
+            # Promote the replayed answer to its own entry: the next
+            # identical query is then an O(1) exact hit.
+            cache.store_complete(text, planned.logical, superset.schema_version, rows)
+            return QueryResult(
+                query_text=text,
+                data=Bag(rows),
+                logical_plan=planned.logical.to_text(),
+                from_answer_cache=True,
+            )
+        cache.note_miss()
+        result = self._run(planned, timeout=timeout, priority=priority)
+        # Store under the version snapshotted *before* planning, and only if
+        # it still holds (the planner's own discipline): a schema change
+        # mid-flight means the answer may mix old and new resolutions.
+        if self.registry.schema_version == version:
+            if not result.is_partial:
+                cache.store_complete(
+                    text, planned.logical, version, tuple(result.rows())
+                )
+            elif result.partial_plan is not None:
+                cache.store_partial(
+                    text,
+                    planned.logical,
+                    version,
+                    partial_plan=result.partial_plan,
+                    partial_query=result.partial_query,
+                    unavailable_sources=result.unavailable_sources,
+                )
+        return result
+
+    def _patch_partial(
+        self,
+        text: str,
+        entry: CacheEntry,
+        timeout: float | None = None,
+        priority: float = 1.0,
+    ) -> QueryResult | None:
+        """Repair a cached partial answer by re-running only its missing extents.
+
+        The resubmission is *pinned* to the entry's ``schema_version``: if
+        the registry moved between the miss and the patch -- or while the
+        patch was executing -- the embedded rows may describe extents that no
+        longer exist (or resolve differently), so the entry is dropped and
+        the caller falls back to a full run (returns None).
+        """
+        if entry.partial_plan is None:
+            return None
+        if self.registry.schema_version != entry.schema_version:
+            self.answer_cache.drop(text)
+            return None
+        physical = implement(entry.partial_plan)
+        execution = self.executor.execute(physical, timeout=timeout, priority=priority)
+        if self.registry.schema_version != entry.schema_version:
+            # Mutated mid-patch: the rows just computed straddle two schemas.
+            self.answer_cache.drop(text)
+            return None
+        self.answer_cache.note_patch()
+        planned_logical = entry.partial_plan
+        if not execution.is_partial:
+            self.answer_cache.store_complete(
+                text,
+                None,
+                entry.schema_version,
+                tuple(execution.data.to_list()),
+                extents=entry.extents,
+            )
+        else:
+            if execution.partial_plan is not None:
+                self.answer_cache.store_partial(
+                    text,
+                    None,
+                    entry.schema_version,
+                    partial_plan=execution.partial_plan,
+                    partial_query=execution.partial_query,
+                    unavailable_sources=execution.unavailable_sources,
+                    extents=entry.extents,
+                )
+        return QueryResult(
+            query_text=text,
+            data=execution.data,
+            is_partial=execution.is_partial,
+            partial_query=execution.partial_query,
+            partial_plan=execution.partial_plan,
+            unavailable_sources=execution.unavailable_sources,
+            reports=execution.reports,
+            logical_plan=planned_logical.to_text(),
+            physical_plan=physical.to_text(),
+            from_answer_cache=True,
+        )
 
     def query_stream(
         self, text: str, timeout: float | None = None, priority: float = 1.0
@@ -212,7 +345,19 @@ class Mediator:
         already delivered cannot be embedded back into one.
 
         Scalar queries have no row pipeline and are returned materialized.
+
+        An exact answer-cache hit is served materialized too (the rows are
+        already local, there is nothing to stream); subsumption and partial
+        patching are barrier-only, and streamed answers are never stored
+        (rows already delivered cannot be re-materialized faithfully).
         """
+        cache = self.answer_cache
+        if cache is not None:
+            entry = cache.get_exact(text, self.registry.schema_version)
+            if entry is not None and entry.complete:
+                return QueryResult(
+                    query_text=text, data=Bag(entry.rows), from_answer_cache=True
+                )
         planned = self.planner.plan(text)
         if planned.is_scalar:
             return self._run_scalar(planned, timeout=timeout)
@@ -317,6 +462,9 @@ class Mediator:
             "probe_cache_hits": self.executor.probe_cache_hits,
             "probe_cache_misses": self.executor.probe_cache_misses,
         }
+        if self.answer_cache is not None:
+            for key, value in self.answer_cache.stats().items():
+                stats[f"answer_cache_{key}"] = value
         admission = self.executor.admission
         if admission is not None:
             stats["admission"] = {

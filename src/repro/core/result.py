@@ -40,6 +40,10 @@ class QueryResult:
     logical_plan: str | None = None
     physical_plan: str | None = None
     from_plan_cache: bool = False
+    #: True when the rows were served by the mediator's answer cache (an
+    #: exact hit, a subsumption replay, or a patched partial answer) rather
+    #: than by a fresh execution.
+    from_answer_cache: bool = False
     #: live streaming execution for results of ``query_stream`` (None for
     #: materialized results); excluded from equality -- two results are the
     #: same answer regardless of how the rows were delivered.

@@ -40,14 +40,16 @@ class _CachedPlan:
     schema_version: int
 
 
-def _normalize(query_text: str) -> str:
+def normalize_query_text(query_text: str) -> str:
     """Canonical cache key for ``query_text``: the parsed AST printed back.
 
     Parsing strips comments, collapses formatting and lowercases keywords
     while preserving the semantics (string literals, identifier case), so
     ``SELECT x FROM x IN person // hot path`` and ``select x from x in
     person`` key the same slot.  Unparseable text falls back to whitespace
-    normalization.
+    normalization.  Shared by the plan cache and the answer cache
+    (:mod:`repro.runtime.answercache`), so both key the same canonical form
+    and their hit/miss counters are directly comparable.
     """
     from repro.oql.parser import parse_query  # local: oql must not depend on optimizer
 
@@ -115,7 +117,7 @@ class PlanCache:
             return key
         # Parse outside the lock: normalization is the expensive part, and
         # two threads racing the same text derive the same key anyway.
-        key = _normalize(query_text)
+        key = normalize_query_text(query_text)
         with self._lock:
             if len(self._keys) >= 4 * self.capacity:
                 self._keys.clear()

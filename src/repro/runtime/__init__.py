@@ -11,12 +11,14 @@
   and then into OQL text: the answer to the query is itself a query.
 """
 
+from repro.runtime.answercache import AnswerCache
 from repro.runtime.executor import ExecutionResult, Executor, ExecReport
 from repro.runtime.partial_eval import PartialAnswerBuilder
 from repro.runtime.operators import Env
 from repro.runtime.streaming import StreamingExecution
 
 __all__ = [
+    "AnswerCache",
     "ExecutionResult",
     "Executor",
     "ExecReport",

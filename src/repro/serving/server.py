@@ -279,9 +279,14 @@ class MediatorServer:
         return submission.future
 
     def stats(self) -> dict[str, Any]:
-        """Server-wide counters, one consistent snapshot."""
+        """Server-wide counters, one consistent snapshot.
+
+        When the mediator carries an answer cache, its counters are included
+        under ``answer_cache`` -- the cache is shared by every worker, so
+        concurrent clients' repeated queries hit one another's entries.
+        """
         with self._state:
-            return {
+            snapshot = {
                 "submitted": self._submitted,
                 "rejected": self._rejected,
                 "timed_out": self._timed_out,
@@ -292,6 +297,10 @@ class MediatorServer:
                 "queue_wait_total": self._queue_wait_total,
                 "workers": len(self._workers),
             }
+        cache = self.mediator.answer_cache
+        if cache is not None:
+            snapshot["answer_cache"] = cache.stats()
+        return snapshot
 
     def close(self, drain: bool = True, timeout: float | None = None) -> None:
         """Stop serving.  New submissions are refused from this point on.

@@ -1,0 +1,404 @@
+"""The semantic answer cache: hits, subsumption, staleness, repair, safety.
+
+Covers the cache's whole contract surface: exact hits with zero wrapper
+calls, subsumption hits for every supported delta (limit / select /
+project / distinct / appended conjunct), the refusal cases (aggregates,
+environment items, foreign-variable and subquery predicates),
+``schema_version`` invalidation (lazy and eager), LRU eviction under the
+row budget, partial-answer patch-on-recovery (the DISCO twist), the
+mutate-between-miss-and-patch staleness race, thread safety under a client
+fleet, and the statistics counters.  The dynamic cross-check -- cache-on
+answers multiset-equal to cache-off over random workloads -- lives in the
+differential harness (``tests/test_engine_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import AnswerCache, Mediator, RelationalWrapper
+from repro.algebra import logical as log
+from repro.algebra.expressions import Comparison, Const, FunctionCall, Path, Var
+from repro.sources import RelationalEngine, SimulatedServer, TableSchema
+
+from tests.test_engine_equivalence import build_mediator, multiset
+
+
+def make_mediator(answer_cache=None, rows: int = 12):
+    """One relational Person source under a cache-carrying mediator."""
+    engine = RelationalEngine(name="db0")
+    engine.create_table(
+        "person0",
+        schema=TableSchema.of(("id", int), ("name", str), ("salary", int)),
+        rows=[
+            {"id": i, "name": f"p{i % 5}", "salary": i % 7} for i in range(rows)
+        ],
+    )
+    server = SimulatedServer(name="host0", store=engine)
+    mediator = Mediator(name="cache-test", answer_cache=answer_cache)
+    mediator.register_wrapper("w0", RelationalWrapper("w0", server))
+    mediator.create_repository("r0")
+    mediator.define_interface(
+        "Person",
+        [("id", "Long"), ("name", "String"), ("salary", "Short")],
+        extent_name="person",
+    )
+    mediator.add_extent("person0", "Person", "w0", "r0")
+    return mediator, server
+
+
+# -- exact hits -----------------------------------------------------------------------
+def test_exact_hit_serves_without_touching_the_source():
+    mediator, server = make_mediator(answer_cache=True)
+    try:
+        query = "select x.name from x in person0 where x.salary > 2"
+        first = mediator.query(query)
+        assert not first.from_answer_cache
+        calls = server.statistics.requests
+        # Formatting variants share the canonical key, like the plan cache.
+        second = mediator.query("select   x.name from x in person0 where x.salary > 2")
+        assert second.from_answer_cache
+        assert server.statistics.requests == calls  # zero wrapper calls
+        assert multiset(second.rows()) == multiset(first.rows())
+        stats = mediator.statistics()
+        assert stats["answer_cache_hits"] == 1
+        assert stats["answer_cache_misses"] == 1
+    finally:
+        mediator.close()
+
+
+def test_query_stream_serves_exact_hits_materialized():
+    mediator, server = make_mediator(answer_cache=True)
+    try:
+        query = "select x from x in person0"
+        reference = multiset(mediator.query(query).rows())
+        calls = server.statistics.requests
+        streamed = mediator.query_stream(query)
+        assert streamed.from_answer_cache
+        assert multiset(list(streamed.iter_rows())) == reference
+        assert server.statistics.requests == calls
+    finally:
+        mediator.close()
+
+
+# -- subsumption hits ------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "narrower",
+    [
+        "select x from x in person0 limit 4",
+        "select x from x in person0 where x.salary > 3",
+        "select x.name from x in person0",
+        "select distinct x.name from x in person0",
+        "select struct(n: x.name, s: x.salary) from x in person0",
+    ],
+)
+def test_subsumption_serves_deltas_from_a_cached_broad_query(narrower):
+    cached_mediator, cached_server = make_mediator(answer_cache=True)
+    plain_mediator, _plain_server = make_mediator(answer_cache=None)
+    try:
+        cached_mediator.query("select x from x in person0")  # the superset
+        calls = cached_server.statistics.requests
+        served = cached_mediator.query(narrower)
+        assert served.from_answer_cache
+        assert cached_server.statistics.requests == calls  # replayed locally
+        reference = plain_mediator.query(narrower)
+        if "limit" in narrower:
+            full = multiset(plain_mediator.query("select x from x in person0").rows())
+            assert len(served.rows()) == len(reference.rows())
+            assert not multiset(served.rows()) - full
+        else:
+            assert multiset(served.rows()) == multiset(reference.rows())
+        assert cached_mediator.statistics()["answer_cache_subsumption_hits"] == 1
+    finally:
+        cached_mediator.close()
+        plain_mediator.close()
+
+
+def test_subsumption_serves_an_appended_conjunct_from_a_cached_selection():
+    mediator, server = make_mediator(answer_cache=True)
+    try:
+        mediator.query("select x from x in person0 where x.salary > 2")
+        calls = server.statistics.requests
+        served = mediator.query(
+            "select x from x in person0 where x.salary > 2 and x.id > 5"
+        )
+        assert served.from_answer_cache
+        assert server.statistics.requests == calls
+        expected = [
+            row
+            for row in mediator.query("select x from x in person0").rows()
+            if dict(row)["salary"] > 2 and dict(row)["id"] > 5
+        ]
+        assert multiset(served.rows()) == multiset(expected)
+    finally:
+        mediator.close()
+
+
+def test_a_subsumption_hit_promotes_itself_to_an_exact_entry():
+    mediator, _server = make_mediator(answer_cache=True)
+    try:
+        mediator.query("select x from x in person0")
+        mediator.query("select x from x in person0 limit 3")  # subsumption
+        mediator.query("select x from x in person0 limit 3")  # now exact
+        stats = mediator.statistics()
+        assert stats["answer_cache_subsumption_hits"] == 1
+        assert stats["answer_cache_hits"] == 1
+    finally:
+        mediator.close()
+
+
+# -- refusals --------------------------------------------------------------------------
+BASE = log.Submit("r0", log.Get("person0"), extent_name="person0")
+
+
+def seeded_cache() -> AnswerCache:
+    cache = AnswerCache()
+    cache.store_complete(
+        "select x from x in person0", BASE, 3, ({"id": 1, "salary": 2},)
+    )
+    return cache
+
+
+def test_refuses_aggregates_as_deltas():
+    cache = seeded_cache()
+    grouped = log.GroupBy("x", (), (("a", "count", Var("x")),), BASE)
+    assert cache.find_subsumer(grouped, 3) is None
+    aggregated_item = log.Apply(
+        "x", FunctionCall("count", (Path(Var("x"), "id"),)), BASE
+    )
+    assert cache.find_subsumer(aggregated_item, 3) is None
+
+
+def test_refuses_non_subsumable_predicates_and_items():
+    cache = seeded_cache()
+    foreign = log.Select("x", Comparison(">", Path(Var("y"), "id"), Const(1)), BASE)
+    assert cache.find_subsumer(foreign, 3) is None
+    env_item = log.Apply("_env", Path(Var("x"), "name"), BASE)
+    assert cache.find_subsumer(env_item, 3) is None
+
+
+def test_aggregate_queries_still_get_exact_hits():
+    mediator, server = make_mediator(answer_cache=True)
+    try:
+        query = "select sum(x.salary) from x in person0"
+        first = mediator.query(query)
+        calls = server.statistics.requests
+        second = mediator.query(query)
+        assert second.from_answer_cache
+        assert server.statistics.requests == calls
+        assert multiset(second.rows()) == multiset(first.rows())
+    finally:
+        mediator.close()
+
+
+# -- invalidation ----------------------------------------------------------------------
+def test_schema_version_change_invalidates_entries():
+    mediator, server = make_mediator(answer_cache=True)
+    try:
+        query = "select x from x in person0"
+        mediator.query(query)
+        mediator.define_interface("Other", [("id", "Long")], extent_name="others")
+        calls = server.statistics.requests
+        refreshed = mediator.query(query)
+        assert not refreshed.from_answer_cache
+        assert server.statistics.requests > calls
+        assert mediator.statistics()["answer_cache_invalidations"] >= 1
+    finally:
+        mediator.close()
+
+
+def test_extent_reregistration_evicts_eagerly():
+    mediator, _server = make_mediator(answer_cache=True)
+    try:
+        mediator.query("select x from x in person0")
+        assert len(mediator.answer_cache) == 1
+        mediator.drop_extent("person0")
+        assert len(mediator.answer_cache) == 0
+        assert mediator.statistics()["answer_cache_invalidations"] >= 1
+    finally:
+        mediator.close()
+
+
+def test_lru_eviction_under_the_row_budget():
+    cache = AnswerCache(max_entries=128, max_rows=30)
+    mediator, _server = make_mediator(answer_cache=cache, rows=12)
+    try:
+        mediator.query("select x from x in person0")  # 12 rows
+        mediator.query("select x.name from x in person0")  # 12 rows
+        mediator.query("select x.id from x in person0")  # 12 rows -> evicts
+        stats = cache.stats()
+        assert stats["evictions"] >= 1
+        assert stats["rows"] <= 30
+        # The coldest entry went; the newest survives as an exact hit.
+        served = mediator.query("select x.id from x in person0")
+        assert served.from_answer_cache
+    finally:
+        mediator.close()
+
+
+def test_oversized_answers_are_never_stored():
+    cache = AnswerCache(max_rows=5)
+    mediator, _server = make_mediator(answer_cache=cache, rows=12)
+    try:
+        mediator.query("select x from x in person0")
+        assert len(cache) == 0
+        assert not mediator.query("select x from x in person0").from_answer_cache
+    finally:
+        mediator.close()
+
+
+# -- partial answers: patch-on-recovery ------------------------------------------------
+def test_partial_answer_patch_recontacts_only_the_missing_extent():
+    mediator, servers = build_mediator()
+    mediator.answer_cache = AnswerCache()
+    try:
+        query = "select x.name from x in person"
+        reference = multiset(mediator.query(query).rows())
+        mediator.define_interface("Bump", [("id", "Long")], extent_name="bumps")
+        servers[1].take_down()
+        partial = mediator.query(query)
+        assert partial.is_partial
+        servers[1].bring_up()
+        healthy_calls = servers[0].statistics.requests
+        patched = mediator.query(query)
+        assert patched.from_answer_cache
+        assert not patched.is_partial
+        assert servers[0].statistics.requests == healthy_calls  # only person1 ran
+        assert multiset(patched.rows()) == reference
+        assert mediator.statistics()["answer_cache_patches"] == 1
+        # The repaired answer is now a complete entry: next query is a hit.
+        again = mediator.query(query)
+        assert again.from_answer_cache
+        assert multiset(again.rows()) == reference
+    finally:
+        mediator.close()
+
+
+def test_partial_entry_still_partial_when_the_source_stays_down():
+    mediator, servers = build_mediator()
+    mediator.answer_cache = AnswerCache()
+    try:
+        query = "select x.name from x in person"
+        servers[1].take_down()
+        first = mediator.query(query)
+        assert first.is_partial
+        second = mediator.query(query)
+        assert second.is_partial
+        assert set(second.unavailable_sources) == set(first.unavailable_sources)
+    finally:
+        mediator.close()
+
+
+def test_partial_patch_is_pinned_to_the_entry_schema_version():
+    """Regression: the mutate-between-miss-and-patch race.
+
+    A cached partial answer embeds rows resolved under the schema it was
+    built with.  If a DBA mutates the registry before the patch runs, the
+    pin must refuse the patch (dropping the entry) and fall back to a full
+    run -- never weld old embedded rows onto a new schema's answer.
+    """
+    mediator, servers = build_mediator()
+    mediator.answer_cache = AnswerCache()
+    try:
+        query = "select x.name from x in person"
+        reference = multiset(mediator.query(query).rows())
+        mediator.define_interface("Bump0", [("id", "Long")], extent_name="b0")
+        servers[1].take_down()
+        partial = mediator.query(query)
+        assert partial.is_partial
+        # The DBA mutates between the miss and the later patch attempt.
+        mediator.define_interface("Bump1", [("id", "Long")], extent_name="b1")
+        servers[1].bring_up()
+        healthy_calls = servers[0].statistics.requests
+        repaired = mediator.query(query)
+        assert not repaired.is_partial
+        assert multiset(repaired.rows()) == reference
+        # Refused patch means a *full* run: the healthy source was re-contacted.
+        assert servers[0].statistics.requests > healthy_calls
+        assert mediator.statistics()["answer_cache_patches"] == 0
+        assert mediator.statistics()["answer_cache_invalidations"] >= 1
+    finally:
+        mediator.close()
+
+
+# -- concurrency -----------------------------------------------------------------------
+def test_cache_is_safe_and_transparent_under_a_client_fleet():
+    mediator, _servers = build_mediator()
+    mediator.answer_cache = AnswerCache()
+    try:
+        queries = [
+            "select x.name from x in person0",
+            "select x from x in person0 where x.salary > 2",
+            "select distinct x.name from x in person0",
+            "select x.name from x in person0 limit 4",
+        ]
+        references = {q: multiset(mediator.query(q).rows()) for q in queries}
+        errors: list[BaseException] = []
+
+        def client(index: int) -> None:
+            try:
+                for turn in range(8):
+                    query = queries[(index + turn) % len(queries)]
+                    result = mediator.query(query)
+                    rows = multiset(result.rows())
+                    if "limit" in query:
+                        assert not rows - references[
+                            "select x.name from x in person0"
+                        ]
+                    else:
+                        assert rows == references[query]
+            except BaseException as exc:  # surfaced to the main thread
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(12)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        stats = mediator.statistics()
+        assert stats["answer_cache_hits"] + stats["answer_cache_subsumption_hits"] > 0
+    finally:
+        mediator.close()
+
+
+def test_server_workers_share_the_mediators_cache():
+    mediator, server0_and_rest = build_mediator()
+    mediator.answer_cache = AnswerCache()
+    try:
+        query = "select x.name from x in person0"
+        reference = multiset(mediator.query(query).rows())
+        with mediator.serve(workers=4) as server:
+            futures = [server.submit(query) for _ in range(16)]
+            for future in futures:
+                assert multiset(future.result(timeout=30).rows()) == reference
+            stats = server.stats()
+        assert stats["answer_cache"]["hits"] >= 16
+    finally:
+        mediator.close()
+
+
+# -- statistics ------------------------------------------------------------------------
+def test_statistics_expose_every_counter():
+    mediator, _server = make_mediator(answer_cache=True)
+    try:
+        stats = mediator.statistics()
+        for counter in (
+            "answer_cache_entries",
+            "answer_cache_rows",
+            "answer_cache_hits",
+            "answer_cache_subsumption_hits",
+            "answer_cache_misses",
+            "answer_cache_patches",
+            "answer_cache_stores",
+            "answer_cache_invalidations",
+            "answer_cache_evictions",
+        ):
+            assert counter in stats
+        plain = Mediator(name="no-cache")
+        assert "answer_cache_hits" not in plain.statistics()
+        plain.close()
+    finally:
+        mediator.close()

@@ -65,12 +65,20 @@ SEEDS = range(int(os.environ.get("DISCO_EQUIV_SEEDS", "104")))
 #: answers to the same multiset contract -- the serving layer must be
 #: answer-transparent.  Off by default: it roughly doubles the sweep's cost.
 RUN_THROUGH_SERVER = os.environ.get("DISCO_EQUIV_SERVER", "") not in ("", "0")
+#: set DISCO_EQUIV_CACHE=1 to run the answer-cache transparency axis over
+#: *every* seed (the nightly sweep); by default a quarter of the seeds run
+#: it, which keeps the tier-1 suite fast while still exercising the cache
+#: against repeats, subsumed variants, schema mutations and faults.
+RUN_FULL_CACHE_AXIS = os.environ.get("DISCO_EQUIV_CACHE", "") not in ("", "0")
+CACHE_SEEDS = SEEDS if RUN_FULL_CACHE_AXIS else range(0, len(SEEDS), 4)
 
 #: shared on-disk home for the CSV source's files; one directory per test run.
 _CSV_DIR = tempfile.mkdtemp(prefix="disco-equiv-csv-")
 
 
-def build_mediator(bind_batch_size: int = 256, no_groupby: bool = False):
+def build_mediator(
+    bind_batch_size: int = 256, no_groupby: bool = False, answer_cache=None
+):
     """Two Person sources (members of the implicit ``person`` extent) plus a
     ``dept0`` collection co-hosted with person0 for join queries, plus a pair
     of *colliding* extents (``cat0``/``flag0`` both call their source column
@@ -143,7 +151,9 @@ def build_mediator(bind_batch_size: int = 256, no_groupby: bool = False):
         if no_groupby
         else None
     )
-    mediator = Mediator(name="diff", bind_batch_size=bind_batch_size)
+    mediator = Mediator(
+        name="diff", bind_batch_size=bind_batch_size, answer_cache=answer_cache
+    )
     mediator.register_wrapper(
         "w0", RelationalWrapper("w0", server0, capabilities=capabilities)
     )
@@ -476,6 +486,91 @@ def test_resubmitted_distinct_deduplicates_across_union_branches():
         assert multiset(mediator.query(partial.partial_query).rows()) == reference
     finally:
         mediator.close()
+
+
+# -- the answer-cache axis -------------------------------------------------------------------
+@pytest.mark.parametrize("seed", CACHE_SEEDS)
+def test_cache_on_answers_match_cache_off(seed):
+    """Cache transparency: a mediator with the answer cache on must answer
+    exactly like one with it off, across warm repeats, subsumed variants,
+    DBA schema mutations, and injected faults.  The one sanctioned
+    asymmetry: when a source is down, the cached mediator may serve the
+    complete answer it already has (serve-during-outage, the point of the
+    cache) where the uncached one degrades to a partial answer -- in which
+    case the cached rows must equal the fault-free reference."""
+    from repro import AnswerCache
+
+    rng = random.Random(31_000 + seed)
+    params = dict(
+        bind_batch_size=rng.choice([1, 2, 3, 256]),
+        no_groupby=rng.random() < 0.25,
+    )
+    plain, plain_servers = build_mediator(**params)
+    cached, cached_servers = build_mediator(**params, answer_cache=AnswerCache())
+
+    def check(text, limit, reference):
+        full = text if limit is None else f"{text} limit {limit}"
+        off = plain.query(full)
+        on = cached.query(full)
+        off_rows, on_rows = off.rows(), on.rows()
+        if off.is_partial and on.is_partial:
+            # Identical partial-answer shape: same missing extents, no rows.
+            assert set(on.unavailable_sources) == set(off.unavailable_sources)
+            assert off_rows == [] and on_rows == []
+        elif not off.is_partial and not on.is_partial:
+            if limit is None:
+                assert multiset(on_rows) == multiset(off_rows)
+            else:
+                assert len(on_rows) == len(off_rows)
+                assert not multiset(on_rows) - reference
+                assert not multiset(off_rows) - reference
+        else:
+            # Serve-during-outage: only the cached side may stay complete.
+            assert off.is_partial and not on.is_partial
+            assert on.from_answer_cache
+            if limit is None:
+                assert multiset(on_rows) == reference
+            else:
+                assert len(on_rows) == min(limit, sum(reference.values()))
+                assert not multiset(on_rows) - reference
+
+    try:
+        queries = []
+        for _ in range(3):
+            text, limit = random_query(rng)
+            queries.append((text, limit, multiset(plain.query(text).rows())))
+
+        # Warm, then repeat (exact hits) and a subsumed limit variant.
+        for text, limit, reference in queries:
+            check(text, limit, reference)
+        for text, limit, reference in queries:
+            check(text, limit, reference)
+            check(text, rng.randint(0, 12), reference)
+
+        # DBA mutation on both sides: answers unchanged, cache invalidated.
+        plain.define_interface("Mut", [("id", "Long")], extent_name="muts")
+        cached.define_interface("Mut", [("id", "Long")], extent_name="muts")
+        for text, limit, reference in queries:
+            check(text, limit, reference)
+
+        # Fault injection, mirrored: repeats under the fault, then recovery
+        # (the cached side patches partial entries; answers must still agree).
+        fault_index = rng.choice([0, 1])
+        plain_servers[fault_index].take_down()
+        cached_servers[fault_index].take_down()
+        for text, limit, reference in queries:
+            check(text, limit, reference)
+            check(text, limit, reference)
+        plain_servers[fault_index].bring_up()
+        cached_servers[fault_index].bring_up()
+        for text, limit, reference in queries:
+            check(text, limit, reference)
+
+        stats = cached.statistics()
+        assert stats["answer_cache_hits"] + stats["answer_cache_subsumption_hits"] > 0
+    finally:
+        plain.close()
+        cached.close()
 
 
 # -- pushed colliding joins (plan-level differential) ----------------------------------------
